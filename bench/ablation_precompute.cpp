@@ -1,0 +1,69 @@
+// Ablation (DESIGN.md §6): idle-time precomputation of Paillier
+// encryption randomness.
+//
+// This reproduces the paper's explanation for Fig. 5(b): "the key size
+// for encryption and decryption executed in our protocols does not
+// affect the runtime (since the encryption and decryption are
+// independently executed in parallel during idle time)".  The
+// expensive r^n mod n^2 factor is plaintext-independent, so agents can
+// precompute it between trading windows; the online encryption then
+// costs one multiplication and the key-size lines collapse.
+//
+// We time a 100-contribution ring aggregation (the Protocols 2-3
+// pattern) per key size, with fresh vs. pooled randomness.
+#include <cstdio>
+
+#include "crypto/paillier.h"
+#include "crypto/rng.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace pem;
+  using namespace pem::crypto;
+
+  std::printf("=== Ablation: idle-time encryption precompute ===\n");
+  std::printf("(100-member encrypted aggregation, online time only)\n\n");
+  std::printf("%10s %18s %18s %10s\n", "key bits", "fresh (ms)",
+              "pooled (ms)", "speedup");
+
+  DeterministicRng rng(7);
+  const int kMembers = 100;
+  for (int key_bits : {512, 1024, 2048}) {
+    const PaillierKeyPair kp = GeneratePaillierKeyPair(key_bits, rng);
+
+    // Baseline: fresh randomness per encryption (the timed path of our
+    // Fig. 5(b) bench).
+    Stopwatch fresh_timer;
+    PaillierCiphertext acc = kp.pub.EncryptSigned(0, rng);
+    for (int i = 1; i < kMembers; ++i) {
+      acc = kp.pub.Add(acc, kp.pub.EncryptSigned(i, rng));
+    }
+    const double fresh_ms = fresh_timer.ElapsedMillis();
+
+    // Idle-time phase (untimed): precompute the randomness factors.
+    PaillierRandomnessPool pool(kp.pub);
+    pool.Refill(static_cast<size_t>(kMembers), rng);
+
+    // Online phase: one modular multiplication per encryption.
+    Stopwatch pooled_timer;
+    PaillierCiphertext acc2 = pool.EncryptSigned(0, rng);
+    for (int i = 1; i < kMembers; ++i) {
+      acc2 = kp.pub.Add(acc2, pool.EncryptSigned(i, rng));
+    }
+    const double pooled_ms = pooled_timer.ElapsedMillis();
+
+    // Sanity: both paths aggregate to the same sum.
+    if (kp.priv.DecryptSigned(acc) != kp.priv.DecryptSigned(acc2)) {
+      std::fprintf(stderr, "aggregation mismatch!\n");
+      return 1;
+    }
+    std::printf("%10d %18.2f %18.2f %9.1fx\n", key_bits, fresh_ms, pooled_ms,
+                fresh_ms / pooled_ms);
+  }
+  std::printf(
+      "\ntakeaway: with idle-time precompute the online cost is nearly "
+      "key-size independent — this is why the paper's Fig. 5(b) lines "
+      "coincide while our timed-everything Fig. 5(b) separates by key "
+      "size\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared harness utilities for the paper-figure benches.
+//
+// Each bench binary reproduces one table or figure from the paper's
+// §VII evaluation (see EXPERIMENTS.md for the experiment index and the
+// paper-vs-measured record).  Flags:
+//   --homes=N      community size (defaults per figure)
+//   --windows=N    trading windows in the day (default 720)
+//   --samples=N    crypto benches: how many windows to actually execute
+//                  per configuration (results are averaged; see
+//                  EXPERIMENTS.md "sampling" note)
+//   --out=DIR      where CSV series are written (default ".")
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "grid/trace.h"
+#include "util/csv.h"
+
+namespace pem::bench {
+
+struct Flags {
+  int homes = 0;       // 0 = per-bench default
+  int windows = 720;
+  int samples = 2;
+  std::string out_dir = ".";
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        const size_t n = std::strlen(prefix);
+        return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+      };
+      if (const char* v = value("--homes=")) {
+        f.homes = std::atoi(v);
+      } else if (const char* v = value("--windows=")) {
+        f.windows = std::atoi(v);
+      } else if (const char* v = value("--samples=")) {
+        f.samples = std::atoi(v);
+      } else if (const char* v = value("--out=")) {
+        f.out_dir = v;
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return f;
+  }
+};
+
+inline grid::CommunityTrace MakeTrace(int homes, int windows,
+                                      uint64_t seed = 20200425) {
+  grid::TraceConfig cfg;
+  cfg.num_homes = homes;
+  cfg.windows_per_day = windows;
+  cfg.seed = seed;
+  return grid::GenerateCommunityTrace(cfg);
+}
+
+// Runs the crypto engine on `samples` evenly spaced windows and
+// returns the per-window averages (runtime seconds, bus bytes).
+struct CryptoWindowCost {
+  double avg_runtime_seconds = 0.0;
+  double avg_bus_bytes = 0.0;
+  int windows_executed = 0;
+};
+
+inline CryptoWindowCost MeasureCryptoWindows(const grid::CommunityTrace& trace,
+                                             int key_bits, int samples) {
+  core::SimulationConfig cfg;
+  cfg.engine = core::Engine::kCrypto;
+  cfg.pem.key_bits = key_bits;
+  // Sample evenly across the active part of the day: start mid-morning
+  // so degenerate no-market windows do not dilute the average.
+  cfg.window_offset = trace.windows_per_day / 6;
+  const int active = trace.windows_per_day - cfg.window_offset;
+  cfg.window_stride = samples >= active ? 1 : active / samples;
+  const core::SimulationResult r = core::RunSimulation(trace, cfg);
+  CryptoWindowCost cost;
+  cost.avg_runtime_seconds = r.AverageRuntimeSeconds();
+  cost.avg_bus_bytes = r.AverageBusBytes();
+  cost.windows_executed = static_cast<int>(r.windows.size());
+  return cost;
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("=== %s — %s ===\n", figure, description);
+}
+
+}  // namespace pem::bench

@@ -1,0 +1,38 @@
+// Fig. 5(c): total runtime for a full 720-window day as the number of
+// agents grows, for the three key sizes.
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace pem;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  // The paper sweeps 100..300 in steps of 25; the default here uses
+  // three points to keep the no-flag run short (pass --homes for more).
+  const std::vector<int> populations =
+      flags.homes > 0 ? std::vector<int>{flags.homes}
+                      : std::vector<int>{100, 200, 300};
+  const std::vector<int> key_sizes = {512, 1024, 2048};
+
+  bench::PrintHeader("Fig. 5(c)",
+                     "total runtime over the day vs. number of agents");
+  CsvWriter csv(flags.out_dir + "/fig5c_runtime_agents.csv",
+                {"n", "key_bits", "total_runtime_sec"});
+
+  std::printf("%6s", "n");
+  for (int bits : key_sizes) std::printf(" %12d-bit", bits);
+  std::printf("   (projected total over %d windows, s)\n", flags.windows);
+  for (int n : populations) {
+    const grid::CommunityTrace trace = bench::MakeTrace(n, flags.windows);
+    std::printf("%6d", n);
+    for (int bits : key_sizes) {
+      const bench::CryptoWindowCost cost =
+          bench::MeasureCryptoWindows(trace, bits, flags.samples);
+      const double total = cost.avg_runtime_seconds * flags.windows;
+      std::printf(" %16.1f", total);
+      csv.Row({CsvWriter::Num(int64_t{n}), CsvWriter::Num(int64_t{bits}),
+               CsvWriter::Num(total)});
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: runtime increases with n (paper Fig. 5c)\n");
+  return 0;
+}

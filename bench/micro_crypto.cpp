@@ -1,0 +1,145 @@
+// Micro-benchmarks for the cryptographic substrate (google-benchmark).
+// Not a paper figure; used to sanity-check where window time goes and
+// to compare against the published Paillier/GC cost models.
+#include <benchmark/benchmark.h>
+
+#include "crypto/circuit.h"
+#include "crypto/garble.h"
+#include "crypto/ot.h"
+#include "crypto/paillier.h"
+#include "crypto/rng.h"
+#include "crypto/secure_compare.h"
+
+namespace {
+
+using namespace pem::crypto;
+
+const PaillierKeyPair& Keys(int bits) {
+  static DeterministicRng rng(1);
+  static std::map<int, PaillierKeyPair> cache;
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    it = cache.emplace(bits, GeneratePaillierKeyPair(bits, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_PaillierKeyGen(benchmark::State& state) {
+  DeterministicRng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GeneratePaillierKeyPair(static_cast<int>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_PaillierKeyGen)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  const PaillierKeyPair& kp = Keys(static_cast<int>(state.range(0)));
+  DeterministicRng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pub.EncryptSigned(123456, rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  const PaillierKeyPair& kp = Keys(static_cast<int>(state.range(0)));
+  DeterministicRng rng(3);
+  const PaillierCiphertext ct = kp.pub.EncryptSigned(987654, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.priv.DecryptSigned(ct));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierHomomorphicAdd(benchmark::State& state) {
+  const PaillierKeyPair& kp = Keys(static_cast<int>(state.range(0)));
+  DeterministicRng rng(4);
+  const PaillierCiphertext a = kp.pub.EncryptSigned(1, rng);
+  const PaillierCiphertext b = kp.pub.EncryptSigned(2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pub.Add(a, b));
+  }
+}
+BENCHMARK(BM_PaillierHomomorphicAdd)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PaillierScalarMul(benchmark::State& state) {
+  const PaillierKeyPair& kp = Keys(static_cast<int>(state.range(0)));
+  DeterministicRng rng(5);
+  const PaillierCiphertext a = kp.pub.EncryptSigned(7, rng);
+  const BigInt k(int64_t{1} << 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pub.ScalarMul(a, k));
+  }
+}
+BENCHMARK(BM_PaillierScalarMul)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GarbleComparator(benchmark::State& state) {
+  const Circuit circuit =
+      BuildLessThanCircuit(static_cast<int>(state.range(0)));
+  DeterministicRng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Garbler(circuit, rng));
+  }
+}
+BENCHMARK(BM_GarbleComparator)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_EvaluateComparator(benchmark::State& state) {
+  const Circuit circuit =
+      BuildLessThanCircuit(static_cast<int>(state.range(0)));
+  DeterministicRng rng(7);
+  const Garbler g(circuit, rng);
+  std::vector<WireLabel> gl, el;
+  for (size_t i = 0; i < circuit.garbler_inputs.size(); ++i) {
+    gl.push_back(g.GarblerInputLabel(i, i % 2 == 0));
+  }
+  for (size_t i = 0; i < circuit.evaluator_inputs.size(); ++i) {
+    el.push_back(g.EvaluatorInputLabels(i).first);
+  }
+  GarbledTables tables = g.tables();
+  for (auto _ : state) {
+    Evaluator eval(circuit, tables);
+    benchmark::DoNotOptimize(eval.Evaluate(gl, el));
+  }
+}
+BENCHMARK(BM_EvaluateComparator)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_ObliviousTransfer(benchmark::State& state) {
+  const ModpGroup& group = ModpGroup::Get(
+      state.range(0) == 768 ? ModpGroupId::kModp768
+                            : state.range(0) == 1536 ? ModpGroupId::kModp1536
+                                                     : ModpGroupId::kModp2048);
+  DeterministicRng rng(8);
+  OtMessage m0{}, m1{};
+  m1.fill(0xFF);
+  for (auto _ : state) {
+    OtSender sender(group, rng);
+    OtReceiver receiver(group, rng);
+    const auto b = receiver.Round1(sender.Round1(), true);
+    benchmark::DoNotOptimize(receiver.Decrypt(sender.Round2(b, m0, m1)));
+  }
+}
+BENCHMARK(BM_ObliviousTransfer)->Arg(768)->Arg(1536)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SecureCompare64(benchmark::State& state) {
+  DeterministicRng rng(9);
+  SecureCompareConfig cfg;
+  cfg.group = state.range(0) == 768 ? ModpGroupId::kModp768
+                                    : ModpGroupId::kModp2048;
+  for (auto _ : state) {
+    pem::net::MessageBus bus(2);
+    benchmark::DoNotOptimize(
+        SecureCompareLess(bus, 0, 123456, 1, 654321, cfg, rng));
+  }
+}
+BENCHMARK(BM_SecureCompare64)->Arg(768)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Table I: average bandwidth per smart home while executing the secure
+// computation, for 512/1024/2048-bit keys among 200 homes, over
+// different numbers of trading windows m.
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace pem;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  const int homes = flags.homes > 0 ? flags.homes : 200;
+  const std::vector<int> key_sizes = {512, 1024, 2048};
+
+  bench::PrintHeader("Table I", "average bandwidth (MB) per smart home");
+  const grid::CommunityTrace trace = bench::MakeTrace(homes, flags.windows);
+  CsvWriter csv(flags.out_dir + "/table1_bandwidth.csv",
+                {"m", "key_bits", "avg_mb_per_home"});
+
+  // Average per-home bytes in one window, measured per key size.
+  std::vector<std::pair<int, double>> per_window_mb;
+  for (int bits : key_sizes) {
+    const bench::CryptoWindowCost cost =
+        bench::MeasureCryptoWindows(trace, bits, flags.samples);
+    per_window_mb.emplace_back(
+        bits, cost.avg_bus_bytes / homes / (1024.0 * 1024.0));
+  }
+
+  std::printf("%8s", "m");
+  for (int bits : key_sizes) std::printf(" %10d-bit", bits);
+  std::printf("   (cumulative MB per home over m windows)\n");
+  for (int m = 300; m <= flags.windows; m += 60) {
+    std::printf("%8d", m);
+    for (const auto& [bits, mb] : per_window_mb) {
+      const double total = mb * m;
+      std::printf(" %14.2f", total);
+      csv.Row({CsvWriter::Num(int64_t{m}), CsvWriter::Num(int64_t{bits}),
+               CsvWriter::Num(total)});
+    }
+    std::printf("\n");
+  }
+  std::printf("\nper-window averages (KB per home):");
+  for (const auto& [bits, mb] : per_window_mb) {
+    std::printf("  %d-bit: %.2f", bits, mb * 1024.0);
+  }
+  std::printf(
+      "\nexpected shape: bandwidth roughly doubles with the key size "
+      "(paper Table I: 0.45 / 0.84 / 1.87 MB at 512/1024/2048-bit)\n");
+  return 0;
+}

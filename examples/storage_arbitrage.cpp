@@ -1,0 +1,72 @@
+// Storage arbitrage (paper §VI: "energy trading by possibly storing
+// energy for the future"): a battery owner uses yesterday's PEM price
+// curve as a forecast, charges through the cheap midday valley and
+// sells into the expensive evening — then we compare the owner's day
+// revenue under the greedy and arbitrage policies.
+//
+// Build & run:  ./build/examples/storage_arbitrage
+#include <cstdio>
+#include <vector>
+
+#include "core/simulation.h"
+#include "grid/arbitrage.h"
+
+int main() {
+  using namespace pem;
+
+  // Day 1: run the community market to obtain a price curve.
+  grid::TraceConfig trace_cfg;
+  trace_cfg.num_homes = 150;
+  trace_cfg.windows_per_day = 720;
+  const grid::CommunityTrace trace = grid::GenerateCommunityTrace(trace_cfg);
+  core::SimulationConfig sim_cfg;
+  const core::SimulationResult day1 = RunSimulation(trace, sim_cfg);
+
+  std::vector<double> forecast;
+  forecast.reserve(day1.windows.size());
+  for (const core::WindowRecord& rec : day1.windows) {
+    forecast.push_back(rec.price);
+  }
+  std::printf("day-1 price curve: min %.2f, max %.2f $/kWh\n",
+              *std::min_element(forecast.begin(), forecast.end()),
+              *std::max_element(forecast.begin(), forecast.end()));
+
+  // Day 2 (same weather for a clean comparison): one solar home with a
+  // 8 kWh / 3 kW battery, greedy vs arbitrage.
+  const grid::HomeTrace& home = trace.homes[2];
+  const double rate_kwh = 3.0 * 12.0 / 720;  // 3 kW in kWh/window
+
+  auto day_revenue = [&](auto&& step) {
+    double revenue = 0.0;
+    for (int w = 0; w < trace.windows_per_day; ++w) {
+      const grid::WindowObservation& o =
+          home.observations[static_cast<size_t>(w)];
+      const double b = step(w, o.generation_kwh, o.load_kwh);
+      const double net = o.generation_kwh - o.load_kwh - b;
+      // Sell surplus at the market price, buy deficits likewise (the
+      // market absorbs both sides at the cleared price curve).
+      revenue += forecast[static_cast<size_t>(w)] * net;
+    }
+    return revenue;
+  };
+
+  grid::Battery greedy(8.0, rate_kwh);
+  const double greedy_revenue = day_revenue(
+      [&](int, double g, double l) { return greedy.Step(g, l); });
+
+  grid::ArbitrageBattery smart(8.0, rate_kwh, forecast);
+  const double smart_revenue = day_revenue(
+      [&](int w, double g, double l) { return smart.Step(w, g, l); });
+
+  std::printf("\nhome #2 day revenue (positive = net seller):\n");
+  std::printf("  greedy battery    : $%+.3f\n", greedy_revenue);
+  std::printf("  arbitrage battery : $%+.3f  (%.1f%% better)\n", smart_revenue,
+              100.0 * (smart_revenue - greedy_revenue) /
+                  std::max(1e-9, std::abs(greedy_revenue)));
+  std::printf(
+      "\nthe arbitrage policy charges in the %.2f-floor midday valley and "
+      "discharges at the %.2f evening prices — §VI's store-for-the-future "
+      "trading\n",
+      smart.cheap_threshold(), smart.expensive_threshold());
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "core/simulation.h"
+
+#include "crypto/rng.h"
+#include "util/error.h"
+
+namespace pem::core {
+
+double SimulationResult::AverageRuntimeSeconds() const {
+  if (windows.empty()) return 0.0;
+  return total_runtime_seconds / static_cast<double>(windows.size());
+}
+
+double SimulationResult::AverageBusBytes() const {
+  if (windows.empty()) return 0.0;
+  return static_cast<double>(total_bus_bytes) /
+         static_cast<double>(windows.size());
+}
+
+SimulationResult RunSimulation(const grid::CommunityTrace& trace,
+                               const SimulationConfig& config) {
+  PEM_CHECK(config.window_stride >= 1, "window stride must be >= 1");
+  PEM_CHECK(config.window_offset >= 0, "window offset must be >= 0");
+  config.pem.market.Validate();
+
+  const int num_homes = trace.num_homes();
+  SimulationResult result;
+
+  std::vector<grid::Battery> batteries = trace.MakeBatteries();
+
+  // Crypto-engine state persists across windows (keys are cached).
+  crypto::DeterministicRng rng(config.crypto_seed);
+  std::optional<net::MessageBus> bus;
+  std::vector<protocol::Party> parties;
+  crypto::PaillierPoolRegistry pools;
+  if (config.engine == Engine::kCrypto) {
+    bus.emplace(num_homes);
+    parties.reserve(static_cast<size_t>(num_homes));
+    for (int h = 0; h < num_homes; ++h) {
+      parties.emplace_back(static_cast<net::AgentId>(h),
+                           trace.homes[static_cast<size_t>(h)].params);
+    }
+  }
+
+  for (int w = 0; w < trace.windows_per_day; ++w) {
+    // Battery dynamics advance every window regardless of sampling.
+    std::vector<grid::WindowState> states(static_cast<size_t>(num_homes));
+    for (int h = 0; h < num_homes; ++h) {
+      states[static_cast<size_t>(h)] = trace.ResolveWindow(h, w, batteries);
+    }
+    if (w < config.window_offset ||
+        (w - config.window_offset) % config.window_stride != 0) {
+      continue;
+    }
+
+    std::vector<market::AgentWindowInput> inputs(
+        static_cast<size_t>(num_homes));
+    for (int h = 0; h < num_homes; ++h) {
+      inputs[static_cast<size_t>(h)] = market::AgentWindowInput{
+          trace.homes[static_cast<size_t>(h)].params,
+          states[static_cast<size_t>(h)]};
+    }
+    const market::BaselineOutcome baseline =
+        market::ComputeBaseline(inputs, config.pem.market);
+
+    WindowRecord rec;
+    rec.window = w;
+    rec.buyer_cost_baseline = baseline.buyer_total_cost;
+    rec.grid_interaction_baseline = baseline.GridInteraction();
+
+    if (config.engine == Engine::kPlaintext) {
+      const market::MarketOutcome outcome =
+          market::ClearMarket(inputs, config.pem.market);
+      rec.type = outcome.type;
+      rec.price = outcome.price;
+      rec.num_sellers = outcome.CountRole(grid::Role::kSeller);
+      rec.num_buyers = outcome.CountRole(grid::Role::kBuyer);
+      rec.supply_total = outcome.supply_total;
+      rec.demand_total = outcome.demand_total;
+      rec.buyer_cost_pem = outcome.buyer_total_cost;
+      rec.grid_interaction_pem = outcome.GridInteraction();
+    } else {
+      for (int h = 0; h < num_homes; ++h) {
+        parties[static_cast<size_t>(h)].BeginWindow(
+            states[static_cast<size_t>(h)], config.pem.nonce_bound, rng);
+      }
+      protocol::ProtocolContext ctx{*bus, rng, config.pem,
+                                    config.pem.precompute_encryption
+                                        ? &pools
+                                        : nullptr};
+      const protocol::PemWindowResult out = protocol::RunPemWindow(ctx, parties);
+      if (config.pem.precompute_encryption) {
+        // Idle-time phase: top the pools back up between windows, so
+        // the next window's encryptions are one multiplication each.
+        // Deliberately outside the per-window runtime measurement.
+        pools.RefillAll(config.pem.encryption_pool_target, rng);
+      }
+      rec.type = out.type;
+      rec.price = out.price;
+      rec.supply_total = out.supply_total;
+      rec.demand_total = out.demand_total;
+      for (const protocol::Party& p : parties) {
+        if (p.role() == grid::Role::kSeller) ++rec.num_sellers;
+        if (p.role() == grid::Role::kBuyer) ++rec.num_buyers;
+      }
+      rec.buyer_cost_pem = out.buyer_total_cost;
+      rec.grid_interaction_pem = out.GridInteraction();
+      rec.runtime_seconds = out.runtime_seconds;
+      rec.bus_bytes = out.bus_bytes;
+      result.total_runtime_seconds += out.runtime_seconds;
+      result.total_bus_bytes += out.bus_bytes;
+    }
+
+    result.windows.push_back(rec);
+    if (config.record_states) {
+      result.resolved_states.push_back(std::move(states));
+    }
+  }
+  return result;
+}
+
+}  // namespace pem::core

@@ -1,0 +1,75 @@
+// Day-long market simulation driver.
+//
+// Feeds a CommunityTrace through the market window by window, with a
+// choice of engine:
+//   * kPlaintext — the clearing oracle (fast; used for the Fig. 4/6
+//     trading-performance figures, provably equal to the crypto path by
+//     the integration tests);
+//   * kCrypto    — the full PEM protocol stack over the message bus
+//     (used for the Fig. 5 runtime and Table I bandwidth figures).
+//
+// Battery state evolves every window; with window_stride > 1 the
+// market itself runs on a sampled subset (the protocol benches use
+// this to keep full-day sweeps tractable — see EXPERIMENTS.md).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grid/trace.h"
+#include "market/baseline.h"
+#include "market/clearing.h"
+#include "protocol/pem_protocol.h"
+
+namespace pem::core {
+
+enum class Engine { kPlaintext, kCrypto };
+
+struct SimulationConfig {
+  Engine engine = Engine::kPlaintext;
+  protocol::PemConfig pem;
+  // Run the market only on windows where window >= window_offset and
+  // (window - window_offset) % stride == 0.  The offset lets sampled
+  // runs skip the inactive early-morning windows.
+  int window_stride = 1;
+  int window_offset = 0;
+  // Record each home's resolved WindowState (needed by the utility
+  // figure); costs memory on big traces.
+  bool record_states = false;
+  uint64_t crypto_seed = 1;  // DeterministicRng seed for the crypto path
+};
+
+struct WindowRecord {
+  int window = 0;
+  market::MarketType type = market::MarketType::kNoMarket;
+  double price = 0.0;  // dollars/kWh
+  int num_sellers = 0;
+  int num_buyers = 0;
+  double supply_total = 0.0;
+  double demand_total = 0.0;
+  double buyer_cost_pem = 0.0;
+  double buyer_cost_baseline = 0.0;
+  double grid_interaction_pem = 0.0;
+  double grid_interaction_baseline = 0.0;
+  // Crypto engine only:
+  double runtime_seconds = 0.0;
+  uint64_t bus_bytes = 0;
+};
+
+struct SimulationResult {
+  std::vector<WindowRecord> windows;  // one per *executed* window
+  // resolved_states[w][h]; populated when record_states is set (indexed
+  // by executed-window position, aligned with `windows`).
+  std::vector<std::vector<grid::WindowState>> resolved_states;
+
+  double total_runtime_seconds = 0.0;
+  uint64_t total_bus_bytes = 0;
+
+  double AverageRuntimeSeconds() const;
+  double AverageBusBytes() const;
+};
+
+SimulationResult RunSimulation(const grid::CommunityTrace& trace,
+                               const SimulationConfig& config);
+
+}  // namespace pem::core

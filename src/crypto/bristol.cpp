@@ -1,0 +1,201 @@
+#include "crypto/bristol.h"
+
+#include <sstream>
+#include <vector>
+
+namespace pem::crypto {
+namespace {
+
+Error Malformed(const std::string& what) {
+  return Error(ErrorCode::kSerialization, "bristol: " + what);
+}
+
+}  // namespace
+
+Result<Circuit> ParseBristolCircuit(const std::string& text) {
+  std::istringstream in(text);
+  int64_t num_gates = 0, num_wires = 0;
+  if (!(in >> num_gates >> num_wires)) {
+    return Malformed("missing gate/wire counts");
+  }
+  int64_t g_inputs = 0, e_inputs = 0, outputs = 0;
+  if (!(in >> g_inputs >> e_inputs >> outputs)) {
+    return Malformed("missing input/output widths");
+  }
+  if (num_gates < 0 || num_wires <= 0 || g_inputs < 0 || e_inputs < 0 ||
+      outputs <= 0) {
+    return Malformed("negative or zero counts");
+  }
+  if (g_inputs + e_inputs > num_wires || outputs > num_wires) {
+    return Malformed("inputs/outputs exceed wire count");
+  }
+
+  Circuit c;
+  c.num_wires = static_cast<int32_t>(num_wires);
+  for (int64_t i = 0; i < g_inputs; ++i) {
+    c.garbler_inputs.push_back(static_cast<int32_t>(i));
+  }
+  for (int64_t i = 0; i < e_inputs; ++i) {
+    c.evaluator_inputs.push_back(static_cast<int32_t>(g_inputs + i));
+  }
+  for (int64_t i = num_wires - outputs; i < num_wires; ++i) {
+    c.outputs.push_back(static_cast<int32_t>(i));
+  }
+
+  // A wire is defined once it is an input or some earlier gate's
+  // output; gates must consume only defined wires (topological order).
+  std::vector<bool> defined(static_cast<size_t>(num_wires), false);
+  for (int64_t i = 0; i < g_inputs + e_inputs; ++i) {
+    defined[static_cast<size_t>(i)] = true;
+  }
+
+  for (int64_t g = 0; g < num_gates; ++g) {
+    int64_t fan_in = 0, fan_out = 0;
+    if (!(in >> fan_in >> fan_out)) {
+      return Malformed("truncated gate list");
+    }
+    if (fan_out != 1 || (fan_in != 1 && fan_in != 2)) {
+      return Malformed("unsupported gate arity");
+    }
+    int64_t a = -1, b = -1, out = -1;
+    std::string kind;
+    if (fan_in == 2) {
+      if (!(in >> a >> b >> out >> kind)) return Malformed("truncated gate");
+    } else {
+      if (!(in >> a >> out >> kind)) return Malformed("truncated gate");
+    }
+    auto wire_ok = [&](int64_t w) { return w >= 0 && w < num_wires; };
+    if (!wire_ok(a) || !wire_ok(out) || (fan_in == 2 && !wire_ok(b))) {
+      return Malformed("wire id out of range");
+    }
+    if (!defined[static_cast<size_t>(a)] ||
+        (fan_in == 2 && !defined[static_cast<size_t>(b)])) {
+      return Malformed("gate consumes undefined wire (not topological)");
+    }
+    if (defined[static_cast<size_t>(out)]) {
+      return Malformed("wire defined twice");
+    }
+
+    Gate gate;
+    gate.a = static_cast<int32_t>(a);
+    gate.b = static_cast<int32_t>(b);
+    gate.out = static_cast<int32_t>(out);
+    if (kind == "XOR") {
+      if (fan_in != 2) return Malformed("XOR needs two inputs");
+      gate.type = GateType::kXor;
+    } else if (kind == "AND") {
+      if (fan_in != 2) return Malformed("AND needs two inputs");
+      gate.type = GateType::kAnd;
+    } else if (kind == "INV" || kind == "NOT") {
+      if (fan_in != 1) return Malformed("INV needs one input");
+      gate.type = GateType::kNot;
+      gate.b = -1;
+    } else {
+      return Malformed("unknown gate kind '" + kind + "'");
+    }
+    defined[static_cast<size_t>(out)] = true;
+    c.gates.push_back(gate);
+  }
+
+  for (int32_t w : c.outputs) {
+    if (!defined[static_cast<size_t>(w)]) {
+      return Malformed("output wire never defined");
+    }
+  }
+  return c;
+}
+
+Result<Circuit> RenumberForBristol(const Circuit& circuit) {
+  const size_t n = static_cast<size_t>(circuit.num_wires);
+  const size_t n_out = circuit.outputs.size();
+  // Outputs must be distinct gate-produced wires.
+  std::vector<bool> is_output(n, false);
+  for (int32_t w : circuit.outputs) {
+    if (w < 0 || static_cast<size_t>(w) >= n) {
+      return Malformed("output wire out of range");
+    }
+    if (is_output[static_cast<size_t>(w)]) {
+      return Malformed("duplicate output wire (insert an identity gate)");
+    }
+    is_output[static_cast<size_t>(w)] = true;
+  }
+  for (int32_t w : circuit.garbler_inputs) {
+    if (is_output[static_cast<size_t>(w)]) {
+      return Malformed("output aliases an input wire");
+    }
+  }
+  for (int32_t w : circuit.evaluator_inputs) {
+    if (is_output[static_cast<size_t>(w)]) {
+      return Malformed("output aliases an input wire");
+    }
+  }
+
+  // Build the permutation: non-output wires keep their relative order
+  // in the front block, outputs map to the tail in their listed order.
+  std::vector<int32_t> remap(n, -1);
+  int32_t next = 0;
+  for (size_t w = 0; w < n; ++w) {
+    if (!is_output[w]) remap[w] = next++;
+  }
+  for (size_t i = 0; i < n_out; ++i) {
+    remap[static_cast<size_t>(circuit.outputs[i])] =
+        static_cast<int32_t>(n - n_out + i);
+  }
+
+  Circuit out = circuit;
+  auto apply = [&remap](int32_t w) { return w < 0 ? w : remap[static_cast<size_t>(w)]; };
+  for (int32_t& w : out.garbler_inputs) w = apply(w);
+  for (int32_t& w : out.evaluator_inputs) w = apply(w);
+  for (int32_t& w : out.outputs) w = apply(w);
+  for (Gate& g : out.gates) {
+    g.a = apply(g.a);
+    g.b = apply(g.b);
+    g.out = apply(g.out);
+  }
+  return out;
+}
+
+Result<std::string> WriteBristolCircuit(const Circuit& circuit) {
+  // Bristol requires inputs first and outputs last; verify the layout.
+  for (size_t i = 0; i < circuit.garbler_inputs.size(); ++i) {
+    if (circuit.garbler_inputs[i] != static_cast<int32_t>(i)) {
+      return Malformed("garbler inputs must be wires 0..k-1");
+    }
+  }
+  for (size_t i = 0; i < circuit.evaluator_inputs.size(); ++i) {
+    if (circuit.evaluator_inputs[i] !=
+        static_cast<int32_t>(circuit.garbler_inputs.size() + i)) {
+      return Malformed("evaluator inputs must follow garbler inputs");
+    }
+  }
+  const int32_t first_out =
+      circuit.num_wires - static_cast<int32_t>(circuit.outputs.size());
+  for (size_t i = 0; i < circuit.outputs.size(); ++i) {
+    if (circuit.outputs[i] != first_out + static_cast<int32_t>(i)) {
+      return Malformed(
+          "outputs must be the last wires (renumber before export)");
+    }
+  }
+
+  std::ostringstream out;
+  out << circuit.gates.size() << ' ' << circuit.num_wires << '\n';
+  out << circuit.garbler_inputs.size() << ' '
+      << circuit.evaluator_inputs.size() << ' ' << circuit.outputs.size()
+      << "\n\n";
+  for (const Gate& g : circuit.gates) {
+    switch (g.type) {
+      case GateType::kXor:
+        out << "2 1 " << g.a << ' ' << g.b << ' ' << g.out << " XOR\n";
+        break;
+      case GateType::kAnd:
+        out << "2 1 " << g.a << ' ' << g.b << ' ' << g.out << " AND\n";
+        break;
+      case GateType::kNot:
+        out << "1 1 " << g.a << ' ' << g.out << " INV\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pem::crypto

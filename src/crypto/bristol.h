@@ -1,0 +1,46 @@
+// Bristol-fashion circuit format (read/write).
+//
+// The paper builds its secure comparison on Fairplay, which compiles a
+// high-level description into a gate list.  The de-facto successor
+// interchange format is "Bristol fashion": a text header with gate and
+// wire counts, the two parties' input widths and the output width,
+// followed by one gate per line (XOR / AND / INV).  Supporting it lets
+// this library consume circuits produced by external compilers (and
+// export ours for cross-checking against other MPC stacks).
+//
+// Grammar (classic format):
+//   <num_gates> <num_wires>
+//   <garbler_inputs> <evaluator_inputs> <num_outputs>
+//   <blank line>
+//   2 1 <in_a> <in_b> <out> XOR|AND
+//   1 1 <in> <out> INV
+//
+// Wires 0..garbler_inputs-1 are the garbler's, the next block the
+// evaluator's, and the last <num_outputs> wires are the outputs.
+#pragma once
+
+#include <string>
+
+#include "crypto/circuit.h"
+#include "util/error.h"
+
+namespace pem::crypto {
+
+// Parses Bristol text.  Returns an error for malformed input (bad
+// counts, unknown gate kinds, wire ids out of range, non-topological
+// gate order).
+Result<Circuit> ParseBristolCircuit(const std::string& text);
+
+// Serializes a circuit to Bristol text.  Requires the circuit's
+// outputs to be the last wires (true for CircuitBuilder products whose
+// outputs are the final gates; checked at runtime).  Use
+// RenumberForBristol first when they are not.
+Result<std::string> WriteBristolCircuit(const Circuit& circuit);
+
+// Permutes wire ids so the output wires become the last ones (the
+// Bristol layout), preserving gate order and semantics.  Fails if an
+// output is an input wire or listed twice (no identity gates are
+// inserted).
+Result<Circuit> RenumberForBristol(const Circuit& circuit);
+
+}  // namespace pem::crypto

@@ -1,0 +1,41 @@
+#include "crypto/commitment.h"
+
+#include <cstring>
+
+namespace pem::crypto {
+namespace {
+
+constexpr uint64_t kCommitTag = 0x5045'4D43'4D54ull;  // "PEMCMT"
+
+}  // namespace
+
+Commitment Commit(std::span<const uint8_t> value,
+                  std::span<const uint8_t, 32> blinder) {
+  return Commitment{Kdf2(kCommitTag, value, blinder)};
+}
+
+CommitmentOpening MakeOpening(std::span<const uint8_t> value, Rng& rng) {
+  CommitmentOpening opening;
+  opening.value.assign(value.begin(), value.end());
+  rng.Fill(opening.blinder);
+  return opening;
+}
+
+bool VerifyOpening(const Commitment& commitment,
+                   const CommitmentOpening& opening) {
+  return Commit(opening.value, opening.blinder) == commitment;
+}
+
+Commitment CommitInt64(int64_t value, std::span<const uint8_t, 32> blinder) {
+  uint8_t bytes[8];
+  std::memcpy(bytes, &value, 8);
+  return Commit(bytes, blinder);
+}
+
+CommitmentOpening MakeInt64Opening(int64_t value, Rng& rng) {
+  uint8_t bytes[8];
+  std::memcpy(bytes, &value, 8);
+  return MakeOpening(bytes, rng);
+}
+
+}  // namespace pem::crypto

@@ -1,0 +1,47 @@
+// Hash commitments (SHA-256, with a 32-byte blinder).
+//
+// Building block for the paper's §VI malicious-model extension:
+// agents commit to their protocol contributions up front so that a
+// later audit can detect data-integrity violations (an agent replacing
+// its input mid-protocol).  Hiding comes from the random blinder;
+// binding from SHA-256 collision resistance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/hash.h"
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+
+struct Commitment {
+  Sha256Digest digest{};
+
+  bool operator==(const Commitment&) const = default;
+};
+
+struct CommitmentOpening {
+  std::vector<uint8_t> value;
+  std::array<uint8_t, 32> blinder{};
+};
+
+// Commits to `value` under `blinder`.
+Commitment Commit(std::span<const uint8_t> value,
+                  std::span<const uint8_t, 32> blinder);
+
+// Samples a blinder and returns the opening for `value`.
+CommitmentOpening MakeOpening(std::span<const uint8_t> value, Rng& rng);
+
+// Constant-shape verification (recompute and compare digests).
+bool VerifyOpening(const Commitment& commitment,
+                   const CommitmentOpening& opening);
+
+// Convenience pair for committing to a signed 64-bit value.
+Commitment CommitInt64(int64_t value,
+                       std::span<const uint8_t, 32> blinder);
+CommitmentOpening MakeInt64Opening(int64_t value, Rng& rng);
+
+}  // namespace pem::crypto

@@ -1,0 +1,211 @@
+#include "crypto/garble.h"
+
+#include <cstring>
+
+#include "crypto/hash.h"
+#include "util/error.h"
+
+namespace pem::crypto {
+namespace {
+
+constexpr uint64_t kGateKdfTagBase = 0x5945'4F47'4321ull;  // "YEOGC!"
+
+WireLabel RandomLabel(Rng& rng) {
+  WireLabel l;
+  rng.Fill(l.bytes);
+  return l;
+}
+
+}  // namespace
+
+WireLabel GateKdf(const WireLabel& a, const WireLabel& b, uint64_t gate_id) {
+  const Sha256Digest d = Kdf2(kGateKdfTagBase ^ gate_id, a.bytes, b.bytes);
+  WireLabel out;
+  std::memcpy(out.bytes.data(), d.bytes.data(), out.bytes.size());
+  return out;
+}
+
+std::vector<uint8_t> GarbledTables::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(SerializedSize());
+  for (const auto& table : and_tables) {
+    for (const WireLabel& row : table) {
+      out.insert(out.end(), row.bytes.begin(), row.bytes.end());
+    }
+  }
+  out.insert(out.end(), output_decode.begin(), output_decode.end());
+  return out;
+}
+
+size_t GarbledTables::SerializedSize() const {
+  return and_tables.size() * 64 + output_decode.size();
+}
+
+GarbledTables GarbledTables::Deserialize(std::span<const uint8_t> bytes,
+                                         const Circuit& circuit) {
+  const size_t num_and = circuit.AndGateCount();
+  const size_t num_out = circuit.outputs.size();
+  PEM_CHECK(bytes.size() == num_and * 64 + num_out,
+            "garbled tables: size mismatch");
+  GarbledTables t;
+  t.and_tables.resize(num_and);
+  size_t pos = 0;
+  for (auto& table : t.and_tables) {
+    for (WireLabel& row : table) {
+      std::memcpy(row.bytes.data(), bytes.data() + pos, 16);
+      pos += 16;
+    }
+  }
+  t.output_decode.assign(bytes.begin() + static_cast<ptrdiff_t>(pos),
+                         bytes.end());
+  return t;
+}
+
+Garbler::Garbler(const Circuit& circuit, Rng& rng) : circuit_(circuit) {
+  delta_ = RandomLabel(rng);
+  delta_.bytes[15] |= 1;  // point-and-permute needs lsb(delta) = 1
+
+  label0_.resize(static_cast<size_t>(circuit.num_wires));
+  for (int32_t w : circuit.garbler_inputs) {
+    label0_[static_cast<size_t>(w)] = RandomLabel(rng);
+  }
+  for (int32_t w : circuit.evaluator_inputs) {
+    label0_[static_cast<size_t>(w)] = RandomLabel(rng);
+  }
+
+  uint64_t gate_id = 0;
+  for (const Gate& g : circuit.gates) {
+    const WireLabel& a0 = label0_[static_cast<size_t>(g.a)];
+    switch (g.type) {
+      case GateType::kXor: {
+        const WireLabel& b0 = label0_[static_cast<size_t>(g.b)];
+        label0_[static_cast<size_t>(g.out)] = a0.Xor(b0);
+        break;
+      }
+      case GateType::kNot: {
+        // Lout0 = La0 ^ delta; evaluator passes its label through.
+        label0_[static_cast<size_t>(g.out)] = a0.Xor(delta_);
+        break;
+      }
+      case GateType::kAnd: {
+        const WireLabel& b0 = label0_[static_cast<size_t>(g.b)];
+        WireLabel out0 = RandomLabel(rng);
+        label0_[static_cast<size_t>(g.out)] = out0;
+        std::array<WireLabel, 4> table;
+        const bool pa = a0.permute_bit();
+        const bool pb = b0.permute_bit();
+        for (int sa = 0; sa < 2; ++sa) {
+          for (int sb = 0; sb < 2; ++sb) {
+            // The label whose permute bit equals sa carries value
+            // va = sa ^ pa (and likewise for b).
+            const bool va = (sa != 0) ^ pa;
+            const bool vb = (sb != 0) ^ pb;
+            const WireLabel la = va ? a0.Xor(delta_) : a0;
+            const WireLabel lb = vb ? b0.Xor(delta_) : b0;
+            const bool v = va && vb;
+            const WireLabel lout = v ? out0.Xor(delta_) : out0;
+            table[static_cast<size_t>(sa * 2 + sb)] =
+                GateKdf(la, lb, gate_id).Xor(lout);
+          }
+        }
+        tables_.and_tables.push_back(table);
+        break;
+      }
+    }
+    ++gate_id;
+  }
+
+  tables_.output_decode.reserve(circuit.outputs.size());
+  for (int32_t w : circuit.outputs) {
+    tables_.output_decode.push_back(
+        static_cast<uint8_t>(label0_[static_cast<size_t>(w)].permute_bit()));
+  }
+}
+
+const WireLabel& Garbler::Label0(int32_t wire) const {
+  return label0_[static_cast<size_t>(wire)];
+}
+
+WireLabel Garbler::Label1(int32_t wire) const {
+  return Label0(wire).Xor(delta_);
+}
+
+WireLabel Garbler::GarblerInputLabel(size_t i, bool value) const {
+  PEM_CHECK(i < circuit_.garbler_inputs.size(), "garbler input index");
+  const int32_t w = circuit_.garbler_inputs[i];
+  return value ? Label1(w) : Label0(w);
+}
+
+std::pair<WireLabel, WireLabel> Garbler::EvaluatorInputLabels(size_t i) const {
+  PEM_CHECK(i < circuit_.evaluator_inputs.size(), "evaluator input index");
+  const int32_t w = circuit_.evaluator_inputs[i];
+  return {Label0(w), Label1(w)};
+}
+
+bool Garbler::DecodeOutput(size_t output_index, const WireLabel& label) const {
+  PEM_CHECK(output_index < circuit_.outputs.size(), "output index");
+  return label.permute_bit() ^
+         (tables_.output_decode[output_index] != 0);
+}
+
+Evaluator::Evaluator(const Circuit& circuit, GarbledTables tables)
+    : circuit_(circuit), tables_(std::move(tables)) {
+  PEM_CHECK(tables_.and_tables.size() == circuit.AndGateCount(),
+            "garbled tables: AND count mismatch");
+  PEM_CHECK(tables_.output_decode.size() == circuit.outputs.size(),
+            "garbled tables: output decode mismatch");
+}
+
+std::vector<bool> Evaluator::Evaluate(
+    const std::vector<WireLabel>& garbler_labels,
+    const std::vector<WireLabel>& evaluator_labels) {
+  PEM_CHECK(garbler_labels.size() == circuit_.garbler_inputs.size(),
+            "garbler label count");
+  PEM_CHECK(evaluator_labels.size() == circuit_.evaluator_inputs.size(),
+            "evaluator label count");
+  std::vector<WireLabel> active(static_cast<size_t>(circuit_.num_wires));
+  for (size_t i = 0; i < garbler_labels.size(); ++i) {
+    active[static_cast<size_t>(circuit_.garbler_inputs[i])] =
+        garbler_labels[i];
+  }
+  for (size_t i = 0; i < evaluator_labels.size(); ++i) {
+    active[static_cast<size_t>(circuit_.evaluator_inputs[i])] =
+        evaluator_labels[i];
+  }
+
+  uint64_t gate_id = 0;
+  size_t and_index = 0;
+  for (const Gate& g : circuit_.gates) {
+    const WireLabel& la = active[static_cast<size_t>(g.a)];
+    switch (g.type) {
+      case GateType::kXor:
+        active[static_cast<size_t>(g.out)] =
+            la.Xor(active[static_cast<size_t>(g.b)]);
+        break;
+      case GateType::kNot:
+        active[static_cast<size_t>(g.out)] = la;  // free (label passthrough)
+        break;
+      case GateType::kAnd: {
+        const WireLabel& lb = active[static_cast<size_t>(g.b)];
+        const size_t row = static_cast<size_t>(la.permute_bit()) * 2 +
+                           static_cast<size_t>(lb.permute_bit());
+        active[static_cast<size_t>(g.out)] =
+            GateKdf(la, lb, gate_id).Xor(tables_.and_tables[and_index][row]);
+        ++and_index;
+        break;
+      }
+    }
+    ++gate_id;
+  }
+
+  std::vector<bool> out;
+  out.reserve(circuit_.outputs.size());
+  for (size_t i = 0; i < circuit_.outputs.size(); ++i) {
+    const WireLabel& l =
+        active[static_cast<size_t>(circuit_.outputs[i])];
+    out.push_back(l.permute_bit() ^ (tables_.output_decode[i] != 0));
+  }
+  return out;
+}
+
+}  // namespace pem::crypto

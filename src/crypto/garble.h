@@ -1,0 +1,93 @@
+// Yao garbled circuits with free-XOR and point-and-permute.
+//
+// The paper evaluates secure comparison with Fairplay; this is the
+// modern equivalent construction:
+//   * a global offset R (lsb forced to 1) makes XOR and NOT gates free;
+//   * AND gates cost one 4-row table, rows keyed by the labels'
+//     permute bits, entries derived with a SHA-256 KDF.
+//
+// Semi-honest security, matching the paper's threat model (§II-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/circuit.h"
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+
+struct WireLabel {
+  std::array<uint8_t, 16> bytes{};
+
+  bool permute_bit() const { return bytes[15] & 1; }
+  WireLabel Xor(const WireLabel& o) const {
+    WireLabel r;
+    for (size_t i = 0; i < bytes.size(); ++i) r.bytes[i] = bytes[i] ^ o.bytes[i];
+    return r;
+  }
+  bool operator==(const WireLabel&) const = default;
+};
+
+// Everything the evaluator needs, minus the input labels (those arrive
+// directly for the garbler's inputs and via OT for the evaluator's).
+struct GarbledTables {
+  // One 4-row table per AND gate, in circuit gate order.
+  std::vector<std::array<WireLabel, 4>> and_tables;
+  // Decode bit per circuit output wire.
+  std::vector<uint8_t> output_decode;
+
+  std::vector<uint8_t> Serialize() const;
+  static GarbledTables Deserialize(std::span<const uint8_t> bytes,
+                                   const Circuit& circuit);
+  size_t SerializedSize() const;
+};
+
+class Garbler {
+ public:
+  // Garbles `circuit` immediately.  The circuit must outlive the
+  // garbler.
+  Garbler(const Circuit& circuit, Rng& rng);
+
+  const GarbledTables& tables() const { return tables_; }
+
+  // Label for the garbler's own input bit `value` at bundle index `i`.
+  WireLabel GarblerInputLabel(size_t i, bool value) const;
+  // Both labels for the evaluator's input at bundle index `i`
+  // (fed into OT as (m0, m1)).
+  std::pair<WireLabel, WireLabel> EvaluatorInputLabels(size_t i) const;
+
+  // Decodes an output label back to a cleartext bit (used in tests and
+  // when the garbler is the output receiver).
+  bool DecodeOutput(size_t output_index, const WireLabel& label) const;
+
+ private:
+  const WireLabel& Label0(int32_t wire) const;
+  WireLabel Label1(int32_t wire) const;
+
+  const Circuit& circuit_;
+  WireLabel delta_;                 // global free-XOR offset, lsb = 1
+  std::vector<WireLabel> label0_;   // label for value 0, per wire
+  GarbledTables tables_;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const Circuit& circuit, GarbledTables tables);
+
+  // Evaluates given the active labels for both input bundles, in
+  // bundle order.  Returns the decoded output bits.
+  std::vector<bool> Evaluate(const std::vector<WireLabel>& garbler_labels,
+                             const std::vector<WireLabel>& evaluator_labels);
+
+ private:
+  const Circuit& circuit_;
+  GarbledTables tables_;
+};
+
+// Gate-entry KDF shared by garbler and evaluator.
+WireLabel GateKdf(const WireLabel& a, const WireLabel& b, uint64_t gate_id);
+
+}  // namespace pem::crypto

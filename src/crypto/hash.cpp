@@ -1,0 +1,79 @@
+#include "crypto/hash.h"
+
+#include <openssl/evp.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace pem::crypto {
+namespace {
+
+// RAII for EVP_MD_CTX.
+struct MdCtx {
+  EVP_MD_CTX* ctx;
+  MdCtx() : ctx(EVP_MD_CTX_new()) { PEM_CHECK(ctx != nullptr, "EVP ctx"); }
+  ~MdCtx() { EVP_MD_CTX_free(ctx); }
+  MdCtx(const MdCtx&) = delete;
+  MdCtx& operator=(const MdCtx&) = delete;
+};
+
+}  // namespace
+
+std::string Sha256Digest::Hex() const {
+  std::string out;
+  out.reserve(64);
+  for (uint8_t b : bytes) {
+    char tmp[3];
+    std::snprintf(tmp, sizeof tmp, "%02x", b);
+    out += tmp;
+  }
+  return out;
+}
+
+Sha256Digest Sha256(std::span<const uint8_t> data) {
+  MdCtx md;
+  PEM_CHECK(EVP_DigestInit_ex(md.ctx, EVP_sha256(), nullptr) == 1, "init");
+  PEM_CHECK(EVP_DigestUpdate(md.ctx, data.data(), data.size()) == 1, "update");
+  Sha256Digest d;
+  unsigned int len = 0;
+  PEM_CHECK(EVP_DigestFinal_ex(md.ctx, d.bytes.data(), &len) == 1, "final");
+  PEM_CHECK(len == 32, "sha256 length");
+  return d;
+}
+
+Sha256Digest Sha256(const std::string& s) {
+  return Sha256(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+}
+
+Sha256Digest Kdf(uint64_t tag,
+                 std::span<const std::span<const uint8_t>> chunks) {
+  MdCtx md;
+  PEM_CHECK(EVP_DigestInit_ex(md.ctx, EVP_sha256(), nullptr) == 1, "init");
+  uint8_t tag_bytes[8];
+  std::memcpy(tag_bytes, &tag, 8);
+  PEM_CHECK(EVP_DigestUpdate(md.ctx, tag_bytes, 8) == 1, "update");
+  for (const auto& c : chunks) {
+    // Length-prefix each chunk so concatenations cannot collide.
+    const uint64_t len = c.size();
+    uint8_t len_bytes[8];
+    std::memcpy(len_bytes, &len, 8);
+    PEM_CHECK(EVP_DigestUpdate(md.ctx, len_bytes, 8) == 1, "update");
+    PEM_CHECK(EVP_DigestUpdate(md.ctx, c.data(), c.size()) == 1, "update");
+  }
+  Sha256Digest d;
+  unsigned int out_len = 0;
+  PEM_CHECK(EVP_DigestFinal_ex(md.ctx, d.bytes.data(), &out_len) == 1, "final");
+  PEM_CHECK(out_len == 32, "sha256 length");
+  return d;
+}
+
+Sha256Digest Kdf2(uint64_t tag, std::span<const uint8_t> a,
+                  std::span<const uint8_t> b) {
+  const std::span<const uint8_t> chunks[] = {a, b};
+  return Kdf(tag, chunks);
+}
+
+}  // namespace pem::crypto

@@ -1,0 +1,30 @@
+// Hash and KDF primitives shared by the garbled-circuit and OT code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pem::crypto {
+
+struct Sha256Digest {
+  std::array<uint8_t, 32> bytes{};
+
+  bool operator==(const Sha256Digest&) const = default;
+  std::string Hex() const;
+};
+
+Sha256Digest Sha256(std::span<const uint8_t> data);
+Sha256Digest Sha256(const std::string& s);
+
+// Domain-separated KDF: H(tag || chunks...).  Used to derive garbled
+// rows and OT pads; the tag prevents cross-protocol collisions.
+Sha256Digest Kdf(uint64_t tag, std::span<const std::span<const uint8_t>> chunks);
+
+// Convenience two-input form.
+Sha256Digest Kdf2(uint64_t tag, std::span<const uint8_t> a,
+                  std::span<const uint8_t> b);
+
+}  // namespace pem::crypto

@@ -1,0 +1,72 @@
+#include "crypto/modp_group.h"
+
+#include "util/error.h"
+
+namespace pem::crypto {
+namespace {
+
+// RFC 3526 group 5 (1536-bit MODP).
+constexpr const char* kModp1536Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF";
+
+// RFC 3526 group 14 (2048-bit MODP).
+constexpr const char* kModp2048Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF";
+
+// RFC 2409 Oakley group 1 (768-bit MODP safe prime).  Fast enough for
+// unit tests; too small for modern deployments.
+constexpr const char* kModp768Hex =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF";
+
+}  // namespace
+
+ModpGroup::ModpGroup(const char* p_hex, int generator) {
+  p_ = BigInt::FromHexString(p_hex);
+  q_ = (p_ - BigInt(1)) / BigInt(2);
+  // Use generator^2 so we generate the prime-order QR subgroup; for
+  // RFC 3526 groups g=2 has order 2q, squaring gives order q.
+  g_ = BigInt(generator).MulMod(BigInt(generator), p_);
+  element_bytes_ = (p_.BitLength() + 7) / 8;
+}
+
+const ModpGroup& ModpGroup::Get(ModpGroupId id) {
+  static const ModpGroup modp768(kModp768Hex, 2);
+  static const ModpGroup modp1536(kModp1536Hex, 2);
+  static const ModpGroup modp2048(kModp2048Hex, 2);
+  switch (id) {
+    case ModpGroupId::kModp768: return modp768;
+    case ModpGroupId::kModp1536: return modp1536;
+    case ModpGroupId::kModp2048: return modp2048;
+  }
+  PEM_CHECK(false, "unknown group id");
+  __builtin_unreachable();
+}
+
+BigInt ModpGroup::RandomExponent(Rng& rng) const {
+  for (;;) {
+    BigInt e = BigInt::RandomBelow(q_, rng);
+    if (!e.IsZero()) return e;
+  }
+}
+
+}  // namespace pem::crypto

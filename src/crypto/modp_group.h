@@ -1,0 +1,45 @@
+// Multiplicative prime-order-ish groups for the base oblivious
+// transfer.  The production presets are the RFC 3526 MODP safe-prime
+// groups (generator 2); a small 512-bit safe prime is provided for fast
+// unit tests.
+#pragma once
+
+#include "crypto/bigint.h"
+
+namespace pem::crypto {
+
+enum class ModpGroupId {
+  kModp768,   // RFC 2409 Oakley group 1 — fast, tests/benches only
+  kModp1536,  // RFC 3526 group 5
+  kModp2048,  // RFC 3526 group 14
+};
+
+class ModpGroup {
+ public:
+  static const ModpGroup& Get(ModpGroupId id);
+
+  const BigInt& p() const { return p_; }      // safe prime
+  const BigInt& q() const { return q_; }      // (p-1)/2
+  const BigInt& g() const { return g_; }      // generator of QR subgroup
+  size_t element_bytes() const { return element_bytes_; }
+
+  // g^e mod p
+  BigInt Exp(const BigInt& e) const { return g_.PowMod(e, p_); }
+  // a^e mod p
+  BigInt Exp(const BigInt& a, const BigInt& e) const { return a.PowMod(e, p_); }
+  BigInt Mul(const BigInt& a, const BigInt& b) const { return a.MulMod(b, p_); }
+  BigInt Div(const BigInt& a, const BigInt& b) const {
+    return a.MulMod(b.InvMod(p_), p_);
+  }
+
+  // Uniform exponent in [1, q).
+  BigInt RandomExponent(Rng& rng) const;
+
+ private:
+  ModpGroup(const char* p_hex, int generator);
+
+  BigInt p_, q_, g_;
+  size_t element_bytes_;
+};
+
+}  // namespace pem::crypto

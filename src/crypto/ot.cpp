@@ -1,0 +1,82 @@
+#include "crypto/ot.h"
+
+#include <cstring>
+
+#include "crypto/hash.h"
+#include "util/error.h"
+
+namespace pem::crypto {
+namespace {
+
+constexpr uint64_t kOtKdfTag = 0x4F54'5041'4421ull;  // "OTPAD!"
+
+// Derives a 16-byte pad from a group element.
+OtMessage PadFromElement(const BigInt& elem, const ModpGroup& group,
+                         uint8_t which) {
+  const std::vector<uint8_t> bytes = elem.ToBytesPadded(group.element_bytes());
+  const uint8_t which_bytes[1] = {which};
+  const Sha256Digest d = Kdf2(kOtKdfTag, bytes, which_bytes);
+  OtMessage pad;
+  std::memcpy(pad.data(), d.bytes.data(), pad.size());
+  return pad;
+}
+
+OtMessage Xor(const OtMessage& a, const OtMessage& b) {
+  OtMessage r;
+  for (size_t i = 0; i < r.size(); ++i) r[i] = a[i] ^ b[i];
+  return r;
+}
+
+}  // namespace
+
+OtSender::OtSender(const ModpGroup& group, Rng& rng)
+    : group_(group), a_(group.RandomExponent(rng)), big_a_(group.Exp(a_)) {}
+
+std::vector<uint8_t> OtSender::Round1() {
+  return big_a_.ToBytesPadded(group_.element_bytes());
+}
+
+std::vector<uint8_t> OtSender::Round2(std::span<const uint8_t> receiver_b,
+                                      const OtMessage& m0,
+                                      const OtMessage& m1) const {
+  PEM_CHECK(receiver_b.size() == group_.element_bytes(),
+            "OT: bad receiver element size");
+  const BigInt big_b = BigInt::FromBytes(receiver_b);
+  // k0 = H(B^a), k1 = H((B/A)^a).
+  const BigInt k0_elem = group_.Exp(big_b, a_);
+  const BigInt k1_elem = group_.Exp(group_.Div(big_b, big_a_), a_);
+  const OtMessage c0 = Xor(m0, PadFromElement(k0_elem, group_, 0));
+  const OtMessage c1 = Xor(m1, PadFromElement(k1_elem, group_, 1));
+  std::vector<uint8_t> out(32);
+  std::memcpy(out.data(), c0.data(), 16);
+  std::memcpy(out.data() + 16, c1.data(), 16);
+  return out;
+}
+
+OtReceiver::OtReceiver(const ModpGroup& group, Rng& rng)
+    : group_(group), b_(group.RandomExponent(rng)) {}
+
+std::vector<uint8_t> OtReceiver::Round1(std::span<const uint8_t> sender_a,
+                                        bool choice) {
+  PEM_CHECK(sender_a.size() == group_.element_bytes(),
+            "OT: bad sender element size");
+  big_a_ = BigInt::FromBytes(sender_a);
+  choice_ = choice;
+  BigInt big_b = group_.Exp(b_);
+  if (choice) big_b = group_.Mul(big_a_, big_b);
+  return big_b.ToBytesPadded(group_.element_bytes());
+}
+
+OtMessage OtReceiver::Decrypt(std::span<const uint8_t> sender_round2) const {
+  PEM_CHECK(sender_round2.size() == 32, "OT: bad round2 size");
+  // k_c = H(A^b) for either choice: B^a = (g^b)^a (c=0) or (A g^b)^a,
+  // and (B/A)^a = g^{ab} when c=1 — both equal A^b.
+  const BigInt kc_elem = group_.Exp(big_a_, b_);
+  const OtMessage pad =
+      PadFromElement(kc_elem, group_, static_cast<uint8_t>(choice_));
+  OtMessage cipher;
+  std::memcpy(cipher.data(), sender_round2.data() + (choice_ ? 16 : 0), 16);
+  return Xor(cipher, pad);
+}
+
+}  // namespace pem::crypto

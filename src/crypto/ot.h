@@ -1,0 +1,62 @@
+// 1-out-of-2 oblivious transfer (semi-honest), Chou–Orlandi style over
+// a MODP group.
+//
+// Sender holds (m0, m1); receiver holds choice bit c and learns m_c and
+// nothing about m_{1-c}; sender learns nothing about c.  Used to deliver
+// the evaluator's wire labels in the garbled-circuit secure comparison
+// (Protocol 2, line 14).
+//
+// The API is message-passing friendly: each step produces the bytes to
+// put on the wire, so the secure-comparison driver can route them
+// through the bandwidth-accounted bus.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bigint.h"
+#include "crypto/modp_group.h"
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+
+// OT payloads are 16-byte strings (exactly one wire label).
+using OtMessage = std::array<uint8_t, 16>;
+
+class OtSender {
+ public:
+  OtSender(const ModpGroup& group, Rng& rng);
+
+  // Round 1: A = g^a, sent to the receiver.
+  std::vector<uint8_t> Round1();
+
+  // Round 2: given the receiver's B, encrypt both messages.
+  // Wire format: pad0 || pad1 (16 bytes each).
+  std::vector<uint8_t> Round2(std::span<const uint8_t> receiver_b,
+                              const OtMessage& m0, const OtMessage& m1) const;
+
+ private:
+  const ModpGroup& group_;
+  BigInt a_;
+  BigInt big_a_;  // g^a
+};
+
+class OtReceiver {
+ public:
+  OtReceiver(const ModpGroup& group, Rng& rng);
+
+  // Round 1 response: B = g^b (c=0) or A * g^b (c=1).
+  std::vector<uint8_t> Round1(std::span<const uint8_t> sender_a, bool choice);
+
+  // Final: decrypt the chosen message from the sender's Round2 bytes.
+  OtMessage Decrypt(std::span<const uint8_t> sender_round2) const;
+
+ private:
+  const ModpGroup& group_;
+  BigInt b_;
+  BigInt big_a_;  // sender's A
+  bool choice_ = false;
+};
+
+}  // namespace pem::crypto

@@ -1,0 +1,275 @@
+#include "crypto/paillier.h"
+
+#include "net/serialize.h"
+#include "util/error.h"
+
+namespace pem::crypto {
+namespace {
+
+// L(x) = (x - 1) / d, defined on x ≡ 1 (mod d).
+BigInt LFunction(const BigInt& x, const BigInt& d) {
+  return (x - BigInt(1)) / d;
+}
+
+}  // namespace
+
+PaillierPublicKey::PaillierPublicKey(BigInt n, int key_bits)
+    : n_(std::move(n)), key_bits_(key_bits) {
+  n2_ = n_ * n_;
+  g_ = n_ + BigInt(1);
+}
+
+BigInt PaillierPublicKey::EncodeSigned(int64_t v) const {
+  if (v >= 0) return BigInt(v);
+  return n_ - BigInt(-v);
+}
+
+int64_t PaillierPublicKey::DecodeSigned(const BigInt& m) const {
+  const BigInt half = n_ / BigInt(2);
+  if (m > half) {
+    BigInt neg = n_ - m;
+    return -neg.ToInt64();
+  }
+  return m.ToInt64();
+}
+
+PaillierCiphertext PaillierPublicKey::Encrypt(const BigInt& m, Rng& rng) const {
+  PEM_CHECK(!m.IsNegative() && m < n_, "Paillier plaintext out of range");
+  // With g = n+1:  g^m = 1 + m*n (mod n^2), saving one exponentiation.
+  const BigInt gm = (BigInt(1) + m * n_) % n2_;
+  // r uniform in [1, n) with gcd(r, n) = 1; for a valid key a random
+  // r < n is invertible except with negligible probability.
+  BigInt r = BigInt::RandomBelow(n_, rng);
+  while (r.IsZero() || !r.IsInvertibleMod(n_)) {
+    r = BigInt::RandomBelow(n_, rng);
+  }
+  const BigInt rn = r.PowMod(n_, n2_);
+  return PaillierCiphertext{gm.MulMod(rn, n2_)};
+}
+
+PaillierCiphertext PaillierPublicKey::EncryptSigned(int64_t v, Rng& rng) const {
+  return Encrypt(EncodeSigned(v), rng);
+}
+
+PaillierCiphertext PaillierPublicKey::EncryptWithRandomness(
+    const BigInt& m, const BigInt& r) const {
+  PEM_CHECK(!r.IsZero() && r < n_ && r.IsInvertibleMod(n_),
+            "encryption randomness must be a unit mod n");
+  return EncryptWithFactor(m, r.PowMod(n_, n2_));
+}
+
+BigInt PaillierPublicKey::SampleRandomnessFactor(Rng& rng) const {
+  BigInt r = BigInt::RandomBelow(n_, rng);
+  while (r.IsZero() || !r.IsInvertibleMod(n_)) {
+    r = BigInt::RandomBelow(n_, rng);
+  }
+  return r.PowMod(n_, n2_);
+}
+
+PaillierCiphertext PaillierPublicKey::EncryptWithFactor(
+    const BigInt& m, const BigInt& rn_factor) const {
+  PEM_CHECK(!m.IsNegative() && m < n_, "Paillier plaintext out of range");
+  const BigInt gm = (BigInt(1) + m * n_) % n2_;
+  return PaillierCiphertext{gm.MulMod(rn_factor, n2_)};
+}
+
+PaillierCiphertext PaillierPublicKey::EncryptZero(Rng& rng) const {
+  return Encrypt(BigInt(0), rng);
+}
+
+PaillierCiphertext PaillierPublicKey::Add(const PaillierCiphertext& a,
+                                          const PaillierCiphertext& b) const {
+  return PaillierCiphertext{a.value.MulMod(b.value, n2_)};
+}
+
+PaillierCiphertext PaillierPublicKey::ScalarMul(const PaillierCiphertext& c,
+                                                const BigInt& k) const {
+  if (k.IsNegative()) {
+    // c^{-|k|}: invert the ciphertext group element then exponentiate.
+    const BigInt inv = c.value.InvMod(n2_);
+    return PaillierCiphertext{inv.PowMod(-k, n2_)};
+  }
+  return PaillierCiphertext{c.value.PowMod(k, n2_)};
+}
+
+PaillierCiphertext PaillierPublicKey::Rerandomize(const PaillierCiphertext& c,
+                                                  Rng& rng) const {
+  return Add(c, EncryptZero(rng));
+}
+
+PaillierPrivateKey::PaillierPrivateKey(const PaillierPublicKey& pk, BigInt p,
+                                       BigInt q)
+    : pk_(pk), p_(std::move(p)), q_(std::move(q)) {
+  const BigInt p1 = p_ - BigInt(1);
+  const BigInt q1 = q_ - BigInt(1);
+  lambda_ = p1.Lcm(q1);
+  // With g = n+1, L(g^lambda mod n^2) = lambda mod n, so mu = lambda^-1.
+  // Computed via the generic formula to stay correct if g changes.
+  const BigInt u = pk_.n().AddMod(BigInt(1), pk_.n_squared())
+                       .PowMod(lambda_, pk_.n_squared());
+  mu_ = LFunction(u, pk_.n()).InvMod(pk_.n());
+
+  // CRT tables: decrypt mod p^2 and q^2 then recombine.
+  p2_ = p_ * p_;
+  q2_ = q_ * q_;
+  const BigInt gp = pk_.n().AddMod(BigInt(1), p2_).PowMod(p1, p2_);
+  hp_ = LFunction(gp, p_).InvMod(p_);
+  const BigInt gq = pk_.n().AddMod(BigInt(1), q2_).PowMod(q1, q2_);
+  hq_ = LFunction(gq, q_).InvMod(q_);
+  q_inv_mod_p_ = q_.InvMod(p_);
+}
+
+BigInt PaillierPrivateKey::DecryptPlain(const PaillierCiphertext& c) const {
+  const BigInt u = c.value.PowMod(lambda_, pk_.n_squared());
+  return LFunction(u, pk_.n()).MulMod(mu_, pk_.n());
+}
+
+BigInt PaillierPrivateKey::DecryptCrt(const PaillierCiphertext& c) const {
+  const BigInt p1 = p_ - BigInt(1);
+  const BigInt q1 = q_ - BigInt(1);
+  // m_p = L_p(c^{p-1} mod p^2) * hp mod p
+  const BigInt mp =
+      LFunction((c.value % p2_).PowMod(p1, p2_), p_).MulMod(hp_, p_);
+  const BigInt mq =
+      LFunction((c.value % q2_).PowMod(q1, q2_), q_).MulMod(hq_, q_);
+  // Garner recombination: m = mq + q * ((mp - mq) * q^-1 mod p).
+  const BigInt diff = mp.SubMod(mq % p_, p_);
+  const BigInt h = diff.MulMod(q_inv_mod_p_, p_);
+  return (mq + q_ * h) % pk_.n();
+}
+
+BigInt PaillierPrivateKey::Decrypt(const PaillierCiphertext& c) const {
+  PEM_CHECK(!c.value.IsNegative() && c.value < pk_.n_squared(),
+            "Paillier ciphertext out of range");
+  return use_crt_ ? DecryptCrt(c) : DecryptPlain(c);
+}
+
+int64_t PaillierPrivateKey::DecryptSigned(const PaillierCiphertext& c) const {
+  return pk_.DecodeSigned(Decrypt(c));
+}
+
+PaillierKeyPair GeneratePaillierKeyPair(int key_bits, Rng& rng) {
+  PEM_CHECK(key_bits >= 128 && key_bits % 2 == 0,
+            "key_bits must be even and >= 128");
+  const int prime_bits = key_bits / 2;
+  for (;;) {
+    BigInt p = BigInt::RandomPrime(prime_bits, rng);
+    BigInt q = BigInt::RandomPrime(prime_bits, rng);
+    if (p == q) continue;
+    BigInt n = p * q;
+    if (n.BitLength() != static_cast<size_t>(key_bits)) continue;
+    // gcd(n, (p-1)(q-1)) == 1 guarantees L is well-defined; holds for
+    // distinct same-size primes but we verify anyway.
+    const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (n.Gcd(phi) != BigInt(1)) continue;
+    PaillierPublicKey pub(n, key_bits);
+    PaillierPrivateKey priv(pub, std::move(p), std::move(q));
+    return PaillierKeyPair{std::move(pub), std::move(priv)};
+  }
+}
+
+std::vector<uint8_t> PaillierPublicKey::Serialize() const {
+  net::ByteWriter w;
+  w.U32(static_cast<uint32_t>(key_bits_));
+  w.Bytes(n_.ToBytes());
+  return w.Take();
+}
+
+Result<PaillierPublicKey> PaillierPublicKey::Deserialize(
+    std::span<const uint8_t> bytes) {
+  // Length checks first: the payload may come from an untrusted peer.
+  if (bytes.size() < 8) {
+    return Error(ErrorCode::kSerialization, "public key: truncated");
+  }
+  net::ByteReader r(bytes);
+  const uint32_t key_bits = r.U32();
+  if (key_bits < 128 || key_bits > 1u << 16 || key_bits % 2 != 0) {
+    return Error(ErrorCode::kSerialization, "public key: bad key_bits");
+  }
+  const std::optional<std::vector<uint8_t>> n_bytes = r.TryBytes();
+  if (!n_bytes.has_value() || n_bytes->size() > (key_bits + 7) / 8) {
+    return Error(ErrorCode::kSerialization, "public key: bad modulus size");
+  }
+  const BigInt n = BigInt::FromBytes(*n_bytes);
+  if (n.BitLength() != key_bits) {
+    return Error(ErrorCode::kSerialization,
+                 "public key: modulus width mismatch");
+  }
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kSerialization, "public key: trailing bytes");
+  }
+  return PaillierPublicKey(n, static_cast<int>(key_bits));
+}
+
+std::vector<uint8_t> PaillierPrivateKey::Serialize() const {
+  net::ByteWriter w;
+  w.Bytes(pk_.Serialize());
+  w.Bytes(p_.ToBytes());
+  w.Bytes(q_.ToBytes());
+  return w.Take();
+}
+
+Result<PaillierPrivateKey> PaillierPrivateKey::Deserialize(
+    std::span<const uint8_t> bytes) {
+  if (bytes.size() < 12) {
+    return Error(ErrorCode::kSerialization, "private key: truncated");
+  }
+  net::ByteReader r(bytes);
+  const std::optional<std::vector<uint8_t>> pk_bytes = r.TryBytes();
+  if (!pk_bytes.has_value()) {
+    return Error(ErrorCode::kSerialization, "private key: missing public key");
+  }
+  Result<PaillierPublicKey> pk = PaillierPublicKey::Deserialize(*pk_bytes);
+  if (!pk.ok()) return pk.error();
+  const std::optional<std::vector<uint8_t>> p_bytes = r.TryBytes();
+  if (!p_bytes.has_value()) {
+    return Error(ErrorCode::kSerialization, "private key: missing primes");
+  }
+  const BigInt p = BigInt::FromBytes(*p_bytes);
+  const std::optional<std::vector<uint8_t>> q_bytes = r.TryBytes();
+  if (!q_bytes.has_value()) {
+    return Error(ErrorCode::kSerialization, "private key: missing q");
+  }
+  const BigInt q = BigInt::FromBytes(*q_bytes);
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kSerialization, "private key: trailing bytes");
+  }
+  if (p * q != pk.value().n() || !p.IsProbablePrime() ||
+      !q.IsProbablePrime()) {
+    return Error(ErrorCode::kSerialization,
+                 "private key: primes inconsistent with modulus");
+  }
+  return PaillierPrivateKey(pk.value(), p, q);
+}
+
+void PaillierRandomnessPool::Refill(size_t target, Rng& rng) {
+  while (factors_.size() < target) {
+    factors_.push_back(pk_.SampleRandomnessFactor(rng));
+  }
+}
+
+PaillierCiphertext PaillierRandomnessPool::Encrypt(const BigInt& m, Rng& rng) {
+  if (factors_.empty()) return pk_.Encrypt(m, rng);  // dry-pool fallback
+  PaillierCiphertext ct = pk_.EncryptWithFactor(m, factors_.back());
+  factors_.pop_back();
+  return ct;
+}
+
+PaillierCiphertext PaillierRandomnessPool::EncryptSigned(int64_t v, Rng& rng) {
+  return Encrypt(pk_.EncodeSigned(v), rng);
+}
+
+PaillierRandomnessPool& PaillierPoolRegistry::PoolFor(
+    const PaillierPublicKey& pk) {
+  for (const auto& pool : pools_) {
+    if (pool->public_key().n() == pk.n()) return *pool;
+  }
+  pools_.push_back(std::make_unique<PaillierRandomnessPool>(pk));
+  return *pools_.back();
+}
+
+void PaillierPoolRegistry::RefillAll(size_t target, Rng& rng) {
+  for (const auto& pool : pools_) pool->Refill(target, rng);
+}
+
+}  // namespace pem::crypto

@@ -1,0 +1,54 @@
+#include "crypto/rng.h"
+
+#include <openssl/rand.h>
+
+#include <cstring>
+
+#include "crypto/hash.h"
+#include "util/error.h"
+
+namespace pem::crypto {
+
+uint64_t Rng::NextU64() {
+  uint8_t b[8];
+  Fill(b);
+  uint64_t v = 0;
+  std::memcpy(&v, b, 8);
+  return v;
+}
+
+void SystemRng::Fill(std::span<uint8_t> out) {
+  PEM_CHECK(RAND_bytes(out.data(), static_cast<int>(out.size())) == 1,
+            "RAND_bytes failed");
+}
+
+SystemRng& SystemRng::Instance() {
+  static SystemRng rng;
+  return rng;
+}
+
+DeterministicRng::DeterministicRng(uint64_t seed) : pos_(32), counter_(0) {
+  uint8_t seed_bytes[8];
+  std::memcpy(seed_bytes, &seed, 8);
+  const Sha256Digest d = Sha256(seed_bytes);
+  std::memcpy(state_, d.bytes.data(), 32);
+}
+
+void DeterministicRng::Refill() {
+  uint8_t block[40];
+  std::memcpy(block, state_, 32);
+  std::memcpy(block + 32, &counter_, 8);
+  ++counter_;
+  const Sha256Digest d = Sha256(block);
+  std::memcpy(buf_, d.bytes.data(), 32);
+  pos_ = 0;
+}
+
+void DeterministicRng::Fill(std::span<uint8_t> out) {
+  for (uint8_t& b : out) {
+    if (pos_ == 32) Refill();
+    b = buf_[pos_++];
+  }
+}
+
+}  // namespace pem::crypto

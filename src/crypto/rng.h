@@ -1,0 +1,51 @@
+// Random byte sources.
+//
+// SystemRng wraps the OS CSPRNG (via OpenSSL RAND_bytes) and is what
+// all protocol code uses.  DeterministicRng is a seeded stream for
+// reproducible tests and benchmarks; it is NOT cryptographically secure
+// and says so in the type name on purpose.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace pem::crypto {
+
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  // Fills `out` with random bytes.
+  virtual void Fill(std::span<uint8_t> out) = 0;
+
+  // Uniform 64-bit draw.
+  uint64_t NextU64();
+};
+
+// Process-wide CSPRNG.  Thread-compatible (OpenSSL handles locking).
+class SystemRng final : public Rng {
+ public:
+  void Fill(std::span<uint8_t> out) override;
+
+  static SystemRng& Instance();
+};
+
+// SHA-256-counter stream cipher over a 64-bit seed.  Deterministic,
+// suitable for tests/benches only.
+class DeterministicRng final : public Rng {
+ public:
+  explicit DeterministicRng(uint64_t seed);
+
+  void Fill(std::span<uint8_t> out) override;
+
+ private:
+  void Refill();
+
+  uint8_t state_[32];
+  uint8_t buf_[32];
+  size_t pos_;
+  uint64_t counter_;
+};
+
+}  // namespace pem::crypto

@@ -1,0 +1,118 @@
+#include "crypto/secure_compare.h"
+
+#include <vector>
+
+#include "crypto/circuit.h"
+#include "crypto/garble.h"
+#include "crypto/ot.h"
+#include "net/serialize.h"
+#include "util/error.h"
+
+namespace pem::crypto {
+namespace {
+
+net::Message MustReceive(net::MessageBus& bus, net::AgentId agent,
+                         uint32_t expected_type) {
+  std::optional<net::Message> m = bus.Receive(agent);
+  PEM_CHECK(m.has_value(), "secure_compare: missing message");
+  PEM_CHECK(m->type == expected_type, "secure_compare: unexpected type");
+  return std::move(*m);
+}
+
+}  // namespace
+
+bool SecureCompareLess(net::MessageBus& bus, net::AgentId garbler, uint64_t x,
+                       net::AgentId evaluator, uint64_t y,
+                       const SecureCompareConfig& cfg, Rng& rng) {
+  PEM_CHECK(cfg.bits >= 1 && cfg.bits <= 64, "bits in [1,64]");
+  if (cfg.bits < 64) {
+    PEM_CHECK((x >> cfg.bits) == 0 && (y >> cfg.bits) == 0,
+              "inputs exceed configured bit width");
+  }
+  const ModpGroup& group = ModpGroup::Get(cfg.group);
+  const Circuit circuit = BuildLessThanCircuit(cfg.bits);
+  const size_t nbits = static_cast<size_t>(cfg.bits);
+
+  // ---- Garbler side: garble, prepare OTs ------------------------------
+  Garbler g(circuit, rng);
+  const std::vector<bool> x_bits = ToBits(x, cfg.bits);
+
+  std::vector<OtSender> ot_senders;
+  ot_senders.reserve(nbits);
+  net::ByteWriter w1;
+  {
+    const std::vector<uint8_t> tables = g.tables().Serialize();
+    w1.Bytes(tables);
+    for (size_t i = 0; i < nbits; ++i) {
+      w1.Bytes(g.GarblerInputLabel(i, x_bits[i]).bytes);
+    }
+    for (size_t i = 0; i < nbits; ++i) {
+      ot_senders.emplace_back(group, rng);
+      w1.Bytes(ot_senders.back().Round1());
+    }
+  }
+  bus.Send({garbler, evaluator, kMsgGcTablesAndOt1, w1.Take()});
+
+  // ---- Evaluator side: OT round-1 responses ---------------------------
+  const std::vector<bool> y_bits = ToBits(y, cfg.bits);
+  net::Message msg1 = MustReceive(bus, evaluator, kMsgGcTablesAndOt1);
+  net::ByteReader r1(msg1.payload);
+  GarbledTables tables = GarbledTables::Deserialize(r1.Bytes(), circuit);
+  std::vector<WireLabel> garbler_labels(nbits);
+  for (size_t i = 0; i < nbits; ++i) {
+    const std::vector<uint8_t> b = r1.Bytes();
+    PEM_CHECK(b.size() == 16, "bad label size");
+    std::copy(b.begin(), b.end(), garbler_labels[i].bytes.begin());
+  }
+  std::vector<OtReceiver> ot_receivers;
+  ot_receivers.reserve(nbits);
+  net::ByteWriter w2;
+  for (size_t i = 0; i < nbits; ++i) {
+    const std::vector<uint8_t> a_elem = r1.Bytes();
+    ot_receivers.emplace_back(group, rng);
+    w2.Bytes(ot_receivers.back().Round1(a_elem, y_bits[i]));
+  }
+  PEM_CHECK(r1.AtEnd(), "trailing bytes in GC message 1");
+  bus.Send({evaluator, garbler, kMsgGcOtResponses, w2.Take()});
+
+  // ---- Garbler side: OT round 2 ---------------------------------------
+  net::Message msg2 = MustReceive(bus, garbler, kMsgGcOtResponses);
+  net::ByteReader r2(msg2.payload);
+  net::ByteWriter w3;
+  for (size_t i = 0; i < nbits; ++i) {
+    const std::vector<uint8_t> b_elem = r2.Bytes();
+    const auto [l0, l1] = g.EvaluatorInputLabels(i);
+    OtMessage m0, m1;
+    std::copy(l0.bytes.begin(), l0.bytes.end(), m0.begin());
+    std::copy(l1.bytes.begin(), l1.bytes.end(), m1.begin());
+    w3.Bytes(ot_senders[i].Round2(b_elem, m0, m1));
+  }
+  PEM_CHECK(r2.AtEnd(), "trailing bytes in GC message 2");
+  bus.Send({garbler, evaluator, kMsgGcOtFinal, w3.Take()});
+
+  // ---- Evaluator side: decrypt labels, evaluate ------------------------
+  net::Message msg3 = MustReceive(bus, evaluator, kMsgGcOtFinal);
+  net::ByteReader r3(msg3.payload);
+  std::vector<WireLabel> evaluator_labels(nbits);
+  for (size_t i = 0; i < nbits; ++i) {
+    const std::vector<uint8_t> ct = r3.Bytes();
+    const OtMessage m = ot_receivers[i].Decrypt(ct);
+    std::copy(m.begin(), m.end(), evaluator_labels[i].bytes.begin());
+  }
+  PEM_CHECK(r3.AtEnd(), "trailing bytes in GC message 3");
+  Evaluator eval(circuit, std::move(tables));
+  const std::vector<bool> out = eval.Evaluate(garbler_labels, evaluator_labels);
+  PEM_CHECK(out.size() == 1, "comparator must have one output");
+
+  // ---- Share the result with the garbler ------------------------------
+  net::ByteWriter w4;
+  w4.U8(out[0] ? 1 : 0);
+  bus.Send({evaluator, garbler, kMsgGcResult, w4.Take()});
+  net::Message msg4 = MustReceive(bus, garbler, kMsgGcResult);
+  net::ByteReader r4(msg4.payload);
+  const bool result = r4.U8() != 0;
+  PEM_CHECK(result == out[0], "result mismatch");
+  return result;
+}
+
+}  // namespace pem::crypto

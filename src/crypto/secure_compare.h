@@ -1,0 +1,41 @@
+// Two-party secure comparison (Yao's millionaires problem) over the
+// message bus: garbler holds x, evaluator holds y, both learn [x < y]
+// and nothing else.  This is the "secure comparison with Fairplay"
+// step of Private Market Evaluation (Protocol 2, line 14).
+//
+// Wire protocol (all bytes routed through the bandwidth-accounted bus):
+//   1. G -> E : garbled tables, decode bits, G's active input labels,
+//               one OT round-1 element per evaluator input bit
+//   2. E -> G : one OT round-1 response per bit
+//   3. G -> E : one OT round-2 ciphertext pair per bit
+//   4. E -> G : the decoded result bit (both parties learn the output,
+//               as in the paper)
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/modp_group.h"
+#include "crypto/rng.h"
+#include "net/bus.h"
+
+namespace pem::crypto {
+
+struct SecureCompareConfig {
+  int bits = 64;
+  ModpGroupId group = ModpGroupId::kModp768;
+};
+
+// Message type tags (namespaced to stay clear of protocol/ tags).
+inline constexpr uint32_t kMsgGcTablesAndOt1 = 0x4743'0001;
+inline constexpr uint32_t kMsgGcOtResponses = 0x4743'0002;
+inline constexpr uint32_t kMsgGcOtFinal = 0x4743'0003;
+inline constexpr uint32_t kMsgGcResult = 0x4743'0004;
+
+// Runs the full protocol between `garbler` (holding x) and `evaluator`
+// (holding y).  Both agents' traffic is accounted on the bus.  Returns
+// x < y (unsigned comparison over `cfg.bits` bits).
+bool SecureCompareLess(net::MessageBus& bus, net::AgentId garbler, uint64_t x,
+                       net::AgentId evaluator, uint64_t y,
+                       const SecureCompareConfig& cfg, Rng& rng);
+
+}  // namespace pem::crypto

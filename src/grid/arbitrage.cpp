@@ -1,0 +1,66 @@
+#include "grid/arbitrage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pem::grid {
+namespace {
+
+double Quantile(std::vector<double> values, double q) {
+  PEM_CHECK(!values.empty(), "quantile of empty forecast");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+ArbitrageBattery::ArbitrageBattery(double capacity_kwh, double rate_kwh,
+                                   std::vector<double> forecast,
+                                   const ArbitrageConfig& config)
+    : capacity_kwh_(capacity_kwh),
+      rate_kwh_(rate_kwh),
+      forecast_(std::move(forecast)),
+      config_(config) {
+  PEM_CHECK(capacity_kwh >= 0.0 && rate_kwh >= 0.0, "negative battery spec");
+  PEM_CHECK(!forecast_.empty(), "forecast must cover the day");
+  PEM_CHECK(config_.cheap_quantile <= config_.expensive_quantile,
+            "quantiles must be ordered");
+  cheap_threshold_ = Quantile(forecast_, config_.cheap_quantile);
+  expensive_threshold_ = Quantile(forecast_, config_.expensive_quantile);
+}
+
+double ArbitrageBattery::Step(int window, double generation_kwh,
+                              double load_kwh) {
+  if (!installed()) return 0.0;
+  PEM_CHECK(window >= 0 &&
+                static_cast<size_t>(window) < forecast_.size(),
+            "window outside forecast");
+  const double price = forecast_[static_cast<size_t>(window)];
+  const double surplus = generation_kwh - load_kwh;
+  const double budget = rate_kwh_ * config_.aggressiveness;
+
+  double b = 0.0;
+  if (price <= cheap_threshold_) {
+    // Cheap window: absorb surplus and top up from the market/grid.
+    const double headroom = capacity_kwh_ - soc_kwh_;
+    b = std::min(budget, headroom);
+  } else if (price >= expensive_threshold_) {
+    // Expensive window: discharge what we have (bounded by the rate).
+    b = -std::min(budget, soc_kwh_);
+  } else {
+    // Neutral band: behave greedily (self-balance only).
+    if (surplus > 0.0) {
+      b = std::min({surplus, rate_kwh_, capacity_kwh_ - soc_kwh_});
+    } else if (surplus < 0.0) {
+      b = -std::min({-surplus, rate_kwh_, soc_kwh_});
+    }
+  }
+  soc_kwh_ += b;
+  return b;
+}
+
+}  // namespace pem::grid

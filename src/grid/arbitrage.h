@@ -1,0 +1,59 @@
+// Price-arbitrage storage policy (paper §VI: "energy trading by
+// possibly storing energy for the future").
+//
+// The greedy Battery policy charges on any surplus and discharges on
+// any deficit.  An arbitrage-aware owner instead looks at a price
+// forecast for the day: charge extra (even buying) in the cheap
+// midday window, hold, and discharge into the expensive evening —
+// shifting revenue from the pb_g buyback toward evening market prices.
+//
+// The forecast is a vector of expected prices per window (e.g. the
+// previous day's clearing prices, or the bounds in Eq. 3).
+#pragma once
+
+#include <vector>
+
+#include "grid/battery.h"
+#include "util/error.h"
+
+namespace pem::grid {
+
+struct ArbitrageConfig {
+  // Charge when the forecast price is below this quantile of the day's
+  // forecast, discharge when above the upper quantile.
+  double cheap_quantile = 0.25;
+  double expensive_quantile = 0.75;
+  // Fraction of the rate limit to commit to arbitrage actions (the
+  // rest stays available for the greedy self-balancing behavior).
+  double aggressiveness = 1.0;
+};
+
+class ArbitrageBattery {
+ public:
+  // `forecast` holds one expected price per window of the day.
+  ArbitrageBattery(double capacity_kwh, double rate_kwh,
+                   std::vector<double> forecast,
+                   const ArbitrageConfig& config = {});
+
+  // Decides b for `window` given the metered generation and load.
+  // Positive = charging (added load), negative = discharging.
+  double Step(int window, double generation_kwh, double load_kwh);
+
+  double state_of_charge() const { return soc_kwh_; }
+  bool installed() const { return capacity_kwh_ > 0.0; }
+
+  // Thresholds derived from the forecast (exposed for tests).
+  double cheap_threshold() const { return cheap_threshold_; }
+  double expensive_threshold() const { return expensive_threshold_; }
+
+ private:
+  double capacity_kwh_;
+  double rate_kwh_;
+  double soc_kwh_ = 0.0;
+  std::vector<double> forecast_;
+  ArbitrageConfig config_;
+  double cheap_threshold_ = 0.0;
+  double expensive_threshold_ = 0.0;
+};
+
+}  // namespace pem::grid

@@ -1,0 +1,38 @@
+#include "grid/battery.h"
+
+#include <algorithm>
+
+namespace pem::grid {
+
+Battery::Battery(double capacity_kwh, double rate_kwh, double initial_soc_kwh)
+    : capacity_kwh_(capacity_kwh),
+      rate_kwh_(rate_kwh),
+      soc_kwh_(initial_soc_kwh) {
+  PEM_CHECK(capacity_kwh >= 0.0, "battery capacity must be >= 0");
+  PEM_CHECK(rate_kwh >= 0.0, "battery rate must be >= 0");
+  PEM_CHECK(initial_soc_kwh >= 0.0 && initial_soc_kwh <= capacity_kwh + 1e-9,
+            "initial SoC out of range");
+}
+
+double Battery::Step(double generation_kwh, double load_kwh) {
+  if (!installed()) return 0.0;
+  const double surplus = generation_kwh - load_kwh;
+  if (surplus > 0.0) {
+    // Charge from excess: bounded by rate and remaining headroom.  Any
+    // remaining surplus becomes market supply.
+    const double headroom = capacity_kwh_ - soc_kwh_;
+    const double b = std::min({surplus, rate_kwh_, headroom});
+    soc_kwh_ += b;
+    return b;
+  }
+  if (surplus < 0.0) {
+    // Discharge to cover the deficit: bounded by rate and stored energy.
+    const double need = -surplus;
+    const double d = std::min({need, rate_kwh_, soc_kwh_});
+    soc_kwh_ -= d;
+    return -d;
+  }
+  return 0.0;
+}
+
+}  // namespace pem::grid

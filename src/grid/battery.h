@@ -1,0 +1,35 @@
+// Household battery model.
+//
+// The paper treats the battery action b_i as part of each agent's
+// private window state (charge > 0 adds load, discharge < 0 adds
+// supply).  This model implements the simple greedy policy the paper's
+// setup implies: charge from excess generation up to the rate and
+// capacity limits, discharge to cover deficits.  The remainder after
+// the battery acts is the agent's market position.
+#pragma once
+
+#include "grid/types.h"
+#include "util/error.h"
+
+namespace pem::grid {
+
+class Battery {
+ public:
+  // capacity 0 models "no battery installed" (b_i ≡ 0).
+  Battery(double capacity_kwh, double rate_kwh, double initial_soc_kwh = 0.0);
+
+  // Decides b for this window given generation and load, and applies it
+  // to the state of charge.  Returns b (kWh; charge > 0).
+  double Step(double generation_kwh, double load_kwh);
+
+  double state_of_charge() const { return soc_kwh_; }
+  double capacity() const { return capacity_kwh_; }
+  bool installed() const { return capacity_kwh_ > 0.0; }
+
+ private:
+  double capacity_kwh_;
+  double rate_kwh_;
+  double soc_kwh_;
+};
+
+}  // namespace pem::grid

@@ -1,0 +1,39 @@
+#include "grid/load_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pem::grid {
+namespace {
+
+double Hump(double hour, double center, double width, double height) {
+  const double d = (hour - center) / width;
+  return height * std::exp(-0.5 * d * d);
+}
+
+}  // namespace
+
+LoadModel::LoadModel(const LoadConfig& config, SimRandom& rng)
+    : cfg_(config), rng_(rng) {
+  PEM_CHECK(cfg_.windows_per_day > 0, "windows_per_day must be positive");
+}
+
+double LoadModel::LoadAt(int window) {
+  PEM_CHECK(window >= 0 && window < cfg_.windows_per_day, "window range");
+  const double hours_per_window =
+      (cfg_.day_end_hour - cfg_.day_start_hour) / cfg_.windows_per_day;
+  const double hour = cfg_.day_start_hour + (window + 0.5) * hours_per_window;
+
+  double kw = cfg_.base_kw +
+              Hump(hour, cfg_.morning_peak_hour, cfg_.morning_peak_width,
+                   cfg_.morning_peak_kw) +
+              Hump(hour, cfg_.evening_peak_hour, cfg_.evening_peak_width,
+                   cfg_.evening_peak_kw);
+  const double noise = 1.0 + rng_.Gaussian(0.0, cfg_.noise_fraction);
+  kw *= std::max(0.1, noise);
+  return kw * hours_per_window;
+}
+
+}  // namespace pem::grid

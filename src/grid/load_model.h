@@ -1,0 +1,41 @@
+// Residential demand model.
+//
+// Base load plus morning and evening peaks with per-window noise —
+// the standard two-hump household shape.  Ensures buyers dominate the
+// market early and late in the day (Fig. 4) and keeps market demand
+// above supply in most windows (the paper's "general market" case).
+#pragma once
+
+#include "util/sim_random.h"
+
+namespace pem::grid {
+
+struct LoadConfig {
+  double base_kw = 0.35;
+  double morning_peak_kw = 0.9;
+  double morning_peak_hour = 7.8;
+  double morning_peak_width = 1.1;   // hours (std-dev of the hump)
+  double evening_peak_kw = 1.4;
+  double evening_peak_hour = 18.2;
+  double evening_peak_width = 1.4;
+  double noise_fraction = 0.15;      // multiplicative noise per window
+  int windows_per_day = 720;
+  double day_start_hour = 7.0;
+  double day_end_hour = 19.0;
+};
+
+class LoadModel {
+ public:
+  LoadModel(const LoadConfig& config, SimRandom& rng);
+
+  // kWh consumed in window w (0-based).
+  double LoadAt(int window);
+
+  const LoadConfig& config() const { return cfg_; }
+
+ private:
+  LoadConfig cfg_;
+  SimRandom& rng_;
+};
+
+}  // namespace pem::grid

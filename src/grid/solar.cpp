@@ -1,0 +1,41 @@
+#include "grid/solar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pem::grid {
+
+SolarModel::SolarModel(const SolarConfig& config, SimRandom& rng)
+    : cfg_(config), rng_(rng) {
+  PEM_CHECK(cfg_.windows_per_day > 0, "windows_per_day must be positive");
+  PEM_CHECK(cfg_.capacity_kw >= 0.0, "capacity must be >= 0");
+}
+
+double SolarModel::ClearSkyKw(double hour) const {
+  if (hour <= cfg_.sunrise_hour || hour >= cfg_.sunset_hour) return 0.0;
+  const double x =
+      (hour - cfg_.sunrise_hour) / (cfg_.sunset_hour - cfg_.sunrise_hour);
+  // sin^1.5 bell: flatter shoulders than a pure sine, matching typical
+  // PV irradiance profiles.
+  const double s = std::sin(M_PI * x);
+  return cfg_.capacity_kw * std::pow(std::max(0.0, s), 1.5);
+}
+
+double SolarModel::GenerationAt(int window) {
+  PEM_CHECK(window >= 0 && window < cfg_.windows_per_day, "window range");
+  const double hours_per_window =
+      (cfg_.day_end_hour - cfg_.day_start_hour) / cfg_.windows_per_day;
+  const double hour = cfg_.day_start_hour + (window + 0.5) * hours_per_window;
+
+  // AR(1) cloud attenuation: correlated dips in output.
+  cloud_state_ = cfg_.cloud_persistence * cloud_state_ +
+                 rng_.Gaussian(0.0, cfg_.cloud_noise);
+  const double attenuation = std::clamp(1.0 - std::abs(cloud_state_), 0.05, 1.0);
+
+  const double kw = ClearSkyKw(hour) * attenuation;
+  return kw * hours_per_window;
+}
+
+}  // namespace pem::grid

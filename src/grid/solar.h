@@ -1,0 +1,43 @@
+// Rooftop-solar generation model.
+//
+// Produces per-window kWh for a panel of a given kW capacity over a
+// 7:00–19:00 trading day (the paper's window range): a clear-sky bell
+// curve modulated by an AR(1) cloud process, so generation is zero at
+// the edges of the day and peaks around noon — the driver behind the
+// paper's Fig. 4 role dynamics and the midday price dip in Fig. 6(a).
+#pragma once
+
+#include "util/sim_random.h"
+
+namespace pem::grid {
+
+struct SolarConfig {
+  double capacity_kw = 3.0;
+  int windows_per_day = 720;    // one-minute windows, 7:00 -> 19:00
+  double day_start_hour = 7.0;
+  double day_end_hour = 19.0;
+  double sunrise_hour = 6.5;
+  double sunset_hour = 19.5;
+  // Cloud AR(1) parameters: attenuation in [0, 1].
+  double cloud_persistence = 0.97;
+  double cloud_noise = 0.08;
+};
+
+class SolarModel {
+ public:
+  SolarModel(const SolarConfig& config, SimRandom& rng);
+
+  // kWh generated in window w (0-based).
+  double GenerationAt(int window);
+
+  const SolarConfig& config() const { return cfg_; }
+
+ private:
+  double ClearSkyKw(double hour) const;
+
+  SolarConfig cfg_;
+  SimRandom& rng_;
+  double cloud_state_ = 0.0;  // current attenuation deviation
+};
+
+}  // namespace pem::grid

@@ -1,0 +1,155 @@
+#include "grid/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "grid/load_model.h"
+#include "grid/solar.h"
+#include "util/error.h"
+
+namespace pem::grid {
+
+WindowState CommunityTrace::ResolveWindow(
+    int home, int window, std::vector<Battery>& batteries) const {
+  PEM_CHECK(home >= 0 && home < num_homes(), "home index");
+  PEM_CHECK(window >= 0 && window < windows_per_day, "window index");
+  PEM_CHECK(batteries.size() == homes.size(), "battery vector size");
+  const WindowObservation& obs =
+      homes[static_cast<size_t>(home)].observations[static_cast<size_t>(window)];
+  WindowState st;
+  st.generation_kwh = obs.generation_kwh;
+  st.load_kwh = obs.load_kwh;
+  st.battery_kwh = batteries[static_cast<size_t>(home)].Step(
+      obs.generation_kwh, obs.load_kwh);
+  return st;
+}
+
+std::vector<Battery> CommunityTrace::MakeBatteries() const {
+  std::vector<Battery> out;
+  out.reserve(homes.size());
+  for (const HomeTrace& h : homes) {
+    out.emplace_back(h.params.battery_capacity_kwh, h.params.battery_rate_kwh);
+  }
+  return out;
+}
+
+void CommunityTrace::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  PEM_CHECK(out.is_open(), "cannot open trace CSV for writing");
+  out << "home,window,generation_kwh,load_kwh,preference_k,epsilon,"
+         "battery_capacity_kwh,battery_rate_kwh\n";
+  char buf[256];
+  for (size_t h = 0; h < homes.size(); ++h) {
+    const HomeTrace& home = homes[h];
+    for (size_t w = 0; w < home.observations.size(); ++w) {
+      const WindowObservation& o = home.observations[w];
+      std::snprintf(buf, sizeof buf, "%zu,%zu,%.9f,%.9f,%.6f,%.6f,%.4f,%.4f\n",
+                    h, w, o.generation_kwh, o.load_kwh,
+                    home.params.preference_k, home.params.battery_epsilon,
+                    home.params.battery_capacity_kwh,
+                    home.params.battery_rate_kwh);
+      out << buf;
+    }
+  }
+}
+
+CommunityTrace CommunityTrace::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  PEM_CHECK(in.is_open(), "cannot open trace CSV for reading");
+  std::string line;
+  PEM_CHECK(static_cast<bool>(std::getline(in, line)), "empty trace CSV");
+
+  CommunityTrace trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string cell;
+    auto next = [&]() -> double {
+      PEM_CHECK(static_cast<bool>(std::getline(ss, cell, ',')),
+                "trace CSV: short row");
+      return std::stod(cell);
+    };
+    const int h = static_cast<int>(next());
+    const int w = static_cast<int>(next());
+    WindowObservation obs;
+    obs.generation_kwh = next();
+    obs.load_kwh = next();
+    AgentParams params;
+    params.preference_k = next();
+    params.battery_epsilon = next();
+    params.battery_capacity_kwh = next();
+    params.battery_rate_kwh = next();
+
+    if (h >= static_cast<int>(trace.homes.size())) {
+      trace.homes.resize(static_cast<size_t>(h) + 1);
+    }
+    HomeTrace& home = trace.homes[static_cast<size_t>(h)];
+    home.params = params;
+    if (w >= static_cast<int>(home.observations.size())) {
+      home.observations.resize(static_cast<size_t>(w) + 1);
+    }
+    home.observations[static_cast<size_t>(w)] = obs;
+  }
+  trace.windows_per_day =
+      trace.homes.empty() ? 0
+                          : static_cast<int>(trace.homes[0].observations.size());
+  return trace;
+}
+
+CommunityTrace GenerateCommunityTrace(const TraceConfig& config) {
+  PEM_CHECK(config.num_homes > 0, "num_homes must be positive");
+  PEM_CHECK(config.windows_per_day > 0, "windows_per_day must be positive");
+
+  CommunityTrace trace;
+  trace.windows_per_day = config.windows_per_day;
+  trace.homes.resize(static_cast<size_t>(config.num_homes));
+
+  const double hours_per_window = 12.0 / config.windows_per_day;
+
+  for (int h = 0; h < config.num_homes; ++h) {
+    // Per-home seed: decorrelates homes while keeping the trace
+    // reproducible for a given config seed.
+    SimRandom rng(config.seed * 1000003ull + static_cast<uint64_t>(h));
+    HomeTrace& home = trace.homes[static_cast<size_t>(h)];
+
+    const bool has_panel = !rng.Bernoulli(config.no_panel_fraction);
+    const double panel_kw =
+        has_panel ? rng.Uniform(config.min_panel_kw, config.max_panel_kw) : 0.0;
+    const bool has_battery = has_panel && rng.Bernoulli(config.battery_fraction);
+
+    home.params.preference_k =
+        rng.Uniform(config.min_preference_k, config.max_preference_k);
+    home.params.battery_epsilon =
+        rng.Uniform(config.min_epsilon, config.max_epsilon);
+    home.params.battery_capacity_kwh =
+        has_battery ? rng.Uniform(config.min_battery_kwh, config.max_battery_kwh)
+                    : 0.0;
+    home.params.battery_rate_kwh =
+        has_battery ? config.battery_rate_kw * hours_per_window : 0.0;
+
+    SolarConfig solar_cfg;
+    solar_cfg.capacity_kw = panel_kw;
+    solar_cfg.windows_per_day = config.windows_per_day;
+    SolarModel solar(solar_cfg, rng);
+
+    LoadConfig load_cfg;
+    load_cfg.windows_per_day = config.windows_per_day;
+    // Vary household size a bit.
+    const double scale = rng.Uniform(0.7, 1.3);
+    load_cfg.base_kw *= scale;
+    load_cfg.morning_peak_kw *= scale;
+    load_cfg.evening_peak_kw *= scale;
+    LoadModel load(load_cfg, rng);
+
+    home.observations.resize(static_cast<size_t>(config.windows_per_day));
+    for (int w = 0; w < config.windows_per_day; ++w) {
+      home.observations[static_cast<size_t>(w)].generation_kwh =
+          solar.GenerationAt(w);
+      home.observations[static_cast<size_t>(w)].load_kwh = load.LoadAt(w);
+    }
+  }
+  return trace;
+}
+
+}  // namespace pem::grid

@@ -1,0 +1,44 @@
+// Common smart-grid value types.
+#pragma once
+
+#include <cstdint>
+
+namespace pem::grid {
+
+// One agent's metered quantities for one trading window (kWh).
+struct WindowObservation {
+  double generation_kwh = 0.0;
+  double load_kwh = 0.0;
+};
+
+// Static per-agent parameters (private data in the threat model).
+struct AgentParams {
+  // Load-behavior preference k_i > 0 in the seller utility (Eq. 4).
+  double preference_k = 1.0;
+  // Battery loss coefficient ε_i ∈ (0, 1).
+  double battery_epsilon = 0.9;
+  // Battery capacity Cap_i (kWh); 0 means no battery installed.
+  double battery_capacity_kwh = 0.0;
+  // Max charge/discharge per window (kWh).
+  double battery_rate_kwh = 0.0;
+};
+
+// The resolved per-window state an agent brings to the market:
+// sn_i = g_i - l_i - b_i  (Eq. 1).
+struct WindowState {
+  double generation_kwh = 0.0;  // g_i
+  double load_kwh = 0.0;        // l_i
+  double battery_kwh = 0.0;     // b_i (charge > 0, discharge < 0)
+
+  double NetEnergy() const { return generation_kwh - load_kwh - battery_kwh; }
+};
+
+enum class Role : uint8_t { kSeller, kBuyer, kOffMarket };
+
+inline Role ClassifyRole(double net_energy, double tolerance = 1e-9) {
+  if (net_energy > tolerance) return Role::kSeller;
+  if (net_energy < -tolerance) return Role::kBuyer;
+  return Role::kOffMarket;
+}
+
+}  // namespace pem::grid

@@ -1,0 +1,75 @@
+#include "ledger/block.h"
+
+#include "net/serialize.h"
+
+namespace pem::ledger {
+namespace {
+
+constexpr uint64_t kTxTag = 0x5045'4D54'5821ull;     // "PEMTX!"
+constexpr uint64_t kHeaderTag = 0x5045'4D42'4C4Bull; // "PEMBLK"
+constexpr uint64_t kNodeTag = 0x5045'4D4E'4F44ull;   // "PEMNOD"
+
+}  // namespace
+
+std::vector<uint8_t> Transaction::Serialize() const {
+  net::ByteWriter w;
+  w.U32(static_cast<uint32_t>(window));
+  w.U32(static_cast<uint32_t>(seller));
+  w.U32(static_cast<uint32_t>(buyer));
+  w.I64(energy_micro_kwh);
+  w.I64(payment_micro_usd);
+  return w.Take();
+}
+
+crypto::Sha256Digest Transaction::Digest() const {
+  const std::vector<uint8_t> bytes = Serialize();
+  const std::span<const uint8_t> chunks[] = {bytes};
+  return crypto::Kdf(kTxTag, chunks);
+}
+
+std::vector<uint8_t> BlockHeader::Serialize() const {
+  net::ByteWriter w;
+  w.U64(index);
+  w.Bytes(previous_hash.bytes);
+  w.Bytes(tx_root.bytes);
+  w.U64(logical_time);
+  return w.Take();
+}
+
+crypto::Sha256Digest Block::Hash() const {
+  const std::vector<uint8_t> bytes = header.Serialize();
+  const std::span<const uint8_t> chunks[] = {bytes};
+  return crypto::Kdf(kHeaderTag, chunks);
+}
+
+crypto::Sha256Digest Block::ComputeTxRoot(
+    const std::vector<Transaction>& txs) {
+  if (txs.empty()) {
+    const std::span<const uint8_t> none[] = {};
+    return crypto::Kdf(kNodeTag, std::span<const std::span<const uint8_t>>(
+                                     none, 0));
+  }
+  std::vector<crypto::Sha256Digest> level;
+  level.reserve(txs.size());
+  for (const Transaction& tx : txs) level.push_back(tx.Digest());
+  while (level.size() > 1) {
+    std::vector<crypto::Sha256Digest> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i < level.size(); i += 2) {
+      if (i + 1 < level.size()) {
+        next.push_back(crypto::Kdf2(kNodeTag, level[i].bytes,
+                                    level[i + 1].bytes));
+      } else {
+        next.push_back(level[i]);  // odd leaf promoted
+      }
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+bool Block::IsConsistent() const {
+  return header.tx_root == ComputeTxRoot(transactions);
+}
+
+}  // namespace pem::ledger

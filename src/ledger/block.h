@@ -1,0 +1,57 @@
+// Blocks and transactions for the settlement ledger.
+//
+// The paper's §VI ("Blockchain Deployment") proposes realizing the
+// final distribution and payments through a blockchain so integrity
+// and truthfulness of the settled trades are auditable.  This module
+// provides the block structure: hash-chained blocks of energy-trade
+// transactions with a Merkle-style transaction digest.  Quantities are
+// stored as fixed-point integers so hashes are platform-stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash.h"
+
+namespace pem::ledger {
+
+// One settled pairwise trade (Protocol 4 lines 10-12).
+struct Transaction {
+  int32_t window = 0;
+  int32_t seller = 0;
+  int32_t buyer = 0;
+  int64_t energy_micro_kwh = 0;  // e_ij, fixed-point
+  int64_t payment_micro_usd = 0; // m_ji, fixed-point
+
+  std::vector<uint8_t> Serialize() const;
+  crypto::Sha256Digest Digest() const;
+
+  bool operator==(const Transaction&) const = default;
+};
+
+struct BlockHeader {
+  uint64_t index = 0;
+  crypto::Sha256Digest previous_hash{};
+  crypto::Sha256Digest tx_root{};  // Merkle root of the transactions
+  uint64_t logical_time = 0;       // trading-window clock, not wall time
+
+  std::vector<uint8_t> Serialize() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  // Hash of the serialized header (the chain link).
+  crypto::Sha256Digest Hash() const;
+
+  // Recomputes the Merkle root over `transactions` (pairwise SHA-256,
+  // odd leaf promoted).  Empty blocks hash a fixed empty-root tag.
+  static crypto::Sha256Digest ComputeTxRoot(
+      const std::vector<Transaction>& txs);
+
+  // Header root matches the transaction list.
+  bool IsConsistent() const;
+};
+
+}  // namespace pem::ledger

@@ -1,0 +1,80 @@
+#include "ledger/chain.h"
+
+#include "util/error.h"
+
+namespace pem::ledger {
+
+Ledger::Ledger() {
+  Block genesis;
+  genesis.header.index = 0;
+  genesis.header.tx_root = Block::ComputeTxRoot({});
+  blocks_.push_back(std::move(genesis));
+}
+
+crypto::Sha256Digest Ledger::Append(std::vector<Transaction> transactions,
+                                    uint64_t logical_time) {
+  Block b;
+  b.header.index = blocks_.back().header.index + 1;
+  b.header.previous_hash = blocks_.back().Hash();
+  b.header.tx_root = Block::ComputeTxRoot(transactions);
+  b.header.logical_time = logical_time;
+  b.transactions = std::move(transactions);
+  blocks_.push_back(std::move(b));
+  return blocks_.back().Hash();
+}
+
+const Block& Ledger::block(size_t i) const {
+  PEM_CHECK(i < blocks_.size(), "block index out of range");
+  return blocks_[i];
+}
+
+Block& Ledger::MutableBlockForTest(size_t i) {
+  PEM_CHECK(i < blocks_.size(), "block index out of range");
+  return blocks_[i];
+}
+
+std::vector<ValidationIssue> Ledger::Validate() const {
+  std::vector<ValidationIssue> issues;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.header.index != i) {
+      issues.push_back({b.header.index, "non-monotone block index"});
+    }
+    if (!b.IsConsistent()) {
+      issues.push_back({b.header.index, "tx root does not match body"});
+    }
+    if (i > 0 && b.header.previous_hash != blocks_[i - 1].Hash()) {
+      issues.push_back({b.header.index, "broken hash link to predecessor"});
+    }
+  }
+  return issues;
+}
+
+int64_t Ledger::BalanceOf(int32_t agent) const {
+  int64_t balance = 0;
+  for (const Block& b : blocks_) {
+    for (const Transaction& tx : b.transactions) {
+      if (tx.seller == agent) balance += tx.payment_micro_usd;
+      if (tx.buyer == agent) balance -= tx.payment_micro_usd;
+    }
+  }
+  return balance;
+}
+
+std::vector<Transaction> Ledger::TransactionsInWindow(int32_t window) const {
+  std::vector<Transaction> out;
+  for (const Block& b : blocks_) {
+    for (const Transaction& tx : b.transactions) {
+      if (tx.window == window) out.push_back(tx);
+    }
+  }
+  return out;
+}
+
+uint64_t Ledger::TotalTransactions() const {
+  uint64_t n = 0;
+  for (const Block& b : blocks_) n += b.transactions.size();
+  return n;
+}
+
+}  // namespace pem::ledger

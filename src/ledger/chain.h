@@ -1,0 +1,55 @@
+// Append-only hash-chained ledger.
+//
+// A deliberately minimal permissioned chain: no proof-of-work, no
+// forks — the PEM coalition is the (semi-honest) consensus group, and
+// what §VI needs from the blockchain is tamper-evidence for settled
+// trades, not Sybil resistance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ledger/block.h"
+
+namespace pem::ledger {
+
+struct ValidationIssue {
+  uint64_t block_index = 0;
+  std::string what;
+};
+
+class Ledger {
+ public:
+  // Creates a chain holding only the genesis block.
+  Ledger();
+
+  // Appends a block of transactions at the given logical time.
+  // Returns the new block's hash.
+  crypto::Sha256Digest Append(std::vector<Transaction> transactions,
+                              uint64_t logical_time);
+
+  size_t block_count() const { return blocks_.size(); }  // incl. genesis
+  const Block& block(size_t i) const;
+  const Block& tip() const { return blocks_.back(); }
+
+  // Full-chain audit: hash links, header/tx-root consistency, and
+  // monotone indices.  Returns every violation found (empty == valid).
+  std::vector<ValidationIssue> Validate() const;
+
+  // --- queries ---------------------------------------------------------
+  // Net settled balance of an agent in micro-USD (received - paid).
+  int64_t BalanceOf(int32_t agent) const;
+  // All transactions recorded for a trading window.
+  std::vector<Transaction> TransactionsInWindow(int32_t window) const;
+  uint64_t TotalTransactions() const;
+
+  // Test hook: direct mutable access to a block, for tamper tests.
+  Block& MutableBlockForTest(size_t i);
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace pem::ledger

@@ -1,0 +1,32 @@
+#include "market/baseline.h"
+
+#include "market/incentives.h"
+
+namespace pem::market {
+
+BaselineOutcome ComputeBaseline(std::span<const AgentWindowInput> inputs,
+                                const MarketParams& params) {
+  params.Validate();
+  BaselineOutcome out;
+  for (const AgentWindowInput& in : inputs) {
+    const double sn = QuantizeNetEnergy(in.state.NetEnergy());
+    if (sn > 0.0) {
+      out.grid_export_kwh += sn;
+    } else if (sn < 0.0) {
+      out.grid_import_kwh += -sn;
+      out.buyer_total_cost += params.retail_price * -sn;
+    }
+  }
+  return out;
+}
+
+double SellerUtilityAtPrice(const grid::AgentParams& params,
+                            const grid::WindowState& state, double price) {
+  const double load = OptimalSellerLoad(params.preference_k,
+                                        params.battery_epsilon, price,
+                                        state.battery_kwh);
+  return SellerUtility(params.preference_k, load, params.battery_epsilon,
+                       state.battery_kwh, price, state.generation_kwh);
+}
+
+}  // namespace pem::market

@@ -1,0 +1,31 @@
+// The paper's benchmark: traditional trading without PEM (§VII-A).
+// Every seller sells surplus back to the grid at pb_g; every buyer
+// covers its deficit from the grid at ps_g.
+#pragma once
+
+#include <span>
+
+#include "market/clearing.h"
+#include "market/params.h"
+
+namespace pem::market {
+
+struct BaselineOutcome {
+  double buyer_total_cost = 0.0;  // Σ ps * deficit_j
+  double grid_import_kwh = 0.0;   // = E_b
+  double grid_export_kwh = 0.0;   // = E_s
+
+  double GridInteraction() const { return grid_import_kwh + grid_export_kwh; }
+};
+
+BaselineOutcome ComputeBaseline(std::span<const AgentWindowInput> inputs,
+                                const MarketParams& params);
+
+// Seller utility under a given trading price, with the seller playing
+// its best-response load (Eq. 15 substituted into Eq. 4).  Used for the
+// Fig. 6(b) with-PEM (price = p*) vs. without-PEM (price = pb_g)
+// comparison.
+double SellerUtilityAtPrice(const grid::AgentParams& params,
+                            const grid::WindowState& state, double price);
+
+}  // namespace pem::market

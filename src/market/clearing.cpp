@@ -1,0 +1,131 @@
+#include "market/clearing.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/fixed_point.h"
+
+namespace pem::market {
+
+int MarketOutcome::CountRole(grid::Role r) const {
+  int n = 0;
+  for (grid::Role role : roles) {
+    if (role == r) ++n;
+  }
+  return n;
+}
+
+double QuantizeNetEnergy(double net_kwh) {
+  return FixedPoint::FromDouble(net_kwh).ToDouble();
+}
+
+MarketOutcome ClearMarket(std::span<const AgentWindowInput> inputs,
+                          const MarketParams& params) {
+  params.Validate();
+  const size_t n = inputs.size();
+  MarketOutcome out;
+  out.roles.resize(n, grid::Role::kOffMarket);
+  out.net_energy.resize(n, 0.0);
+  out.market_purchase.resize(n, 0.0);
+  out.market_sale.resize(n, 0.0);
+  out.money_paid.resize(n, 0.0);
+  out.money_received.resize(n, 0.0);
+
+  // --- Coalition formation (Protocol 1, line 4) -----------------------
+  std::vector<SellerGameInput> seller_inputs;
+  for (size_t i = 0; i < n; ++i) {
+    const double sn = QuantizeNetEnergy(inputs[i].state.NetEnergy());
+    out.net_energy[i] = sn;
+    out.roles[i] = grid::ClassifyRole(sn, 0.0);
+    if (out.roles[i] == grid::Role::kSeller) {
+      out.supply_total += sn;
+      seller_inputs.push_back(SellerGameInput{
+          inputs[i].params.preference_k, inputs[i].state.generation_kwh,
+          inputs[i].params.battery_epsilon, inputs[i].state.battery_kwh});
+    } else if (out.roles[i] == grid::Role::kBuyer) {
+      out.demand_total += -sn;
+    }
+  }
+
+  const bool have_sellers = out.supply_total > 0.0;
+  const bool have_buyers = out.demand_total > 0.0;
+
+  // --- Market evaluation (Protocol 2) ----------------------------------
+  if (!have_sellers || !have_buyers) {
+    out.type = MarketType::kNoMarket;
+    out.price = params.retail_price;
+  } else if (out.supply_total < out.demand_total) {
+    out.type = MarketType::kGeneral;
+    const PriceSolution sol = SolveStackelbergPrice(seller_inputs, params);
+    out.price = sol.price;
+    out.interior_price = sol.interior_price;
+  } else {
+    out.type = MarketType::kExtreme;
+    out.price = params.price_floor;
+  }
+
+  // --- Distribution and settlement (Protocol 4 / §III-D) ---------------
+  for (size_t i = 0; i < n; ++i) {
+    const double sn = out.net_energy[i];
+    switch (out.roles[i]) {
+      case grid::Role::kSeller: {
+        double sold = 0.0;
+        if (out.type == MarketType::kGeneral) {
+          sold = sn;  // all supply absorbed by the buyer coalition
+        } else if (out.type == MarketType::kExtreme) {
+          sold = sn * (out.demand_total / out.supply_total);
+        }
+        const double to_grid = sn - sold;
+        out.market_sale[i] = sold;
+        out.money_received[i] =
+            out.price * sold + params.buyback_price * to_grid;
+        out.grid_export_kwh += to_grid;
+        break;
+      }
+      case grid::Role::kBuyer: {
+        const double deficit = -sn;
+        double bought = 0.0;
+        if (out.type == MarketType::kGeneral) {
+          bought = deficit * (out.supply_total / out.demand_total);
+        } else if (out.type == MarketType::kExtreme) {
+          bought = deficit;  // market covers all demand
+        }
+        const double from_grid = deficit - bought;
+        out.market_purchase[i] = bought;
+        out.money_paid[i] =
+            out.price * bought + params.retail_price * from_grid;
+        out.buyer_total_cost += out.money_paid[i];
+        out.grid_import_kwh += from_grid;
+        break;
+      }
+      case grid::Role::kOffMarket:
+        break;
+    }
+  }
+  return out;
+}
+
+double PairwiseAllocation(const MarketOutcome& outcome, int seller,
+                          int buyer) {
+  PEM_CHECK(seller >= 0 && static_cast<size_t>(seller) < outcome.roles.size(),
+            "seller index");
+  PEM_CHECK(buyer >= 0 && static_cast<size_t>(buyer) < outcome.roles.size(),
+            "buyer index");
+  if (outcome.roles[static_cast<size_t>(seller)] != grid::Role::kSeller ||
+      outcome.roles[static_cast<size_t>(buyer)] != grid::Role::kBuyer) {
+    return 0.0;
+  }
+  const double sn_i = outcome.net_energy[static_cast<size_t>(seller)];
+  const double dn_j = -outcome.net_energy[static_cast<size_t>(buyer)];
+  switch (outcome.type) {
+    case MarketType::kGeneral:
+      return sn_i * dn_j / outcome.demand_total;
+    case MarketType::kExtreme:
+      return dn_j * sn_i / outcome.supply_total;
+    case MarketType::kNoMarket:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace pem::market

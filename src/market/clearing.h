@@ -1,0 +1,69 @@
+// Plaintext market clearing — the functional specification of one PEM
+// trading window (paper §III).
+//
+// The cryptographic protocols in src/protocol compute exactly this
+// outcome without revealing the inputs; the integration tests assert
+// the two paths agree.  Net energies are quantized to the market's
+// fixed-point scale first so both paths see identical numbers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grid/types.h"
+#include "market/params.h"
+#include "market/stackelberg.h"
+
+namespace pem::market {
+
+struct AgentWindowInput {
+  grid::AgentParams params;
+  grid::WindowState state;
+};
+
+enum class MarketType : uint8_t {
+  kGeneral,   // E_s < E_b: Stackelberg price (Protocol 3)
+  kExtreme,   // E_s >= E_b: price pinned at the floor pl
+  kNoMarket,  // a coalition is empty: everyone trades with the grid
+};
+
+struct MarketOutcome {
+  MarketType type = MarketType::kNoMarket;
+  double price = 0.0;           // p* (general), pl (extreme), ps (no market)
+  double interior_price = 0.0;  // p_hat before clamping (0 if not computed)
+  double supply_total = 0.0;    // E_s
+  double demand_total = 0.0;    // E_b
+
+  std::vector<grid::Role> roles;
+  std::vector<double> net_energy;       // quantized sn_i
+  // Per-agent market quantities (zero when not applicable):
+  std::vector<double> market_purchase;  // x_j, buyers
+  std::vector<double> market_sale;      // kWh sold into the market, sellers
+  std::vector<double> money_paid;       // buyers: total bill (market + grid)
+  std::vector<double> money_received;   // sellers: market + grid revenue
+
+  double buyer_total_cost = 0.0;  // Γ (Eq. 7)
+  double grid_import_kwh = 0.0;   // drawn from the main grid
+  double grid_export_kwh = 0.0;   // fed back into the main grid
+
+  double GridInteraction() const { return grid_import_kwh + grid_export_kwh; }
+
+  int CountRole(grid::Role r) const;
+};
+
+// Clears one window.  `inputs[i]` is agent i; outputs are indexed the
+// same way.
+MarketOutcome ClearMarket(std::span<const AgentWindowInput> inputs,
+                          const MarketParams& params);
+
+// Pairwise allocation e_ij implied by the outcome (paper §III-D):
+// general market: e_ij = sn_i * |sn_j| / E_b
+// extreme market: e_ij = |sn_j| * sn_i / E_s
+// Zero if either agent is not in the respective coalition.
+double PairwiseAllocation(const MarketOutcome& outcome, int seller, int buyer);
+
+// Quantizes a net energy to the market fixed-point grid (the protocols
+// operate on these integers).
+double QuantizeNetEnergy(double net_kwh);
+
+}  // namespace pem::market

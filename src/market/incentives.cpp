@@ -1,0 +1,39 @@
+#include "market/incentives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace pem::market {
+
+double SellerUtility(double k, double load, double epsilon, double battery,
+                     double price, double generation) {
+  PEM_CHECK(k > 0.0, "k must be positive (Eq. 4)");
+  const double comfort = 1.0 + load + epsilon * battery;
+  PEM_CHECK(comfort > 0.0, "utility log argument must be positive");
+  return k * std::log(comfort) + price * (generation - load - battery);
+}
+
+double BuyerCost(double price, double market_purchase, double retail_price,
+                 double load, double battery, double generation) {
+  const double deficit = load + battery - generation;
+  PEM_CHECK(market_purchase >= -1e-12 && market_purchase <= deficit + 1e-9,
+            "market purchase exceeds deficit (0 < x_j <= l+b-g)");
+  return price * market_purchase +
+         retail_price * (deficit - market_purchase);
+}
+
+double OptimalSellerLoadInterior(double k, double epsilon, double price,
+                                 double battery) {
+  PEM_CHECK(k > 0.0 && price > 0.0, "k, p must be positive");
+  PEM_CHECK(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+  return k / price - 1.0 - epsilon * battery;
+}
+
+double OptimalSellerLoad(double k, double epsilon, double price,
+                         double battery) {
+  return std::max(0.0, OptimalSellerLoadInterior(k, epsilon, price, battery));
+}
+
+}  // namespace pem::market

@@ -1,0 +1,25 @@
+// Market-wide price parameters (Eq. 3): pb_g < pl <= ph < ps_g.
+//
+// Prices are in dollars/kWh internally; the paper quotes cents/kWh
+// (ps=120, pb=80, range [90,110]) and the benches print cents.
+#pragma once
+
+#include "util/error.h"
+
+namespace pem::market {
+
+struct MarketParams {
+  double retail_price = 1.20;    // ps_g: buy from the main grid
+  double buyback_price = 0.80;   // pb_g: sell to the main grid
+  double price_floor = 0.90;     // pl
+  double price_ceiling = 1.10;   // ph
+
+  void Validate() const {
+    PEM_CHECK(buyback_price > 0.0, "pb must be positive");
+    PEM_CHECK(buyback_price < price_floor, "need pb < pl (Eq. 3)");
+    PEM_CHECK(price_floor <= price_ceiling, "need pl <= ph (Eq. 3)");
+    PEM_CHECK(price_ceiling < retail_price, "need ph < ps (Eq. 3)");
+  }
+};
+
+}  // namespace pem::market

@@ -1,0 +1,58 @@
+#include "market/stackelberg.h"
+
+#include <cmath>
+
+#include "market/incentives.h"
+#include "util/error.h"
+
+namespace pem::market {
+
+PricingSums AggregatePricingSums(std::span<const SellerGameInput> sellers) {
+  PricingSums sums;
+  for (const SellerGameInput& s : sellers) {
+    sums.sum_k += s.k;
+    sums.sum_supply += s.generation + 1.0 + s.epsilon * s.battery - s.battery;
+  }
+  return sums;
+}
+
+PriceSolution SolvePriceFromSums(const PricingSums& sums,
+                                 const MarketParams& params) {
+  params.Validate();
+  PEM_CHECK(sums.sum_k > 0.0, "Σk must be positive (needs >= 1 seller)");
+  PEM_CHECK(sums.sum_supply > 0.0, "Σ(g+1+εb-b) must be positive");
+  PriceSolution sol;
+  sol.interior_price =
+      std::sqrt(params.retail_price * sums.sum_k / sums.sum_supply);
+  sol.price = sol.interior_price;
+  if (sol.price < params.price_floor) {
+    sol.price = params.price_floor;
+    sol.clamped_low = true;
+  } else if (sol.price > params.price_ceiling) {
+    sol.price = params.price_ceiling;
+    sol.clamped_high = true;
+  }
+  return sol;
+}
+
+PriceSolution SolveStackelbergPrice(std::span<const SellerGameInput> sellers,
+                                    const MarketParams& params) {
+  return SolvePriceFromSums(AggregatePricingSums(sellers), params);
+}
+
+double BuyerCoalitionCost(std::span<const SellerGameInput> sellers,
+                          double price, double market_demand,
+                          const MarketParams& params) {
+  PEM_CHECK(price > 0.0, "price must be positive");
+  double supply = 0.0;
+  for (const SellerGameInput& s : sellers) {
+    // Interior best response: Lemma 1's convexity statement is about
+    // the interior game (no clamping at l = 0).
+    const double l =
+        OptimalSellerLoadInterior(s.k, s.epsilon, price, s.battery);
+    supply += s.generation - l - s.battery;
+  }
+  return price * supply + params.retail_price * (market_demand - supply);
+}
+
+}  // namespace pem::market

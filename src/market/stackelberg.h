@@ -1,0 +1,59 @@
+// Stackelberg pricing (paper §III-B).
+//
+// The buyer coalition leads with a price; each seller responds with the
+// optimal load profile (Eq. 15).  The interior optimum (Eq. 13) is
+//
+//   p_hat = sqrt( ps * Σ k_i  /  Σ (g_i + 1 + eps_i*b_i - b_i) )
+//
+// clamped to the market range [pl, ph] (Eq. 14).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "market/params.h"
+
+namespace pem::market {
+
+// One seller's private inputs to the pricing game.
+struct SellerGameInput {
+  double k = 1.0;        // preference k_i
+  double generation = 0; // g_i
+  double epsilon = 0.9;  // eps_i
+  double battery = 0;    // b_i
+};
+
+struct PriceSolution {
+  double interior_price = 0.0;  // p_hat (Eq. 13), before clamping
+  double price = 0.0;           // p*    (Eq. 14)
+  bool clamped_low = false;
+  bool clamped_high = false;
+};
+
+// Aggregates the two seller sums of Eq. 13.  Exposed separately because
+// Private Pricing (Protocol 3) computes exactly these two numbers under
+// encryption.
+struct PricingSums {
+  double sum_k = 0.0;         // Σ k_i
+  double sum_supply = 0.0;    // Σ (g_i + 1 + eps_i*b_i - b_i)
+};
+PricingSums AggregatePricingSums(std::span<const SellerGameInput> sellers);
+
+// Derives p* from the aggregated sums.
+PriceSolution SolvePriceFromSums(const PricingSums& sums,
+                                 const MarketParams& params);
+
+// Convenience wrapper over the two steps above.
+PriceSolution SolveStackelbergPrice(std::span<const SellerGameInput> sellers,
+                                    const MarketParams& params);
+
+// Total buyer-coalition cost at price p (Eq. 7):
+//   Γ(p) = p * E_s(p) + ps * (E_b - E_s(p))
+// with E_s(p) = Σ (g_i - l_i*(p) - b_i) the supply under the sellers'
+// best response.  Used by the equilibrium property tests to verify
+// convexity and that p* minimizes Γ.
+double BuyerCoalitionCost(std::span<const SellerGameInput> sellers,
+                          double price, double market_demand,
+                          const MarketParams& params);
+
+}  // namespace pem::market

@@ -1,0 +1,74 @@
+#include "net/bus.h"
+
+#include "util/error.h"
+
+namespace pem::net {
+
+MessageBus::MessageBus(int num_agents)
+    : inboxes_(static_cast<size_t>(num_agents)),
+      stats_(static_cast<size_t>(num_agents)) {
+  PEM_CHECK(num_agents > 0, "MessageBus needs at least one agent");
+}
+
+void MessageBus::Account(AgentId from, AgentId to, size_t payload_size) {
+  const uint64_t size = payload_size + kFrameOverheadBytes;
+  stats_[static_cast<size_t>(from)].bytes_sent += size;
+  stats_[static_cast<size_t>(from)].messages_sent += 1;
+  stats_[static_cast<size_t>(to)].bytes_received += size;
+  stats_[static_cast<size_t>(to)].messages_received += 1;
+  total_bytes_ += size;
+  total_messages_ += 1;
+}
+
+void MessageBus::Send(Message msg) {
+  PEM_CHECK(msg.from >= 0 && msg.from < num_agents(), "bad sender id");
+  if (msg.to == kBroadcast) {
+    for (AgentId to = 0; to < num_agents(); ++to) {
+      if (to == msg.from) continue;
+      Message copy = msg;
+      copy.to = to;
+      Account(msg.from, to, copy.payload.size());
+      if (observer_) observer_(copy);
+      inboxes_[static_cast<size_t>(to)].push_back(std::move(copy));
+    }
+    return;
+  }
+  PEM_CHECK(msg.to >= 0 && msg.to < num_agents(), "bad receiver id");
+  Account(msg.from, msg.to, msg.payload.size());
+  if (observer_) observer_(msg);
+  inboxes_[static_cast<size_t>(msg.to)].push_back(std::move(msg));
+}
+
+std::optional<Message> MessageBus::Receive(AgentId agent) {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  auto& box = inboxes_[static_cast<size_t>(agent)];
+  if (box.empty()) return std::nullopt;
+  Message m = std::move(box.front());
+  box.pop_front();
+  return m;
+}
+
+bool MessageBus::HasMessage(AgentId agent) const {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  return !inboxes_[static_cast<size_t>(agent)].empty();
+}
+
+const TrafficStats& MessageBus::stats(AgentId agent) const {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  return stats_[static_cast<size_t>(agent)];
+}
+
+double MessageBus::AverageBytesPerAgent() const {
+  if (inboxes_.empty()) return 0.0;
+  uint64_t sum = 0;
+  for (const auto& s : stats_) sum += s.bytes_sent + s.bytes_received;
+  return static_cast<double>(sum) / static_cast<double>(inboxes_.size());
+}
+
+void MessageBus::ResetStats() {
+  for (auto& s : stats_) s = TrafficStats{};
+  total_bytes_ = 0;
+  total_messages_ = 0;
+}
+
+}  // namespace pem::net

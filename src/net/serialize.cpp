@@ -1,0 +1,5 @@
+#include "net/serialize.h"
+
+// Header-only today; translation unit kept so the target has a stable
+// archive and future non-inline helpers have a home.
+namespace pem::net {}

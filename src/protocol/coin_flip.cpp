@@ -1,0 +1,107 @@
+#include "protocol/coin_flip.h"
+
+#include <cstring>
+
+#include "crypto/commitment.h"
+#include "util/error.h"
+
+namespace pem::protocol {
+
+uint64_t JointRandomU64(ProtocolContext& ctx, std::span<Party> parties,
+                        std::span<const size_t> participants) {
+  PEM_CHECK(!participants.empty(), "joint draw needs participants");
+  const size_t m = participants.size();
+  if (m == 1) return ctx.rng.NextU64();  // nothing to agree on
+
+  // --- Phase 1: everyone samples a share and broadcasts a commitment.
+  std::vector<uint64_t> shares(m);
+  std::vector<crypto::CommitmentOpening> openings(m);
+  std::vector<crypto::Commitment> commitments(m);
+  for (size_t i = 0; i < m; ++i) {
+    shares[i] = ctx.rng.NextU64();
+    openings[i] =
+        crypto::MakeInt64Opening(static_cast<int64_t>(shares[i]), ctx.rng);
+    commitments[i] = crypto::Commit(openings[i].value, openings[i].blinder);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    net::ByteWriter w;
+    w.U32(static_cast<uint32_t>(participants[i]));
+    w.Bytes(commitments[i].digest.bytes);
+    const std::vector<uint8_t> payload = w.Take();
+    for (size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      ctx.bus.Send({parties[participants[i]].id(),
+                    parties[participants[j]].id(), kMsgCoinCommit, payload});
+    }
+  }
+  // Receivers record every peer commitment (drain inboxes).
+  std::vector<std::vector<crypto::Commitment>> seen(
+      m, std::vector<crypto::Commitment>(m));
+  for (size_t j = 0; j < m; ++j) {
+    seen[j][j] = commitments[j];
+    for (size_t k = 0; k + 1 < m; ++k) {
+      net::Message msg =
+          ExpectMessage(ctx.bus, parties[participants[j]].id(),
+                        kMsgCoinCommit);
+      net::ByteReader r(msg.payload);
+      const uint32_t from_index = r.U32();
+      const std::vector<uint8_t> digest = r.Bytes();
+      PEM_CHECK(digest.size() == 32, "bad commitment digest");
+      for (size_t i = 0; i < m; ++i) {
+        if (participants[i] == from_index) {
+          std::memcpy(seen[j][i].digest.bytes.data(), digest.data(), 32);
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: reveal and verify everywhere.
+  for (size_t i = 0; i < m; ++i) {
+    net::ByteWriter w;
+    w.U32(static_cast<uint32_t>(participants[i]));
+    w.U64(shares[i]);
+    w.Bytes(openings[i].blinder);
+    const std::vector<uint8_t> payload = w.Take();
+    for (size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      ctx.bus.Send({parties[participants[i]].id(),
+                    parties[participants[j]].id(), kMsgCoinReveal, payload});
+    }
+  }
+  uint64_t combined = 0;
+  for (size_t i = 0; i < m; ++i) combined ^= shares[i];
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t k = 0; k + 1 < m; ++k) {
+      net::Message msg =
+          ExpectMessage(ctx.bus, parties[participants[j]].id(),
+                        kMsgCoinReveal);
+      net::ByteReader r(msg.payload);
+      const uint32_t from_index = r.U32();
+      const uint64_t share = r.U64();
+      const std::vector<uint8_t> blinder = r.Bytes();
+      PEM_CHECK(blinder.size() == 32, "bad reveal blinder");
+      crypto::CommitmentOpening opening;
+      opening.value.resize(8);
+      std::memcpy(opening.value.data(), &share, 8);
+      std::memcpy(opening.blinder.data(), blinder.data(), 32);
+      for (size_t i = 0; i < m; ++i) {
+        if (participants[i] != from_index) continue;
+        PEM_CHECK(crypto::VerifyOpening(seen[j][i], opening),
+                  "coin-flip reveal does not match commitment");
+      }
+    }
+  }
+  return combined;
+}
+
+size_t SelectAgent(ProtocolContext& ctx, std::span<Party> parties,
+                   std::span<const size_t> candidates) {
+  PEM_CHECK(!candidates.empty(), "cannot select from empty candidate set");
+  if (!ctx.config.collusion_resistant_selection || candidates.size() == 1) {
+    return PickRandomIndex(candidates, ctx.rng);
+  }
+  const uint64_t joint = JointRandomU64(ctx, parties, candidates);
+  return candidates[joint % candidates.size()];
+}
+
+}  // namespace pem::protocol

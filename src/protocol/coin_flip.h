@@ -1,0 +1,37 @@
+// Joint randomness via commit-reveal (§VI, collusion resistance).
+//
+// Protocols 2-4 randomly select the agents who get to decrypt
+// aggregates (Hr1, Hr2, Hb, Hs).  If that choice were made by any
+// single party, colluders could steer it toward themselves.  Here the
+// coalition flips the coin jointly: every participant commits to a
+// random 64-bit share, all commitments are exchanged, then all shares
+// are revealed and verified; the XOR of the shares drives the choice.
+// No participant can bias the result without breaking the commitment
+// (binding) or aborting (detectable).
+//
+// This is optional machinery (PemConfig::collusion_resistant_selection)
+// since it costs O(m^2) small messages per draw.
+#pragma once
+
+#include <span>
+
+#include "protocol/context.h"
+
+namespace pem::protocol {
+
+inline constexpr uint32_t kMsgCoinCommit = 0x5045'0010;
+inline constexpr uint32_t kMsgCoinReveal = 0x5045'0011;
+
+// Jointly draws a uniform 64-bit value among `participants` (indices
+// into `parties`).  Every commitment/reveal is exchanged pairwise over
+// the bus and verified by every receiver; a bad opening aborts (a
+// protocol violation under the semi-honest-with-incentives model).
+uint64_t JointRandomU64(ProtocolContext& ctx, std::span<Party> parties,
+                        std::span<const size_t> participants);
+
+// Selection helper used by Protocols 2-4: jointly random when the
+// config enables collusion resistance, runner-random otherwise.
+size_t SelectAgent(ProtocolContext& ctx, std::span<Party> parties,
+                   std::span<const size_t> candidates);
+
+}  // namespace pem::protocol

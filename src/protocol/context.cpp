@@ -1,0 +1,129 @@
+#include "protocol/context.h"
+
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace pem::protocol {
+
+Coalitions FormCoalitions(std::span<const Party> parties) {
+  Coalitions c;
+  for (size_t i = 0; i < parties.size(); ++i) {
+    switch (parties[i].role()) {
+      case grid::Role::kSeller: c.sellers.push_back(i); break;
+      case grid::Role::kBuyer: c.buyers.push_back(i); break;
+      case grid::Role::kOffMarket: break;
+    }
+  }
+  return c;
+}
+
+size_t PickRandomIndex(std::span<const size_t> candidates, crypto::Rng& rng) {
+  PEM_CHECK(!candidates.empty(), "cannot pick from empty candidate set");
+  const crypto::BigInt bound(static_cast<int64_t>(candidates.size()));
+  const int64_t i = crypto::BigInt::RandomBelow(bound, rng).ToInt64();
+  return candidates[static_cast<size_t>(i)];
+}
+
+void WriteCiphertext(net::ByteWriter& w, const crypto::PaillierPublicKey& pk,
+                     const crypto::PaillierCiphertext& ct) {
+  w.Bytes(ct.value.ToBytesPadded(pk.ciphertext_bytes()));
+}
+
+crypto::PaillierCiphertext ReadCiphertext(net::ByteReader& r) {
+  return crypto::PaillierCiphertext{crypto::BigInt::FromBytes(r.Bytes())};
+}
+
+crypto::PaillierCiphertext ContextEncryptSigned(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk, int64_t v) {
+  if (ctx.pools != nullptr) {
+    return ctx.pools->PoolFor(pk).EncryptSigned(v, ctx.rng);
+  }
+  return pk.EncryptSigned(v, ctx.rng);
+}
+
+net::Message ExpectMessage(net::MessageBus& bus, net::AgentId agent,
+                           uint32_t expected_type) {
+  std::optional<net::Message> m = bus.Receive(agent);
+  PEM_CHECK(m.has_value(), "protocol: expected a message");
+  PEM_CHECK(m->type == expected_type, "protocol: unexpected message type");
+  return std::move(*m);
+}
+
+crypto::PaillierCiphertext RingAggregate(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, std::span<const size_t> ring,
+    const std::function<int64_t(const Party&)>& value_of,
+    net::AgentId final_recipient) {
+  PEM_CHECK(!ring.empty(), "ring aggregation needs at least one member");
+
+  // The per-member encryptions are independent of the running product,
+  // so with parallel_threads > 1 we compute them concurrently first —
+  // exactly what the paper's one-container-per-agent deployment does.
+  // Per-member seeds are drawn sequentially so a fixed context seed
+  // still yields a deterministic transcript.
+  std::vector<crypto::PaillierCiphertext> shares(ring.size());
+  if (ctx.config.parallel_threads > 1 && ring.size() > 1) {
+    std::vector<uint64_t> seeds(ring.size());
+    for (uint64_t& s : seeds) s = ctx.rng.NextU64();
+    ParallelFor(0, ring.size(),
+                static_cast<unsigned>(ctx.config.parallel_threads),
+                [&](size_t i) {
+                  crypto::DeterministicRng worker_rng(seeds[i]);
+                  shares[i] = pk.EncryptSigned(value_of(parties[ring[i]]),
+                                               worker_rng);
+                });
+  } else {
+    for (size_t i = 0; i < ring.size(); ++i) {
+      shares[i] = ContextEncryptSigned(ctx, pk, value_of(parties[ring[i]]));
+    }
+  }
+
+  crypto::PaillierCiphertext running;
+  for (size_t pos = 0; pos < ring.size(); ++pos) {
+    Party& member = parties[ring[pos]];
+    // Each member multiplies its (pre-encrypted) contribution in.
+    const crypto::PaillierCiphertext& mine = shares[pos];
+    running = (pos == 0) ? mine : pk.Add(running, mine);
+
+    const bool last = pos + 1 == ring.size();
+    const net::AgentId next =
+        last ? final_recipient : parties[ring[pos + 1]].id();
+    if (member.id() == next) continue;  // the recipient already holds it
+    net::ByteWriter w;
+    WriteCiphertext(w, pk, running);
+    ctx.bus.Send({member.id(), next, last ? kMsgRingFinal : kMsgRingHop,
+                  w.Take()});
+    if (!last) {
+      // The next member pops the hop message before adding its own
+      // share (sequential execution of the ring).
+      net::Message m = ExpectMessage(ctx.bus, next, kMsgRingHop);
+      net::ByteReader r(m.payload);
+      running = ReadCiphertext(r);
+    }
+  }
+  // Deliver to the final recipient's inbox (unless it was the last ring
+  // member itself).
+  const net::AgentId last_member = parties[ring.back()].id();
+  if (last_member != final_recipient) {
+    net::Message m = ExpectMessage(ctx.bus, final_recipient, kMsgRingFinal);
+    net::ByteReader r(m.payload);
+    running = ReadCiphertext(r);
+  }
+  return running;
+}
+
+void BroadcastPublicKey(ProtocolContext& ctx, const Party& owner) {
+  net::ByteWriter w;
+  const crypto::PaillierPublicKey& pk = owner.public_key();
+  w.U32(static_cast<uint32_t>(pk.key_bits()));
+  w.Bytes(pk.n().ToBytes());
+  ctx.bus.Send({owner.id(), net::kBroadcast, kMsgPublicKey, w.Take()});
+  // Peers drain the broadcast (content is re-derivable from their own
+  // stored copy of the key directory; we model the traffic).
+  for (net::AgentId a = 0; a < ctx.bus.num_agents(); ++a) {
+    if (a == owner.id()) continue;
+    ExpectMessage(ctx.bus, a, kMsgPublicKey);
+  }
+}
+
+}  // namespace pem::protocol

@@ -1,0 +1,79 @@
+// Shared protocol machinery: execution context, message tags, and the
+// Paillier ring-aggregation pattern that Protocols 2-4 all build on.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "crypto/rng.h"
+#include "net/bus.h"
+#include "protocol/party.h"
+
+namespace pem::protocol {
+
+// Message type tags.  The high half namespaces the subsystem ("PE").
+inline constexpr uint32_t kMsgRingHop = 0x5045'0001;
+inline constexpr uint32_t kMsgRingFinal = 0x5045'0002;
+inline constexpr uint32_t kMsgMarketCase = 0x5045'0003;
+inline constexpr uint32_t kMsgPrice = 0x5045'0004;
+inline constexpr uint32_t kMsgEncTotal = 0x5045'0005;
+inline constexpr uint32_t kMsgRatioCipher = 0x5045'0006;
+inline constexpr uint32_t kMsgRatioBroadcast = 0x5045'0007;
+inline constexpr uint32_t kMsgEnergyTransfer = 0x5045'0008;
+inline constexpr uint32_t kMsgPayment = 0x5045'0009;
+inline constexpr uint32_t kMsgPublicKey = 0x5045'000A;
+
+struct ProtocolContext {
+  net::MessageBus& bus;
+  crypto::Rng& rng;
+  const PemConfig& config;
+  // Optional idle-time encryption-randomness pools (see
+  // PaillierRandomnessPool).  When set, ring encryptions draw from the
+  // pool; when null or dry, they fall back to fresh randomness.
+  crypto::PaillierPoolRegistry* pools = nullptr;
+};
+
+// Encrypts through the context's randomness pool when available.
+crypto::PaillierCiphertext ContextEncryptSigned(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk, int64_t v);
+
+// Index lists into the parties span, built once per window
+// (Protocol 1, line 4).
+struct Coalitions {
+  std::vector<size_t> sellers;
+  std::vector<size_t> buyers;
+};
+Coalitions FormCoalitions(std::span<const Party> parties);
+
+// Uniform draw from `candidates` (protocol-level random agent choice).
+size_t PickRandomIndex(std::span<const size_t> candidates, crypto::Rng& rng);
+
+// Ciphertext wire helpers: fixed-width big-endian (2 * key bytes).
+void WriteCiphertext(net::ByteWriter& w, const crypto::PaillierPublicKey& pk,
+                     const crypto::PaillierCiphertext& ct);
+crypto::PaillierCiphertext ReadCiphertext(net::ByteReader& r);
+
+// Paillier ring aggregation (the Lines 2-10 pattern of Protocol 2):
+// each party in `ring` (indices into `parties`) encrypts
+// value_of(party) under `pk` and multiplies it into the running
+// ciphertext, forwarding hop-by-hop over the bus; the last party sends
+// the product to `final_recipient`, who is returned the ciphertext of
+// Σ value_of.  Every hop's bytes are accounted.
+crypto::PaillierCiphertext RingAggregate(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, std::span<const size_t> ring,
+    const std::function<int64_t(const Party&)>& value_of,
+    net::AgentId final_recipient);
+
+// Pops the next message for `agent`, asserting the expected type.
+net::Message ExpectMessage(net::MessageBus& bus, net::AgentId agent,
+                           uint32_t expected_type);
+
+// Announces the aggregator's public key to the coalition peers that
+// must encrypt under it (Protocol 1, line 2 amortizes this; we send it
+// per window so the bandwidth accounting is conservative).
+void BroadcastPublicKey(ProtocolContext& ctx, const Party& owner);
+
+}  // namespace pem::protocol

@@ -1,0 +1,187 @@
+#include "protocol/distribution.h"
+
+#include <cmath>
+
+#include "protocol/coin_flip.h"
+#include "util/error.h"
+#include "util/fixed_point.h"
+
+namespace pem::protocol {
+namespace {
+
+// Shared core of both market cases.
+//
+// ratio_members: the coalition whose shares define the allocation
+// ratios (buyers in the general market, sellers in the extreme one).
+// The aggregator is drawn from the counterpart coalition.  Returns the
+// per-member ratios share_m / total, indexed like ratio_members.
+std::vector<double> ComputeRatios(ProtocolContext& ctx,
+                                  std::span<Party> parties,
+                                  std::span<const size_t> ratio_members,
+                                  std::span<const size_t> counterpart,
+                                  size_t aggregator_index) {
+  Party& aggregator = parties[aggregator_index];
+  aggregator.EnsureKeys(ctx.config.key_bits, ctx.rng);
+  BroadcastPublicKey(ctx, aggregator);
+  const crypto::PaillierPublicKey& pk = aggregator.public_key();
+
+  // Lines 3-5: ring-aggregate the encrypted coalition total; the last
+  // member broadcasts it within the coalition.
+  auto share_of = [](const Party& p) { return std::abs(p.net_raw()); };
+  const size_t last = ratio_members.back();
+  const crypto::PaillierCiphertext enc_total =
+      RingAggregate(ctx, pk, parties, ratio_members, share_of,
+                    parties[last].id());
+  {
+    net::ByteWriter w;
+    WriteCiphertext(w, pk, enc_total);
+    const std::vector<uint8_t> payload = w.Take();
+    for (size_t m : ratio_members) {
+      if (m == last) continue;
+      ctx.bus.Send({parties[last].id(), parties[m].id(), kMsgEncTotal,
+                    payload});
+      (void)ExpectMessage(ctx.bus, parties[m].id(), kMsgEncTotal);
+    }
+  }
+
+  // Lines 6-7: each member sends Enc(total * K / share) to the
+  // aggregator.  K/share is rounded to an integer scalar; the scale K
+  // keeps the relative rounding error below ~1e-5 (see DESIGN.md §6).
+  const int64_t big_k = ctx.config.ratio_scale;
+  for (size_t m : ratio_members) {
+    Party& member = parties[m];
+    const int64_t share = share_of(member);
+    PEM_CHECK(share > 0, "coalition member with zero share");
+    const int64_t scalar = RoundDiv(big_k, share);
+    crypto::PaillierCiphertext ct =
+        pk.ScalarMul(enc_total, crypto::BigInt(scalar));
+    ct = pk.Rerandomize(ct, ctx.rng);  // hide the scalar from the wire
+    net::ByteWriter w;
+    w.U32(static_cast<uint32_t>(m));
+    w.I64(big_k);
+    WriteCiphertext(w, pk, ct);
+    ctx.bus.Send({member.id(), aggregator.id(), kMsgRatioCipher, w.Take()});
+  }
+
+  // Line 8: the aggregator decrypts each total/share ratio.  The
+  // decrypted value total_raw * K / share_raw can exceed 2^63, so it is
+  // read as a BigInt and converted to double.
+  std::vector<double> ratios(ratio_members.size(), 0.0);
+  for (size_t i = 0; i < ratio_members.size(); ++i) {
+    net::Message msg = ExpectMessage(ctx.bus, aggregator.id(), kMsgRatioCipher);
+    net::ByteReader r(msg.payload);
+    const uint32_t member_index = r.U32();
+    const int64_t k_received = r.I64();
+    const crypto::PaillierCiphertext ct = ReadCiphertext(r);
+    const double v = aggregator.private_key().Decrypt(ct).ToDouble();
+    PEM_CHECK(v > 0.0, "ratio ciphertext decrypted to non-positive value");
+    const double ratio = static_cast<double>(k_received) / v;  // share/total
+    // Map back to the ratio_members slot.
+    bool found = false;
+    for (size_t j = 0; j < ratio_members.size(); ++j) {
+      if (ratio_members[j] == member_index) {
+        ratios[j] = ratio;
+        found = true;
+        break;
+      }
+    }
+    PEM_CHECK(found, "ratio message from unknown coalition member");
+  }
+
+  // Broadcast the ratio vector within the counterpart coalition (the
+  // coalition that computes the pairwise amounts from it).
+  net::ByteWriter w;
+  w.U32(static_cast<uint32_t>(ratios.size()));
+  for (size_t j = 0; j < ratios.size(); ++j) {
+    w.U32(static_cast<uint32_t>(ratio_members[j]));
+    w.F64(ratios[j]);
+  }
+  const std::vector<uint8_t> payload = w.Take();
+  for (size_t c : counterpart) {
+    if (c == aggregator_index) continue;
+    ctx.bus.Send({parties[aggregator_index].id(), parties[c].id(),
+                  kMsgRatioBroadcast, payload});
+    (void)ExpectMessage(ctx.bus, parties[c].id(), kMsgRatioBroadcast);
+  }
+  return ratios;
+}
+
+}  // namespace
+
+DistributionResult RunPrivateDistribution(ProtocolContext& ctx,
+                                          std::span<Party> parties,
+                                          const Coalitions& coalitions,
+                                          bool general_market, double price) {
+  PEM_CHECK(!coalitions.sellers.empty() && !coalitions.buyers.empty(),
+            "distribution requires both coalitions");
+  PEM_CHECK(price > 0.0, "price must be positive");
+
+  DistributionResult result;
+  if (general_market) {
+    // Demand ratios |sn_j| / E_b, revealed only to the seller coalition.
+    const size_t hs = SelectAgent(ctx, parties, coalitions.sellers);
+    result.aggregator_index = hs;
+    const std::vector<double> ratios = ComputeRatios(
+        ctx, parties, coalitions.buyers, coalitions.sellers, hs);
+
+    // Lines 9-13: every seller routes e_ij = ratio_j * sn_i to every
+    // buyer; the buyer pays m_ji = p * e_ij.
+    for (size_t si : coalitions.sellers) {
+      const double sn_i = parties[si].net_kwh();
+      for (size_t j = 0; j < coalitions.buyers.size(); ++j) {
+        const size_t bj = coalitions.buyers[j];
+        const double e_ij = ratios[j] * sn_i;
+        net::ByteWriter we;
+        we.U32(static_cast<uint32_t>(si));
+        we.F64(e_ij);
+        ctx.bus.Send({parties[si].id(), parties[bj].id(), kMsgEnergyTransfer,
+                      we.Take()});
+        (void)ExpectMessage(ctx.bus, parties[bj].id(), kMsgEnergyTransfer);
+
+        const double m_ji = price * e_ij;
+        net::ByteWriter wp;
+        wp.U32(static_cast<uint32_t>(bj));
+        wp.F64(m_ji);
+        ctx.bus.Send({parties[bj].id(), parties[si].id(), kMsgPayment,
+                      wp.Take()});
+        (void)ExpectMessage(ctx.bus, parties[si].id(), kMsgPayment);
+
+        result.trades.push_back(Trade{si, bj, e_ij, m_ji});
+      }
+    }
+  } else {
+    // Extreme market: supply ratios sn_i / E_s, revealed only to the
+    // buyer coalition; buyers compute e_ij and pay, sellers route.
+    const size_t hb = SelectAgent(ctx, parties, coalitions.buyers);
+    result.aggregator_index = hb;
+    const std::vector<double> ratios = ComputeRatios(
+        ctx, parties, coalitions.sellers, coalitions.buyers, hb);
+
+    for (size_t bj : coalitions.buyers) {
+      const double demand_j = -parties[bj].net_kwh();
+      for (size_t i = 0; i < coalitions.sellers.size(); ++i) {
+        const size_t si = coalitions.sellers[i];
+        const double e_ij = ratios[i] * demand_j;
+        const double m_ji = price * e_ij;
+        net::ByteWriter wp;
+        wp.U32(static_cast<uint32_t>(bj));
+        wp.F64(m_ji);
+        ctx.bus.Send({parties[bj].id(), parties[si].id(), kMsgPayment,
+                      wp.Take()});
+        (void)ExpectMessage(ctx.bus, parties[si].id(), kMsgPayment);
+
+        net::ByteWriter we;
+        we.U32(static_cast<uint32_t>(si));
+        we.F64(e_ij);
+        ctx.bus.Send({parties[si].id(), parties[bj].id(), kMsgEnergyTransfer,
+                      we.Take()});
+        (void)ExpectMessage(ctx.bus, parties[bj].id(), kMsgEnergyTransfer);
+
+        result.trades.push_back(Trade{si, bj, e_ij, m_ji});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pem::protocol

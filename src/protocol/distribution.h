@@ -1,0 +1,38 @@
+// Private Distribution (Protocol 4).
+//
+// Allocates the pairwise trading amounts e_ij proportionally without
+// revealing demands/supplies: the receiving coalition ring-aggregates
+// its encrypted total under a random counterpart's key, each member
+// scalar-multiplies the encrypted total by round(K / |own share|), and
+// the counterpart decrypts only the ratio total/share — from which
+// nothing about the individual shares or the total leaks (Lemma 4).
+// Sellers then route energy and buyers pay m_ji = p* · e_ij pairwise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "protocol/context.h"
+
+namespace pem::protocol {
+
+struct Trade {
+  size_t seller_index = 0;
+  size_t buyer_index = 0;
+  double energy_kwh = 0.0;
+  double payment = 0.0;  // dollars, m_ji = p * e_ij
+};
+
+struct DistributionResult {
+  std::vector<Trade> trades;
+  size_t aggregator_index = 0;  // Hs (general) / Hb (extreme)
+};
+
+// `general_market` selects the branch of Protocol 4; `price` is p*
+// (general) or pl (extreme).
+DistributionResult RunPrivateDistribution(ProtocolContext& ctx,
+                                          std::span<Party> parties,
+                                          const Coalitions& coalitions,
+                                          bool general_market, double price);
+
+}  // namespace pem::protocol

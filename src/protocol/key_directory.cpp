@@ -1,0 +1,32 @@
+#include "protocol/key_directory.h"
+
+namespace pem::protocol {
+
+const KeyDirectory::Entry* KeyDirectory::Find(net::AgentId agent) const {
+  for (const Entry& e : entries_) {
+    if (e.agent == agent) return &e;
+  }
+  return nullptr;
+}
+
+pem::Status KeyDirectory::Register(net::AgentId agent,
+                                   const crypto::PaillierPublicKey& key) {
+  if (const Entry* existing = Find(agent)) {
+    if (existing->key == key) return pem::Status::Ok();
+    return pem::Error(pem::ErrorCode::kProtocolViolation,
+                      "agent announced two different public keys");
+  }
+  entries_.push_back(Entry{agent, key});
+  return pem::Status::Ok();
+}
+
+pem::Result<crypto::PaillierPublicKey> KeyDirectory::Lookup(
+    net::AgentId agent) const {
+  if (const Entry* e = Find(agent)) return e->key;
+  return pem::Error(pem::ErrorCode::kNotFound,
+                    "no public key registered for agent");
+}
+
+bool KeyDirectory::Has(net::AgentId agent) const { return Find(agent) != nullptr; }
+
+}  // namespace pem::protocol

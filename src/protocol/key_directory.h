@@ -1,0 +1,42 @@
+// Public-key directory (Protocol 1, lines 1-2).
+//
+// "Each agent generates a key pair and shares its public key in Φ."
+// The directory is each agent's local view of those announcements:
+// append-only, first-write-wins, with a consistency check against
+// equivocation (an agent announcing two different keys is a protocol
+// violation worth surfacing, not silently overwriting).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "net/bus.h"
+
+namespace pem::protocol {
+
+class KeyDirectory {
+ public:
+  // Registers `key` for `agent`.  Returns an error if the agent
+  // already registered a *different* key (equivocation); re-registering
+  // the identical key is a no-op.
+  pem::Status Register(net::AgentId agent, const crypto::PaillierPublicKey& key);
+
+  // Returns the registered key, or kNotFound.
+  pem::Result<crypto::PaillierPublicKey> Lookup(net::AgentId agent) const;
+
+  bool Has(net::AgentId agent) const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    net::AgentId agent;
+    crypto::PaillierPublicKey key;
+  };
+  const Entry* Find(net::AgentId agent) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pem::protocol

@@ -1,0 +1,28 @@
+// Private Market Evaluation (Protocol 2).
+//
+// The two coalitions learn whether E_s < E_b (general market) without
+// revealing either total: both sums are blinded with the same set of
+// per-agent nonces, decrypted by two randomly chosen agents, and the
+// blinded values are compared with a garbled-circuit secure comparison.
+#pragma once
+
+#include <span>
+
+#include "protocol/context.h"
+
+namespace pem::protocol {
+
+struct MarketEvalResult {
+  bool general_market = false;
+  // The randomly chosen decryptors (for tests / transcript checks).
+  size_t hr1_seller_index = 0;
+  size_t hr2_buyer_index = 0;
+};
+
+// Preconditions: both coalitions non-empty (Protocol 1 handles the
+// empty cases before calling this).
+MarketEvalResult RunPrivateMarketEvaluation(ProtocolContext& ctx,
+                                            std::span<Party> parties,
+                                            const Coalitions& coalitions);
+
+}  // namespace pem::protocol

@@ -1,0 +1,94 @@
+// Per-agent protocol state.
+//
+// A Party owns exactly the data the paper calls private: its window
+// state (g, l, b), utility parameter k, battery coefficient ε, its
+// Paillier key pair, and the per-window blinding nonce.  Protocol code
+// is written so that another party's fields are never read directly —
+// all cross-party information flows through bus messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/paillier.h"
+#include "crypto/rng.h"
+#include "crypto/secure_compare.h"
+#include "grid/types.h"
+#include "market/params.h"
+#include "net/bus.h"
+#include "util/fixed_point.h"
+
+namespace pem::protocol {
+
+struct PemConfig {
+  int key_bits = 1024;
+  crypto::SecureCompareConfig compare;  // 64-bit comparator by default
+  // Blinding nonces r_i are drawn uniformly from [0, nonce_bound).
+  int64_t nonce_bound = int64_t{1} << 40;
+  // The integer K of Protocol 4's reciprocal trick.
+  int64_t ratio_scale = int64_t{1} << 40;
+  // Idle-time precomputation of Paillier encryption randomness (the
+  // paper's "executed in parallel during idle time" optimization that
+  // flattens Fig. 5(b)'s key-size lines).  When enabled, the
+  // simulation refills pools between windows, outside the per-window
+  // runtime measurement.
+  bool precompute_encryption = false;
+  size_t encryption_pool_target = 1024;
+  // Emulates the paper's per-container parallelism: ring-aggregation
+  // encryptions are data-independent of the running product, so with
+  // parallel_threads > 1 they are computed concurrently and only the
+  // multiplication pass stays sequential.  1 = fully sequential.
+  int parallel_threads = 1;
+  // §VI collusion resistance: select the decrypting agents (Hr1, Hr2,
+  // Hb, Hs) by a jointly-random commit-reveal coin flip within the
+  // candidate coalition instead of trusting a single source of
+  // randomness.  Costs O(m^2) small messages per selection.
+  bool collusion_resistant_selection = false;
+  market::MarketParams market;
+};
+
+class Party {
+ public:
+  Party(net::AgentId id, grid::AgentParams params) : id_(id), params_(params) {}
+
+  net::AgentId id() const { return id_; }
+  const grid::AgentParams& params() const { return params_; }
+  grid::Role role() const { return role_; }
+
+  // Loads the window state: quantizes the net energy and draws the
+  // blinding nonce for this window.
+  void BeginWindow(const grid::WindowState& state, int64_t nonce_bound,
+                   crypto::Rng& rng);
+
+  const grid::WindowState& state() const { return state_; }
+  // Quantized sn_i as a fixed-point raw integer (µkWh).
+  int64_t net_raw() const { return net_raw_; }
+  double net_kwh() const {
+    return FixedPoint::FromRaw(net_raw_).ToDouble();
+  }
+  int64_t nonce() const { return nonce_; }
+
+  // Fixed-point raws of the two Private Pricing aggregands.
+  int64_t PreferenceRaw() const;   // k_i
+  int64_t SupplyTermRaw() const;   // g_i + 1 + ε_i*b_i - b_i
+
+  // Lazily generates this party's Paillier key pair.  The paper has
+  // every agent generate keys at setup (Protocol 1, lines 1-2); we
+  // defer to first use since only the randomly chosen aggregators'
+  // keys are ever exercised in a window.
+  const crypto::PaillierKeyPair& EnsureKeys(int key_bits, crypto::Rng& rng);
+  bool HasKeys() const { return keys_.has_value(); }
+  const crypto::PaillierPublicKey& public_key() const;
+  const crypto::PaillierPrivateKey& private_key() const;
+
+ private:
+  net::AgentId id_;
+  grid::AgentParams params_;
+  grid::WindowState state_;
+  grid::Role role_ = grid::Role::kOffMarket;
+  int64_t net_raw_ = 0;
+  int64_t nonce_ = 0;
+  std::optional<crypto::PaillierKeyPair> keys_;
+};
+
+}  // namespace pem::protocol

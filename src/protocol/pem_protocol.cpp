@@ -1,0 +1,84 @@
+#include "protocol/pem_protocol.h"
+
+#include "protocol/market_eval.h"
+#include "protocol/pricing.h"
+#include "util/stopwatch.h"
+
+namespace pem::protocol {
+
+PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties) {
+  const Stopwatch timer;
+  ctx.bus.ResetStats();
+
+  PemWindowResult result;
+  const size_t n = parties.size();
+  result.market_purchase.assign(n, 0.0);
+  result.market_sale.assign(n, 0.0);
+  result.money_paid.assign(n, 0.0);
+  result.money_received.assign(n, 0.0);
+
+  // Protocol 1, line 4: coalition formation.
+  const Coalitions coalitions = FormCoalitions(parties);
+
+  const market::MarketParams& mp = ctx.config.market;
+  if (coalitions.sellers.empty() || coalitions.buyers.empty()) {
+    // Degenerate market: everyone trades with the main grid only.
+    result.type = market::MarketType::kNoMarket;
+    result.price = mp.retail_price;
+  } else {
+    // Line 5: Private Market Evaluation.
+    const MarketEvalResult eval =
+        RunPrivateMarketEvaluation(ctx, parties, coalitions);
+    if (eval.general_market) {
+      // Lines 6-7: Private Pricing.
+      result.type = market::MarketType::kGeneral;
+      result.price = RunPrivatePricing(ctx, parties, coalitions).price;
+    } else {
+      // Line 9: extreme market trades at the floor.
+      result.type = market::MarketType::kExtreme;
+      result.price = mp.price_floor;
+    }
+    // Line 10: Private Distribution.
+    DistributionResult dist = RunPrivateDistribution(
+        ctx, parties, coalitions, eval.general_market, result.price);
+    result.trades = std::move(dist.trades);
+  }
+
+  // Settle: apply trades, then clear each agent's residual with the
+  // main grid (public per-agent bookkeeping, not part of the MPC).
+  for (const Trade& t : result.trades) {
+    result.market_sale[t.seller_index] += t.energy_kwh;
+    result.market_purchase[t.buyer_index] += t.energy_kwh;
+    result.money_received[t.seller_index] += t.payment;
+    result.money_paid[t.buyer_index] += t.payment;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Party& p = parties[i];
+    switch (p.role()) {
+      case grid::Role::kSeller: {
+        result.supply_total += p.net_kwh();
+        const double leftover = p.net_kwh() - result.market_sale[i];
+        result.grid_export_kwh += leftover;
+        result.money_received[i] += mp.buyback_price * leftover;
+        break;
+      }
+      case grid::Role::kBuyer: {
+        const double demand = -p.net_kwh();
+        result.demand_total += demand;
+        const double residual = demand - result.market_purchase[i];
+        result.grid_import_kwh += residual;
+        result.money_paid[i] += mp.retail_price * residual;
+        result.buyer_total_cost += result.money_paid[i];
+        break;
+      }
+      case grid::Role::kOffMarket:
+        break;
+    }
+  }
+
+  result.runtime_seconds = timer.ElapsedSeconds();
+  result.bus_bytes = ctx.bus.total_bytes();
+  return result;
+}
+
+}  // namespace pem::protocol

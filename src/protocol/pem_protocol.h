@@ -1,0 +1,47 @@
+// Private Energy Market (Protocol 1): one full trading window.
+//
+// Orchestrates coalition formation, Private Market Evaluation,
+// Private Pricing (general market) / floor pricing (extreme market),
+// and Private Distribution, then settles each agent's residual with
+// the main grid.  The output mirrors market::MarketOutcome so tests
+// can assert the cryptographic path computes exactly the plaintext
+// clearing result.
+#pragma once
+
+#include <span>
+
+#include "market/clearing.h"
+#include "protocol/context.h"
+#include "protocol/distribution.h"
+
+namespace pem::protocol {
+
+struct PemWindowResult {
+  market::MarketType type = market::MarketType::kNoMarket;
+  double price = 0.0;
+  double supply_total = 0.0;  // derived from the public trades
+  double demand_total = 0.0;
+  std::vector<Trade> trades;
+
+  // Per-agent settlement (indexed like the parties span).
+  std::vector<double> market_purchase;
+  std::vector<double> market_sale;
+  std::vector<double> money_paid;
+  std::vector<double> money_received;
+  double buyer_total_cost = 0.0;
+  double grid_import_kwh = 0.0;
+  double grid_export_kwh = 0.0;
+
+  // Window-level measurements (Figs. 5a-c, Table I).
+  double runtime_seconds = 0.0;
+  uint64_t bus_bytes = 0;
+
+  double GridInteraction() const { return grid_import_kwh + grid_export_kwh; }
+};
+
+// Runs one window.  Parties must have BeginWindow() applied for this
+// window already.  Resets and reads the bus stats around the run, so
+// bus_bytes is this window's traffic only.
+PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties);
+
+}  // namespace pem::protocol

@@ -1,0 +1,57 @@
+#include "protocol/pricing.h"
+
+#include "protocol/coin_flip.h"
+#include "util/error.h"
+#include "util/fixed_point.h"
+
+namespace pem::protocol {
+
+PricingResult RunPrivatePricing(ProtocolContext& ctx,
+                                std::span<Party> parties,
+                                const Coalitions& coalitions) {
+  PEM_CHECK(!coalitions.sellers.empty(), "pricing requires sellers");
+  PEM_CHECK(!coalitions.buyers.empty(), "pricing requires buyers");
+
+  PricingResult result;
+  const size_t hb = SelectAgent(ctx, parties, coalitions.buyers);
+  result.hb_buyer_index = hb;
+  Party& buyer_hb = parties[hb];
+  buyer_hb.EnsureKeys(ctx.config.key_bits, ctx.rng);
+  BroadcastPublicKey(ctx, buyer_hb);
+
+  // Lines 2-5: ring-aggregate Σ k_i over the seller coalition.
+  const crypto::PaillierCiphertext enc_sum_k =
+      RingAggregate(ctx, buyer_hb.public_key(), parties, coalitions.sellers,
+                    [](const Party& p) { return p.PreferenceRaw(); },
+                    buyer_hb.id());
+  const int64_t sum_k_raw = buyer_hb.private_key().DecryptSigned(enc_sum_k);
+
+  // Lines 6-7: repeat for Σ (g_i + 1 + ε_i b_i − b_i).
+  const crypto::PaillierCiphertext enc_sum_supply =
+      RingAggregate(ctx, buyer_hb.public_key(), parties, coalitions.sellers,
+                    [](const Party& p) { return p.SupplyTermRaw(); },
+                    buyer_hb.id());
+  const int64_t sum_supply_raw =
+      buyer_hb.private_key().DecryptSigned(enc_sum_supply);
+
+  // Lines 8-9: Hb derives p̂ and clamps to [pl, ph].
+  result.sums.sum_k = FixedPoint::FromRaw(sum_k_raw).ToDouble();
+  result.sums.sum_supply = FixedPoint::FromRaw(sum_supply_raw).ToDouble();
+  const market::PriceSolution sol =
+      market::SolvePriceFromSums(result.sums, ctx.config.market);
+  result.price = sol.price;
+  result.interior_price = sol.interior_price;
+
+  net::ByteWriter w;
+  w.F64(result.price);
+  ctx.bus.Send({buyer_hb.id(), net::kBroadcast, kMsgPrice, w.Take()});
+  for (net::AgentId a = 0; a < ctx.bus.num_agents(); ++a) {
+    if (a == buyer_hb.id()) continue;
+    net::Message m = ExpectMessage(ctx.bus, a, kMsgPrice);
+    net::ByteReader r(m.payload);
+    PEM_CHECK(r.F64() == result.price, "price broadcast mismatch");
+  }
+  return result;
+}
+
+}  // namespace pem::protocol

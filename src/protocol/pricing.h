@@ -1,0 +1,26 @@
+// Private Pricing (Protocol 3).
+//
+// In the general market, a randomly chosen buyer Hb homomorphically
+// aggregates the two seller sums of Eq. 13 — Σ k_i and
+// Σ (g_i + 1 + ε_i b_i − b_i) — derives the Stackelberg price p* per
+// Eq. 14, and broadcasts it.  Hb learns only the aggregates (Lemma 3).
+#pragma once
+
+#include <span>
+
+#include "market/stackelberg.h"
+#include "protocol/context.h"
+
+namespace pem::protocol {
+
+struct PricingResult {
+  double price = 0.0;           // p* (Eq. 14)
+  double interior_price = 0.0;  // p̂ (Eq. 13)
+  market::PricingSums sums;     // what Hb learned (aggregates only)
+  size_t hb_buyer_index = 0;
+};
+
+PricingResult RunPrivatePricing(ProtocolContext& ctx, std::span<Party> parties,
+                                const Coalitions& coalitions);
+
+}  // namespace pem::protocol

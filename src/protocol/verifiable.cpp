@@ -1,0 +1,61 @@
+#include "protocol/verifiable.h"
+
+#include <cstring>
+
+namespace pem::protocol {
+namespace {
+
+// Commitment preimage: blinded value || encryption randomness bytes.
+std::vector<uint8_t> WitnessBytes(int64_t blinded_value,
+                                  const crypto::BigInt& randomness) {
+  std::vector<uint8_t> out(8);
+  std::memcpy(out.data(), &blinded_value, 8);
+  const std::vector<uint8_t> r = randomness.ToBytes();
+  out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+}  // namespace
+
+VerifiableResult MakeVerifiableContribution(
+    const crypto::PaillierPublicKey& pk, int64_t blinded_value,
+    crypto::Rng& rng) {
+  // Sample the encryption randomness explicitly so it can be retained.
+  crypto::BigInt r = crypto::BigInt::RandomBelow(pk.n(), rng);
+  while (r.IsZero() || !r.IsInvertibleMod(pk.n())) {
+    r = crypto::BigInt::RandomBelow(pk.n(), rng);
+  }
+
+  VerifiableResult result;
+  result.witness.blinded_value = blinded_value;
+  result.witness.encryption_randomness = r;
+  rng.Fill(result.witness.blinder);
+
+  result.contribution.ciphertext =
+      pk.EncryptWithRandomness(pk.EncodeSigned(blinded_value), r);
+  result.contribution.commitment =
+      crypto::Commit(WitnessBytes(blinded_value, r), result.witness.blinder);
+  return result;
+}
+
+bool VerifyContribution(const crypto::PaillierPublicKey& pk,
+                        const VerifiableContribution& contribution,
+                        const ContributionWitness& witness) {
+  // 1. Commitment opens to the claimed witness.
+  crypto::CommitmentOpening opening;
+  opening.value =
+      WitnessBytes(witness.blinded_value, witness.encryption_randomness);
+  opening.blinder = witness.blinder;
+  if (!crypto::VerifyOpening(contribution.commitment, opening)) return false;
+
+  // 2. Deterministic re-encryption reproduces the aggregated ciphertext.
+  if (witness.encryption_randomness.IsZero() ||
+      !witness.encryption_randomness.IsInvertibleMod(pk.n())) {
+    return false;
+  }
+  const crypto::PaillierCiphertext expected = pk.EncryptWithRandomness(
+      pk.EncodeSigned(witness.blinded_value), witness.encryption_randomness);
+  return expected.value == contribution.ciphertext.value;
+}
+
+}  // namespace pem::protocol

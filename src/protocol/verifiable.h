@@ -1,0 +1,50 @@
+// Verifiable ring contributions — the §VI malicious-model extension.
+//
+// In the semi-honest protocols an agent could silently contribute a
+// ciphertext of the wrong value.  Here each agent also publishes a
+// commitment to (blinded contribution, encryption randomness); a
+// randomly selected auditor (random selection is the paper's
+// collusion-resistance lever) may later demand the opening, re-encrypt
+// deterministically, and compare against the ciphertext that actually
+// entered the aggregation.
+//
+// Privacy is preserved by auditing the *blinded* contribution
+// (value + nonce, as in Protocol 2): the opening reveals nothing about
+// the raw net energy as long as the window nonce stays secret.
+#pragma once
+
+#include "crypto/commitment.h"
+#include "crypto/paillier.h"
+
+namespace pem::protocol {
+
+// What the contributor publishes alongside its ciphertext.
+struct VerifiableContribution {
+  crypto::PaillierCiphertext ciphertext;
+  crypto::Commitment commitment;
+};
+
+// What the contributor keeps, and hands to the auditor on demand.
+struct ContributionWitness {
+  int64_t blinded_value = 0;
+  crypto::BigInt encryption_randomness;
+  std::array<uint8_t, 32> blinder{};
+};
+
+// Encrypts `blinded_value` with fresh (retained) randomness and
+// commits to (value, randomness).
+struct VerifiableResult {
+  VerifiableContribution contribution;
+  ContributionWitness witness;
+};
+VerifiableResult MakeVerifiableContribution(
+    const crypto::PaillierPublicKey& pk, int64_t blinded_value,
+    crypto::Rng& rng);
+
+// The auditor's check: the witness opens the commitment AND
+// re-encrypting with the witness randomness reproduces the ciphertext.
+bool VerifyContribution(const crypto::PaillierPublicKey& pk,
+                        const VerifiableContribution& contribution,
+                        const ContributionWitness& witness);
+
+}  // namespace pem::protocol

@@ -1,0 +1,30 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace pem {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  out_.open(path);
+  if (out_.is_open()) Row(header);
+}
+
+void CsvWriter::Row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string CsvWriter::Num(int64_t v) { return std::to_string(v); }
+
+}  // namespace pem

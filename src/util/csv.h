@@ -1,0 +1,30 @@
+// Tiny CSV writer used by the bench harnesses to dump paper-figure
+// series next to the human-readable stdout tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pem {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row.  If the file
+  // cannot be opened the writer silently degrades to a no-op (benches
+  // still print to stdout).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void Row(const std::vector<std::string>& cells);
+
+  // Convenience: formats doubles with 6 significant digits.
+  static std::string Num(double v);
+  static std::string Num(int64_t v);
+
+  bool ok() const { return out_.is_open(); }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace pem

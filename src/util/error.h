@@ -1,0 +1,135 @@
+// Lightweight error type used across the PEM library.
+//
+// Protocol and crypto code reports recoverable failures through
+// pem::Result<T>; programming errors (precondition violations) use
+// PEM_CHECK which aborts with a message.  We avoid exceptions on hot
+// protocol paths but allow them at API boundaries (e.g. key parsing).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pem {
+
+// Error category tags.  Kept coarse on purpose: callers branch on
+// category, humans read the message.
+enum class ErrorCode {
+  kInvalidArgument,
+  kOutOfRange,
+  kCryptoFailure,
+  kProtocolViolation,
+  kSerialization,
+  kNotFound,
+  kInternal,
+};
+
+inline const char* ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kCryptoFailure: return "crypto_failure";
+    case ErrorCode::kProtocolViolation: return "protocol_violation";
+    case ErrorCode::kSerialization: return "serialization";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Minimal expected-like result.  Intentionally small: value xor error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : v_(std::move(error)) {}      // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    if (ok()) Fail("Result::error() called on ok result");
+    return std::get<Error>(v_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  [[noreturn]] static void Fail(const char* what) {
+    std::fprintf(stderr, "pem fatal: %s\n", what);
+    std::abort();
+  }
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "pem fatal: Result::value() on error: %s\n",
+                   std::get<Error>(v_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Error> v_;
+};
+
+// Result<void> specialization-by-alias.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : err_(std::move(error)) {}  // NOLINT(implicit)
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return *err_; }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace pem
+
+// Precondition check: aborts on violation.  Used for programmer errors
+// only, never for input validation of remote data.
+#define PEM_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "PEM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, (msg));                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

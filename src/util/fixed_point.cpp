@@ -1,0 +1,48 @@
+#include "util/fixed_point.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pem {
+
+FixedPoint FixedPoint::FromDouble(double v, int64_t scale) {
+  PEM_CHECK(scale > 0, "scale must be positive");
+  const double scaled = v * static_cast<double>(scale);
+  PEM_CHECK(std::abs(scaled) < 9.0e18, "fixed-point overflow");
+  return FixedPoint(static_cast<int64_t>(std::llround(scaled)), scale);
+}
+
+FixedPoint FixedPoint::FromRaw(int64_t raw, int64_t scale) {
+  PEM_CHECK(scale > 0, "scale must be positive");
+  return FixedPoint(raw, scale);
+}
+
+double FixedPoint::ToDouble() const {
+  return static_cast<double>(raw_) / static_cast<double>(scale_);
+}
+
+FixedPoint FixedPoint::operator+(const FixedPoint& o) const {
+  PEM_CHECK(scale_ == o.scale_, "fixed-point scale mismatch");
+  return FixedPoint(raw_ + o.raw_, scale_);
+}
+
+FixedPoint FixedPoint::operator-(const FixedPoint& o) const {
+  PEM_CHECK(scale_ == o.scale_, "fixed-point scale mismatch");
+  return FixedPoint(raw_ - o.raw_, scale_);
+}
+
+FixedPoint FixedPoint::operator-() const { return FixedPoint(-raw_, scale_); }
+
+std::string FixedPoint::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", ToDouble());
+  return buf;
+}
+
+int64_t RoundDiv(int64_t num, int64_t den) {
+  PEM_CHECK(den > 0, "RoundDiv: denominator must be positive");
+  if (num >= 0) return (num + den / 2) / den;
+  return -((-num + den / 2) / den);
+}
+
+}  // namespace pem

@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace pem {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void Logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s: ", LevelName(level), tag);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace pem

@@ -1,0 +1,25 @@
+// Minimal leveled logger.  Protocol code logs at kDebug; benches and
+// examples set the level explicitly.  Not thread-safe by design: the
+// simulation driver is single-threaded (see DESIGN.md §2 item 9).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace pem {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging; message is prefixed with level and subsystem tag.
+void Logf(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace pem
+
+#define PEM_LOG_DEBUG(tag, ...) ::pem::Logf(::pem::LogLevel::kDebug, tag, __VA_ARGS__)
+#define PEM_LOG_INFO(tag, ...) ::pem::Logf(::pem::LogLevel::kInfo, tag, __VA_ARGS__)
+#define PEM_LOG_WARN(tag, ...) ::pem::Logf(::pem::LogLevel::kWarn, tag, __VA_ARGS__)
+#define PEM_LOG_ERROR(tag, ...) ::pem::Logf(::pem::LogLevel::kError, tag, __VA_ARGS__)

@@ -1,0 +1,46 @@
+// Minimal fork-join parallel loop.
+//
+// Used to emulate the paper's deployment parallelism: each agent runs
+// in its own Docker container, so the per-agent encryptions of a ring
+// aggregation all happen concurrently in real life.  ParallelFor gives
+// the simulation the same property without a dependency on TBB/OpenMP.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pem {
+
+// Invokes fn(i) for i in [begin, end) across up to `threads` workers.
+// Blocks until all iterations complete.  fn must be safe to run
+// concurrently for distinct i.  threads <= 1 degrades to a serial loop.
+inline void ParallelFor(size_t begin, size_t end, unsigned threads,
+                        const std::function<void(size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t count = end - begin;
+  if (threads <= 1 || count == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const unsigned workers =
+      static_cast<unsigned>(std::min<size_t>(threads, count));
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w]() {
+      // Strided assignment: contiguous chunks would serialize when the
+      // per-iteration cost is skewed.
+      for (size_t i = begin + w; i < end; i += workers) fn(i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+// Default worker count: the machine's concurrency, at least 1.
+inline unsigned DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace pem

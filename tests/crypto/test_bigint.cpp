@@ -1,0 +1,248 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  const BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{1} << 40,
+                    int64_t{-(int64_t{1} << 40)}, INT64_MAX, INT64_MIN + 1}) {
+    EXPECT_EQ(BigInt(v).ToInt64(), v) << v;
+  }
+}
+
+TEST(BigInt, Int64MinHandled) {
+  // INT64_MIN negation is UB in naive code; the assignment path avoids it.
+  const BigInt v(INT64_MIN);
+  EXPECT_TRUE(v.IsNegative());
+  EXPECT_EQ(v.ToDecString(), "-9223372036854775808");
+}
+
+TEST(BigInt, DecStringRoundTrip) {
+  const std::string s = "123456789012345678901234567890";
+  EXPECT_EQ(BigInt::FromDecString(s).ToDecString(), s);
+}
+
+TEST(BigInt, HexStringRoundTrip) {
+  const std::string s = "deadbeefcafe1234567890abcdef";
+  EXPECT_EQ(BigInt::FromHexString(s).ToHexString(), s);
+}
+
+TEST(BigInt, BasicArithmetic) {
+  const BigInt a(100), b(7);
+  EXPECT_EQ((a + b).ToInt64(), 107);
+  EXPECT_EQ((a - b).ToInt64(), 93);
+  EXPECT_EQ((a * b).ToInt64(), 700);
+  EXPECT_EQ((a / b).ToInt64(), 14);  // floor
+  EXPECT_EQ((a % b).ToInt64(), 2);
+  EXPECT_EQ((-a).ToInt64(), -100);
+}
+
+TEST(BigInt, ModIsAlwaysNonNegative) {
+  EXPECT_EQ((BigInt(-5) % BigInt(3)).ToInt64(), 1);
+  EXPECT_EQ((BigInt(-6) % BigInt(3)).ToInt64(), 0);
+}
+
+TEST(BigInt, CompoundAssignment) {
+  BigInt a(10);
+  a += BigInt(5);
+  EXPECT_EQ(a.ToInt64(), 15);
+  a -= BigInt(20);
+  EXPECT_EQ(a.ToInt64(), -5);
+  a *= BigInt(-4);
+  EXPECT_EQ(a.ToInt64(), 20);
+}
+
+TEST(BigInt, ModularArithmetic) {
+  const BigInt m(97);
+  EXPECT_EQ(BigInt(90).AddMod(BigInt(10), m).ToInt64(), 3);
+  EXPECT_EQ(BigInt(5).SubMod(BigInt(10), m).ToInt64(), 92);
+  EXPECT_EQ(BigInt(50).MulMod(BigInt(3), m).ToInt64(), 53);
+}
+
+TEST(BigInt, PowModSmallCases) {
+  EXPECT_EQ(BigInt(2).PowMod(BigInt(10), BigInt(1000)).ToInt64(), 24);
+  EXPECT_EQ(BigInt(3).PowMod(BigInt(0), BigInt(7)).ToInt64(), 1);
+}
+
+TEST(BigInt, PowModFermat) {
+  // a^(p-1) = 1 mod p for prime p, gcd(a,p)=1.
+  const BigInt p(101);
+  for (int64_t a = 2; a < 20; ++a) {
+    EXPECT_EQ(BigInt(a).PowMod(p - BigInt(1), p).ToInt64(), 1) << a;
+  }
+}
+
+TEST(BigInt, PowModNegativeExponent) {
+  // 3^-1 mod 7 = 5; 3^-2 mod 7 = 25 mod 7 = 4.
+  EXPECT_EQ(BigInt(3).PowMod(BigInt(-1), BigInt(7)).ToInt64(), 5);
+  EXPECT_EQ(BigInt(3).PowMod(BigInt(-2), BigInt(7)).ToInt64(), 4);
+}
+
+TEST(BigInt, InvModCorrect) {
+  const BigInt m(97);
+  for (int64_t a = 1; a < 97; ++a) {
+    const BigInt inv = BigInt(a).InvMod(m);
+    EXPECT_EQ(BigInt(a).MulMod(inv, m).ToInt64(), 1) << a;
+  }
+}
+
+TEST(BigInt, IsInvertibleMod) {
+  EXPECT_TRUE(BigInt(3).IsInvertibleMod(BigInt(10)));
+  EXPECT_FALSE(BigInt(4).IsInvertibleMod(BigInt(10)));
+  EXPECT_FALSE(BigInt(0).IsInvertibleMod(BigInt(10)));
+}
+
+TEST(BigInt, GcdLcm) {
+  EXPECT_EQ(BigInt(12).Gcd(BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt(4).Lcm(BigInt(6)).ToInt64(), 12);
+  EXPECT_EQ(BigInt(17).Gcd(BigInt(13)).ToInt64(), 1);
+}
+
+TEST(BigInt, AbsAndSqrt) {
+  EXPECT_EQ(BigInt(-42).Abs().ToInt64(), 42);
+  EXPECT_EQ(BigInt(144).Sqrt().ToInt64(), 12);
+  EXPECT_EQ(BigInt(150).Sqrt().ToInt64(), 12);  // floor
+}
+
+TEST(BigInt, PrimalityKnownValues) {
+  EXPECT_TRUE(BigInt(2).IsProbablePrime());
+  EXPECT_TRUE(BigInt(97).IsProbablePrime());
+  EXPECT_TRUE(BigInt::FromDecString("2305843009213693951").IsProbablePrime());
+  EXPECT_FALSE(BigInt(1).IsProbablePrime());
+  EXPECT_FALSE(BigInt(100).IsProbablePrime());
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  const BigInt v = BigInt::FromHexString("0102030405060708090a");
+  const std::vector<uint8_t> bytes = v.ToBytes();
+  ASSERT_EQ(bytes.size(), 10u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[9], 0x0a);
+  EXPECT_EQ(BigInt::FromBytes(bytes), v);
+}
+
+TEST(BigInt, PaddedBytesPreserveValue) {
+  const BigInt v(0x1234);
+  const std::vector<uint8_t> padded = v.ToBytesPadded(8);
+  ASSERT_EQ(padded.size(), 8u);
+  EXPECT_EQ(padded[0], 0);
+  EXPECT_EQ(padded[6], 0x12);
+  EXPECT_EQ(padded[7], 0x34);
+  EXPECT_EQ(BigInt::FromBytes(padded), v);
+}
+
+TEST(BigInt, ZeroSerializesEmpty) {
+  EXPECT_TRUE(BigInt(0).ToBytes().empty());
+  EXPECT_EQ(BigInt::FromBytes({}), BigInt(0));
+}
+
+TEST(BigIntRandom, RandomBelowStaysBelow) {
+  DeterministicRng rng(1);
+  const BigInt bound = BigInt::FromDecString("1000000000000000000000");
+  for (int i = 0; i < 200; ++i) {
+    const BigInt r = BigInt::RandomBelow(bound, rng);
+    EXPECT_LT(r, bound);
+    EXPECT_FALSE(r.IsNegative());
+  }
+}
+
+TEST(BigIntRandom, RandomBelowCoversSmallRangeUniformly) {
+  DeterministicRng rng(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++counts[static_cast<size_t>(
+        BigInt::RandomBelow(BigInt(10), rng).ToInt64())];
+  }
+  for (int c : counts) EXPECT_GT(c, 350);  // expected 500 each
+}
+
+TEST(BigIntRandom, RandomBitsHasExactWidth) {
+  DeterministicRng rng(3);
+  for (int bits : {8, 17, 64, 129, 512}) {
+    const BigInt r = BigInt::RandomBits(bits, rng);
+    EXPECT_EQ(r.BitLength(), static_cast<size_t>(bits)) << bits;
+  }
+}
+
+TEST(BigIntRandom, RandomPrimeIsPrimeWithExactWidth) {
+  DeterministicRng rng(4);
+  for (int bits : {64, 128, 256}) {
+    const BigInt p = BigInt::RandomPrime(bits, rng);
+    EXPECT_TRUE(p.IsProbablePrime()) << bits;
+    EXPECT_EQ(p.BitLength(), static_cast<size_t>(bits)) << bits;
+  }
+}
+
+TEST(BigIntRandom, DistinctDrawsDiffer) {
+  DeterministicRng rng(5);
+  const BigInt a = BigInt::RandomBits(256, rng);
+  const BigInt b = BigInt::RandomBits(256, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(BigIntDeath, DivisionByZeroAborts) {
+  EXPECT_DEATH((void)(BigInt(1) / BigInt(0)), "division by zero");
+}
+
+TEST(BigIntDeath, InvModNonInvertibleAborts) {
+  EXPECT_DEATH((void)BigInt(4).InvMod(BigInt(10)), "not invertible");
+}
+
+TEST(BigIntDeath, ToBytesNegativeAborts) {
+  EXPECT_DEATH((void)BigInt(-1).ToBytes(), "negative");
+}
+
+// Algebraic property sweep over random operands.
+class BigIntAlgebra : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntAlgebra, RingAxiomsHold) {
+  DeterministicRng rng(GetParam());
+  const BigInt a = BigInt::RandomBits(200, rng);
+  const BigInt b = BigInt::RandomBits(180, rng);
+  const BigInt c = BigInt::RandomBits(150, rng);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, BigInt(0));
+}
+
+TEST_P(BigIntAlgebra, DivModIdentity) {
+  DeterministicRng rng(GetParam() + 1000);
+  const BigInt a = BigInt::RandomBits(200, rng);
+  const BigInt b = BigInt::RandomBits(90, rng);
+  EXPECT_EQ((a / b) * b + (a % b), a);
+}
+
+TEST_P(BigIntAlgebra, PowModMatchesRepeatedMultiplication) {
+  DeterministicRng rng(GetParam() + 2000);
+  const BigInt base = BigInt::RandomBits(64, rng);
+  const BigInt mod = BigInt::RandomBits(64, rng) + BigInt(1);
+  BigInt expected(1);
+  for (int e = 0; e <= 16; ++e) {
+    EXPECT_EQ(base.PowMod(BigInt(e), mod), expected) << "e=" << e;
+    expected = expected.MulMod(base, mod);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntAlgebra,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace pem::crypto

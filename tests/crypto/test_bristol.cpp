@@ -1,0 +1,150 @@
+#include "crypto/bristol.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/garble.h"
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+namespace {
+
+// A hand-written 1-bit half adder in Bristol fashion:
+// inputs: wire 0 (garbler), wire 1 (evaluator); outputs: carry, sum.
+constexpr const char* kHalfAdder =
+    "2 4\n"
+    "1 1 2\n"
+    "\n"
+    "2 1 0 1 3 XOR\n"
+    "2 1 0 1 2 AND\n";
+
+TEST(Bristol, ParsesHandWrittenHalfAdder) {
+  const Result<Circuit> r = ParseBristolCircuit(kHalfAdder);
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  const Circuit& c = r.value();
+  EXPECT_EQ(c.num_wires, 4);
+  EXPECT_EQ(c.garbler_inputs, (std::vector<int32_t>{0}));
+  EXPECT_EQ(c.evaluator_inputs, (std::vector<int32_t>{1}));
+  EXPECT_EQ(c.outputs, (std::vector<int32_t>{2, 3}));
+  ASSERT_EQ(c.gates.size(), 2u);
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const std::vector<bool> out = c.EvalPlain({a != 0}, {b != 0});
+      EXPECT_EQ(out[0], (a & b) != 0) << "carry " << a << b;   // wire 2
+      EXPECT_EQ(out[1], (a ^ b) != 0) << "sum " << a << b;     // wire 3
+    }
+  }
+}
+
+TEST(Bristol, ParsesInvGate) {
+  const char* text =
+      "1 2\n"
+      "1 0 1\n"
+      "\n"
+      "1 1 0 1 INV\n";
+  const Result<Circuit> r = ParseBristolCircuit(text);
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_TRUE(r.value().EvalPlain({false}, {})[0]);
+  EXPECT_FALSE(r.value().EvalPlain({true}, {})[0]);
+}
+
+TEST(Bristol, ComparatorRoundTripsThroughText) {
+  const Circuit original = BuildLessThanCircuit(8);
+  const Result<Circuit> renumbered = RenumberForBristol(original);
+  ASSERT_TRUE(renumbered.ok()) << renumbered.error().ToString();
+  const Result<std::string> text = WriteBristolCircuit(renumbered.value());
+  ASSERT_TRUE(text.ok()) << text.error().ToString();
+  const Result<Circuit> back = ParseBristolCircuit(text.value());
+  ASSERT_TRUE(back.ok()) << back.error().ToString();
+
+  for (uint64_t x = 0; x < 256; x += 17) {
+    for (uint64_t y = 0; y < 256; y += 13) {
+      EXPECT_EQ(back.value().EvalPlain(ToBits(x, 8), ToBits(y, 8))[0], x < y)
+          << x << " < " << y;
+    }
+  }
+}
+
+TEST(Bristol, AdderRoundTripAfterRenumbering) {
+  // The adder's outputs are interleaved sum wires — the renumber pass
+  // must move them to the tail without changing semantics.
+  const Circuit original = BuildAdderCircuit(6);
+  const Result<Circuit> renumbered = RenumberForBristol(original);
+  ASSERT_TRUE(renumbered.ok());
+  const Result<std::string> text = WriteBristolCircuit(renumbered.value());
+  ASSERT_TRUE(text.ok()) << text.error().ToString();
+  const Result<Circuit> back = ParseBristolCircuit(text.value());
+  ASSERT_TRUE(back.ok());
+  for (uint64_t x = 0; x < 64; x += 7) {
+    for (uint64_t y = 0; y < 64; y += 5) {
+      EXPECT_EQ(FromBits(back.value().EvalPlain(ToBits(x, 6), ToBits(y, 6))),
+                (x + y) & 0x3F);
+    }
+  }
+}
+
+TEST(Bristol, ParsedCircuitsGarbleCorrectly) {
+  const Result<Circuit> r = ParseBristolCircuit(kHalfAdder);
+  ASSERT_TRUE(r.ok());
+  const Circuit& c = r.value();
+  DeterministicRng rng(1);
+  const Garbler g(c, rng);
+  Evaluator eval(c, GarbledTables::Deserialize(g.tables().Serialize(), c));
+  const auto [e0, e1] = g.EvaluatorInputLabels(0);
+  const std::vector<bool> out =
+      eval.Evaluate({g.GarblerInputLabel(0, true)}, {e1});
+  EXPECT_TRUE(out[0]);   // carry of 1+1
+  EXPECT_FALSE(out[1]);  // sum of 1+1
+}
+
+TEST(Bristol, RejectsUnknownGateKind) {
+  const char* text = "1 3\n1 1 1\n\n2 1 0 1 2 NAND\n";
+  const Result<Circuit> r = ParseBristolCircuit(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message().find("unknown gate"), std::string::npos);
+}
+
+TEST(Bristol, RejectsNonTopologicalOrder) {
+  const char* text =
+      "2 4\n1 1 2\n\n"
+      "2 1 0 3 2 AND\n"   // consumes wire 3 before it is defined
+      "2 1 0 1 3 XOR\n";
+  EXPECT_FALSE(ParseBristolCircuit(text).ok());
+}
+
+TEST(Bristol, RejectsDoubleDefinition) {
+  const char* text =
+      "2 3\n1 1 1\n\n"
+      "2 1 0 1 2 XOR\n"
+      "2 1 0 1 2 AND\n";  // wire 2 defined twice
+  EXPECT_FALSE(ParseBristolCircuit(text).ok());
+}
+
+TEST(Bristol, RejectsTruncatedInput) {
+  EXPECT_FALSE(ParseBristolCircuit("3").ok());
+  EXPECT_FALSE(ParseBristolCircuit("1 2\n1 0 1\n\n1 1 0").ok());
+  EXPECT_FALSE(ParseBristolCircuit("").ok());
+}
+
+TEST(Bristol, RejectsWireOutOfRange) {
+  const char* text = "1 3\n1 1 1\n\n2 1 0 9 2 XOR\n";
+  EXPECT_FALSE(ParseBristolCircuit(text).ok());
+}
+
+TEST(Bristol, RenumberRejectsOutputAliasingInput) {
+  CircuitBuilder cb(1, 1);
+  cb.MarkOutput(cb.garbler_inputs()[0]);  // passthrough output
+  const Circuit c = cb.Build();
+  EXPECT_FALSE(RenumberForBristol(c).ok());
+}
+
+TEST(Bristol, RenumberRejectsDuplicateOutputs) {
+  CircuitBuilder cb(1, 1);
+  const int32_t w = cb.Xor(cb.garbler_inputs()[0], cb.evaluator_inputs()[0]);
+  cb.MarkOutput(w);
+  cb.MarkOutput(w);
+  const Circuit c = cb.Build();
+  EXPECT_FALSE(RenumberForBristol(c).ok());
+}
+
+}  // namespace
+}  // namespace pem::crypto

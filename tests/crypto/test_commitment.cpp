@@ -1,0 +1,76 @@
+#include "crypto/commitment.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+namespace {
+
+TEST(Commitment, HonestOpeningVerifies) {
+  DeterministicRng rng(1);
+  const std::vector<uint8_t> value = {1, 2, 3, 4};
+  const CommitmentOpening opening = MakeOpening(value, rng);
+  const Commitment c = Commit(opening.value, opening.blinder);
+  EXPECT_TRUE(VerifyOpening(c, opening));
+}
+
+TEST(Commitment, TamperedValueFails) {
+  DeterministicRng rng(2);
+  const std::vector<uint8_t> value = {9, 9, 9};
+  CommitmentOpening opening = MakeOpening(value, rng);
+  const Commitment c = Commit(opening.value, opening.blinder);
+  opening.value[0] ^= 1;
+  EXPECT_FALSE(VerifyOpening(c, opening));
+}
+
+TEST(Commitment, TamperedBlinderFails) {
+  DeterministicRng rng(3);
+  CommitmentOpening opening = MakeOpening(std::vector<uint8_t>{5}, rng);
+  const Commitment c = Commit(opening.value, opening.blinder);
+  opening.blinder[31] ^= 0x80;
+  EXPECT_FALSE(VerifyOpening(c, opening));
+}
+
+TEST(Commitment, HidingAcrossBlinders) {
+  // Same value, different blinders -> different digests.
+  DeterministicRng rng(4);
+  const std::vector<uint8_t> value = {7, 7};
+  const CommitmentOpening a = MakeOpening(value, rng);
+  const CommitmentOpening b = MakeOpening(value, rng);
+  EXPECT_NE(Commit(a.value, a.blinder), Commit(b.value, b.blinder));
+}
+
+TEST(Commitment, EmptyValueSupported) {
+  DeterministicRng rng(5);
+  const CommitmentOpening opening = MakeOpening({}, rng);
+  const Commitment c = Commit(opening.value, opening.blinder);
+  EXPECT_TRUE(VerifyOpening(c, opening));
+}
+
+TEST(Commitment, Int64ConvenienceRoundTrip) {
+  DeterministicRng rng(6);
+  const CommitmentOpening opening = MakeInt64Opening(-123456789, rng);
+  const Commitment c = CommitInt64(
+      -123456789, std::span<const uint8_t, 32>(opening.blinder));
+  EXPECT_TRUE(VerifyOpening(c, opening));
+  // A different value under the same blinder must not verify.
+  const Commitment wrong = CommitInt64(
+      -123456788, std::span<const uint8_t, 32>(opening.blinder));
+  EXPECT_FALSE(VerifyOpening(wrong, opening));
+}
+
+TEST(Commitment, BindsAcrossValueBlinderBoundary) {
+  // (value=[1,2], blinder starting 3...) vs (value=[1,2,3], shifted
+  // blinder) must differ — the KDF length-prefixing guarantees it.
+  DeterministicRng rng(7);
+  CommitmentOpening a = MakeOpening(std::vector<uint8_t>{1, 2}, rng);
+  const Commitment ca = Commit(a.value, a.blinder);
+  CommitmentOpening b = a;
+  b.value.push_back(a.blinder[0]);
+  // b's blinder would need to shift — any such confusion must fail.
+  EXPECT_FALSE(VerifyOpening(ca, b));
+}
+
+}  // namespace
+}  // namespace pem::crypto

@@ -1,0 +1,57 @@
+#include "crypto/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace pem::crypto {
+namespace {
+
+TEST(Sha256, KnownVector) {
+  // SHA-256("abc") from FIPS 180-2.
+  EXPECT_EQ(
+      Sha256(std::string("abc")).Hex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, EmptyInputVector) {
+  EXPECT_EQ(
+      Sha256(std::string("")).Hex(),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Deterministic) {
+  EXPECT_EQ(Sha256(std::string("pem")), Sha256(std::string("pem")));
+}
+
+TEST(Sha256, SensitiveToInput) {
+  EXPECT_NE(Sha256(std::string("a")), Sha256(std::string("b")));
+}
+
+TEST(Kdf, TagSeparatesDomains) {
+  const uint8_t data[4] = {1, 2, 3, 4};
+  const std::span<const uint8_t> chunks[] = {std::span<const uint8_t>(data)};
+  EXPECT_NE(Kdf(1, chunks), Kdf(2, chunks));
+}
+
+TEST(Kdf, LengthPrefixPreventsConcatenationCollision) {
+  // ("ab", "c") must differ from ("a", "bc").
+  const uint8_t ab[] = {'a', 'b'};
+  const uint8_t c[] = {'c'};
+  const uint8_t a[] = {'a'};
+  const uint8_t bc[] = {'b', 'c'};
+  EXPECT_NE(Kdf2(7, ab, c), Kdf2(7, a, bc));
+}
+
+TEST(Kdf, Deterministic) {
+  const uint8_t x[] = {9, 9};
+  const uint8_t y[] = {8};
+  EXPECT_EQ(Kdf2(42, x, y), Kdf2(42, x, y));
+}
+
+TEST(Kdf, OrderMatters) {
+  const uint8_t x[] = {1};
+  const uint8_t y[] = {2};
+  EXPECT_NE(Kdf2(0, x, y), Kdf2(0, y, x));
+}
+
+}  // namespace
+}  // namespace pem::crypto

@@ -1,0 +1,73 @@
+#include "crypto/modp_group.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+namespace {
+
+class ModpGroupTest : public ::testing::TestWithParam<ModpGroupId> {};
+
+TEST_P(ModpGroupTest, PrimeIsSafePrime) {
+  const ModpGroup& g = ModpGroup::Get(GetParam());
+  EXPECT_TRUE(g.p().IsProbablePrime());
+  EXPECT_TRUE(g.q().IsProbablePrime());
+  EXPECT_EQ(g.p(), g.q() * BigInt(2) + BigInt(1));
+}
+
+TEST_P(ModpGroupTest, GeneratorHasOrderQ) {
+  const ModpGroup& g = ModpGroup::Get(GetParam());
+  // g^q == 1 and g != 1 (so order divides q, a prime, and is not 1).
+  EXPECT_EQ(g.Exp(g.g(), g.q()), BigInt(1));
+  EXPECT_NE(g.g(), BigInt(1));
+}
+
+TEST_P(ModpGroupTest, ExponentLawsHold) {
+  const ModpGroup& g = ModpGroup::Get(GetParam());
+  DeterministicRng rng(1);
+  const BigInt a = g.RandomExponent(rng);
+  const BigInt b = g.RandomExponent(rng);
+  // g^a * g^b == g^(a+b mod q)
+  const BigInt lhs = g.Mul(g.Exp(a), g.Exp(b));
+  const BigInt rhs = g.Exp(a.AddMod(b, g.q()));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_P(ModpGroupTest, DivIsMulInverse) {
+  const ModpGroup& g = ModpGroup::Get(GetParam());
+  DeterministicRng rng(2);
+  const BigInt x = g.Exp(g.RandomExponent(rng));
+  const BigInt y = g.Exp(g.RandomExponent(rng));
+  EXPECT_EQ(g.Mul(g.Div(x, y), y), x);
+  EXPECT_EQ(g.Div(x, x), BigInt(1));
+}
+
+TEST_P(ModpGroupTest, RandomExponentInRange) {
+  const ModpGroup& g = ModpGroup::Get(GetParam());
+  DeterministicRng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt e = g.RandomExponent(rng);
+    EXPECT_FALSE(e.IsZero());
+    EXPECT_LT(e, g.q());
+  }
+}
+
+TEST_P(ModpGroupTest, ElementBytesMatchesPrimeWidth) {
+  const ModpGroup& g = ModpGroup::Get(GetParam());
+  EXPECT_EQ(g.element_bytes(), (g.p().BitLength() + 7) / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGroups, ModpGroupTest,
+                         ::testing::Values(ModpGroupId::kModp768,
+                                           ModpGroupId::kModp1536,
+                                           ModpGroupId::kModp2048));
+
+TEST(ModpGroup, KnownWidths) {
+  EXPECT_EQ(ModpGroup::Get(ModpGroupId::kModp768).p().BitLength(), 768u);
+  EXPECT_EQ(ModpGroup::Get(ModpGroupId::kModp1536).p().BitLength(), 1536u);
+  EXPECT_EQ(ModpGroup::Get(ModpGroupId::kModp2048).p().BitLength(), 2048u);
+}
+
+}  // namespace
+}  // namespace pem::crypto

@@ -1,0 +1,125 @@
+#include "crypto/ot.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+namespace {
+
+OtMessage MakeMessage(uint8_t fill) {
+  OtMessage m;
+  m.fill(fill);
+  return m;
+}
+
+const ModpGroup& TestGroup() {
+  return ModpGroup::Get(ModpGroupId::kModp768);
+}
+
+// Runs the full 1-of-2 OT locally and returns what the receiver got.
+OtMessage RunOt(const OtMessage& m0, const OtMessage& m1, bool choice,
+                uint64_t seed) {
+  DeterministicRng rng(seed);
+  OtSender sender(TestGroup(), rng);
+  OtReceiver receiver(TestGroup(), rng);
+  const std::vector<uint8_t> a = sender.Round1();
+  const std::vector<uint8_t> b = receiver.Round1(a, choice);
+  const std::vector<uint8_t> cts = sender.Round2(b, m0, m1);
+  return receiver.Decrypt(cts);
+}
+
+TEST(ObliviousTransfer, ReceiverGetsChosenMessageZero) {
+  EXPECT_EQ(RunOt(MakeMessage(0xAA), MakeMessage(0xBB), false, 1),
+            MakeMessage(0xAA));
+}
+
+TEST(ObliviousTransfer, ReceiverGetsChosenMessageOne) {
+  EXPECT_EQ(RunOt(MakeMessage(0xAA), MakeMessage(0xBB), true, 2),
+            MakeMessage(0xBB));
+}
+
+TEST(ObliviousTransfer, WorksAcrossManySeeds) {
+  for (uint64_t seed = 10; seed < 30; ++seed) {
+    OtMessage m0, m1;
+    DeterministicRng fill(seed * 7);
+    fill.Fill(m0);
+    fill.Fill(m1);
+    const bool choice = (seed % 2) == 0;
+    EXPECT_EQ(RunOt(m0, m1, choice, seed), choice ? m1 : m0) << seed;
+  }
+}
+
+TEST(ObliviousTransfer, UnchosenPadLooksUnrelated) {
+  // The receiver's transcript for choice=0 must not decrypt m1: decrypt
+  // the wrong slot by flipping the ciphertext halves and check mismatch.
+  DeterministicRng rng(3);
+  OtSender sender(TestGroup(), rng);
+  OtReceiver receiver(TestGroup(), rng);
+  const std::vector<uint8_t> a = sender.Round1();
+  const std::vector<uint8_t> b = receiver.Round1(a, false);
+  const OtMessage m0 = MakeMessage(0x00), m1 = MakeMessage(0xFF);
+  std::vector<uint8_t> cts = sender.Round2(b, m0, m1);
+  // Swap c0 and c1 so the receiver decrypts c1 with pad for slot 0.
+  std::vector<uint8_t> swapped(cts.begin() + 16, cts.end());
+  swapped.insert(swapped.end(), cts.begin(), cts.begin() + 16);
+  const OtMessage wrong = receiver.Decrypt(swapped);
+  EXPECT_NE(wrong, m0);
+  EXPECT_NE(wrong, m1);
+}
+
+TEST(ObliviousTransfer, Round1ElementsAreGroupSized) {
+  DeterministicRng rng(4);
+  OtSender sender(TestGroup(), rng);
+  OtReceiver receiver(TestGroup(), rng);
+  const std::vector<uint8_t> a = sender.Round1();
+  EXPECT_EQ(a.size(), TestGroup().element_bytes());
+  EXPECT_EQ(receiver.Round1(a, true).size(), TestGroup().element_bytes());
+}
+
+TEST(ObliviousTransfer, SenderRound1IsStable) {
+  DeterministicRng rng(5);
+  OtSender sender(TestGroup(), rng);
+  EXPECT_EQ(sender.Round1(), sender.Round1());
+}
+
+TEST(ObliviousTransferDeath, BadElementSizeAborts) {
+  DeterministicRng rng(6);
+  OtSender sender(TestGroup(), rng);
+  const std::vector<uint8_t> junk(7, 1);
+  EXPECT_DEATH((void)sender.Round2(junk, MakeMessage(0), MakeMessage(1)),
+               "element size");
+}
+
+TEST(ObliviousTransferDeath, BadRound2SizeAborts) {
+  DeterministicRng rng(7);
+  OtSender sender(TestGroup(), rng);
+  OtReceiver receiver(TestGroup(), rng);
+  (void)receiver.Round1(sender.Round1(), false);
+  const std::vector<uint8_t> junk(31, 0);
+  EXPECT_DEATH((void)receiver.Decrypt(junk), "round2");
+}
+
+// Sweep all group presets to confirm OT is group-agnostic.
+class OtGroupSweep : public ::testing::TestWithParam<ModpGroupId> {};
+
+TEST_P(OtGroupSweep, CorrectForBothChoices) {
+  const ModpGroup& group = ModpGroup::Get(GetParam());
+  for (bool choice : {false, true}) {
+    DeterministicRng rng(42);
+    OtSender sender(group, rng);
+    OtReceiver receiver(group, rng);
+    const std::vector<uint8_t> b = receiver.Round1(sender.Round1(), choice);
+    const OtMessage m0 = MakeMessage(1), m1 = MakeMessage(2);
+    const OtMessage got = receiver.Decrypt(sender.Round2(b, m0, m1));
+    EXPECT_EQ(got, choice ? m1 : m0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, OtGroupSweep,
+                         ::testing::Values(ModpGroupId::kModp768,
+                                           ModpGroupId::kModp1536,
+                                           ModpGroupId::kModp2048));
+
+}  // namespace
+}  // namespace pem::crypto

@@ -1,0 +1,348 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+#include "net/serialize.h"
+
+namespace pem::crypto {
+namespace {
+
+// 256-bit keys keep the unit tests fast; the parameterized suite below
+// also exercises 512-bit.  Production sizes are covered by the benches.
+PaillierKeyPair TestKeys(int bits = 256, uint64_t seed = 1) {
+  DeterministicRng rng(seed);
+  return GeneratePaillierKeyPair(bits, rng);
+}
+
+TEST(Paillier, KeyGenerationProducesExactModulusWidth) {
+  const PaillierKeyPair kp = TestKeys(256);
+  EXPECT_EQ(kp.pub.n().BitLength(), 256u);
+  EXPECT_EQ(kp.pub.key_bits(), 256);
+  EXPECT_EQ(kp.pub.ciphertext_bytes(), 64u);
+}
+
+TEST(Paillier, EncryptDecryptRoundTrip) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(2);
+  for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{42},
+                    int64_t{1} << 40, int64_t{123456789}}) {
+    const PaillierCiphertext ct = kp.pub.Encrypt(BigInt(m), rng);
+    EXPECT_EQ(kp.priv.Decrypt(ct).ToInt64(), m) << m;
+  }
+}
+
+TEST(Paillier, SignedEncodingRoundTrip) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(3);
+  for (int64_t m : {int64_t{0}, int64_t{5}, int64_t{-5}, int64_t{-1},
+                    int64_t{1} << 50, -(int64_t{1} << 50)}) {
+    const PaillierCiphertext ct = kp.pub.EncryptSigned(m, rng);
+    EXPECT_EQ(kp.priv.DecryptSigned(ct), m) << m;
+  }
+}
+
+TEST(Paillier, EncryptionIsProbabilistic) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(4);
+  const PaillierCiphertext a = kp.pub.Encrypt(BigInt(7), rng);
+  const PaillierCiphertext b = kp.pub.Encrypt(BigInt(7), rng);
+  EXPECT_NE(a.value, b.value);
+  EXPECT_EQ(kp.priv.Decrypt(a), kp.priv.Decrypt(b));
+}
+
+TEST(Paillier, HomomorphicAddition) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(5);
+  const PaillierCiphertext a = kp.pub.Encrypt(BigInt(1234), rng);
+  const PaillierCiphertext b = kp.pub.Encrypt(BigInt(8766), rng);
+  EXPECT_EQ(kp.priv.Decrypt(kp.pub.Add(a, b)).ToInt64(), 10000);
+}
+
+TEST(Paillier, HomomorphicAdditionWithNegatives) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(6);
+  const PaillierCiphertext a = kp.pub.EncryptSigned(-500, rng);
+  const PaillierCiphertext b = kp.pub.EncryptSigned(200, rng);
+  EXPECT_EQ(kp.priv.DecryptSigned(kp.pub.Add(a, b)), -300);
+}
+
+TEST(Paillier, ScalarMultiplication) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(7);
+  const PaillierCiphertext a = kp.pub.Encrypt(BigInt(111), rng);
+  EXPECT_EQ(kp.priv.Decrypt(kp.pub.ScalarMul(a, BigInt(9))).ToInt64(), 999);
+}
+
+TEST(Paillier, ScalarMultiplicationByZeroAndOne) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(8);
+  const PaillierCiphertext a = kp.pub.Encrypt(BigInt(55), rng);
+  EXPECT_EQ(kp.priv.Decrypt(kp.pub.ScalarMul(a, BigInt(0))).ToInt64(), 0);
+  EXPECT_EQ(kp.priv.Decrypt(kp.pub.ScalarMul(a, BigInt(1))).ToInt64(), 55);
+}
+
+TEST(Paillier, NegativeScalarMultiplication) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(9);
+  const PaillierCiphertext a = kp.pub.EncryptSigned(40, rng);
+  EXPECT_EQ(kp.priv.DecryptSigned(kp.pub.ScalarMul(a, BigInt(-3))), -120);
+}
+
+TEST(Paillier, RerandomizeChangesCiphertextNotPlaintext) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(10);
+  const PaillierCiphertext a = kp.pub.Encrypt(BigInt(77), rng);
+  const PaillierCiphertext b = kp.pub.Rerandomize(a, rng);
+  EXPECT_NE(a.value, b.value);
+  EXPECT_EQ(kp.priv.Decrypt(b).ToInt64(), 77);
+}
+
+TEST(Paillier, EncryptZeroIsAdditiveIdentity) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(11);
+  const PaillierCiphertext z = kp.pub.EncryptZero(rng);
+  const PaillierCiphertext a = kp.pub.Encrypt(BigInt(31), rng);
+  EXPECT_EQ(kp.priv.Decrypt(kp.pub.Add(a, z)).ToInt64(), 31);
+}
+
+TEST(Paillier, CrtAndPlainDecryptionAgree) {
+  PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(12);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt m = BigInt::RandomBelow(kp.pub.n(), rng);
+    const PaillierCiphertext ct = kp.pub.Encrypt(m, rng);
+    kp.priv.set_use_crt(true);
+    const BigInt crt = kp.priv.Decrypt(ct);
+    kp.priv.set_use_crt(false);
+    const BigInt plain = kp.priv.Decrypt(ct);
+    EXPECT_EQ(crt, plain);
+    EXPECT_EQ(crt, m);
+  }
+}
+
+TEST(Paillier, LargePlaintextNearModulus) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(13);
+  const BigInt m = kp.pub.n() - BigInt(1);
+  const PaillierCiphertext ct = kp.pub.Encrypt(m, rng);
+  EXPECT_EQ(kp.priv.Decrypt(ct), m);
+}
+
+TEST(Paillier, SignedDecodeBoundary) {
+  const PaillierKeyPair kp = TestKeys();
+  // n-1 encodes -1 in the half-range convention.
+  EXPECT_EQ(kp.pub.DecodeSigned(kp.pub.n() - BigInt(1)), -1);
+  EXPECT_EQ(kp.pub.DecodeSigned(BigInt(0)), 0);
+  EXPECT_EQ(kp.pub.DecodeSigned(BigInt(12345)), 12345);
+}
+
+TEST(Paillier, DistinctSeedsGiveDistinctKeys) {
+  const PaillierKeyPair a = TestKeys(256, 100);
+  const PaillierKeyPair b = TestKeys(256, 200);
+  EXPECT_NE(a.pub.n(), b.pub.n());
+}
+
+TEST(PaillierDeath, PlaintextOutOfRangeAborts) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(14);
+  EXPECT_DEATH((void)kp.pub.Encrypt(kp.pub.n(), rng), "out of range");
+}
+
+TEST(PaillierDeath, OddKeyBitsAborts) {
+  DeterministicRng rng(15);
+  EXPECT_DEATH((void)GeneratePaillierKeyPair(255, rng), "even");
+}
+
+// The market protocols aggregate hundreds of signed fixed-point values
+// multiplicatively; this sweep checks long homomorphic chains at
+// several key sizes.
+class PaillierAggregation
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(PaillierAggregation, LongAdditiveChainsDecryptToExactSums) {
+  const auto [bits, seed] = GetParam();
+  DeterministicRng rng(seed);
+  const PaillierKeyPair kp = GeneratePaillierKeyPair(bits, rng);
+  int64_t expected = 0;
+  PaillierCiphertext acc = kp.pub.EncryptZero(rng);
+  for (int i = 0; i < 60; ++i) {
+    // Mix of positive and negative contributions, like net energies.
+    const int64_t v = (i % 3 == 0 ? -1 : 1) * (1000 + 37 * i);
+    expected += v;
+    acc = kp.pub.Add(acc, kp.pub.EncryptSigned(v, rng));
+  }
+  EXPECT_EQ(kp.priv.DecryptSigned(acc), expected);
+}
+
+TEST_P(PaillierAggregation, ScalarChainMatchesInt128Math) {
+  const auto [bits, seed] = GetParam();
+  DeterministicRng rng(seed + 1);
+  const PaillierKeyPair kp = GeneratePaillierKeyPair(bits, rng);
+  const int64_t base = 123456;
+  const int64_t scalar = int64_t{1} << 30;
+  const PaillierCiphertext ct =
+      kp.pub.ScalarMul(kp.pub.EncryptSigned(base, rng), BigInt(scalar));
+  // base * 2^30 exceeds int32 but fits int64.
+  EXPECT_EQ(kp.priv.DecryptSigned(ct), base * scalar);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeySizes, PaillierAggregation,
+    ::testing::Combine(::testing::Values(128, 256, 512),
+                       ::testing::Values(uint64_t{17}, uint64_t{18})));
+
+TEST(PaillierDeterministic, EncryptWithRandomnessIsReproducible) {
+  const PaillierKeyPair kp = TestKeys();
+  const BigInt r(12345);
+  const PaillierCiphertext a = kp.pub.EncryptWithRandomness(BigInt(77), r);
+  const PaillierCiphertext b = kp.pub.EncryptWithRandomness(BigInt(77), r);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(kp.priv.Decrypt(a).ToInt64(), 77);
+}
+
+TEST(PaillierDeterministic, DifferentRandomnessDifferentCiphertext) {
+  const PaillierKeyPair kp = TestKeys();
+  const PaillierCiphertext a =
+      kp.pub.EncryptWithRandomness(BigInt(77), BigInt(111));
+  const PaillierCiphertext b =
+      kp.pub.EncryptWithRandomness(BigInt(77), BigInt(222));
+  EXPECT_NE(a.value, b.value);
+}
+
+TEST(PaillierDeterministicDeath, NonUnitRandomnessAborts) {
+  const PaillierKeyPair kp = TestKeys();
+  EXPECT_DEATH((void)kp.pub.EncryptWithRandomness(BigInt(1), BigInt(0)),
+               "unit");
+}
+
+TEST(PaillierPool, RefillReachesTarget) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(30);
+  PaillierRandomnessPool pool(kp.pub);
+  EXPECT_EQ(pool.available(), 0u);
+  pool.Refill(16, rng);
+  EXPECT_EQ(pool.available(), 16u);
+  pool.Refill(8, rng);  // never shrinks
+  EXPECT_EQ(pool.available(), 16u);
+}
+
+TEST(PaillierPool, PooledCiphertextsDecryptCorrectly) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(31);
+  PaillierRandomnessPool pool(kp.pub);
+  pool.Refill(10, rng);
+  for (int64_t v : {int64_t{5}, int64_t{-5}, int64_t{0}, int64_t{1} << 40}) {
+    EXPECT_EQ(kp.priv.DecryptSigned(pool.EncryptSigned(v, rng)), v);
+  }
+  EXPECT_EQ(pool.available(), 6u);  // four factors consumed
+}
+
+TEST(PaillierPool, DryPoolFallsBackToFreshRandomness) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(32);
+  PaillierRandomnessPool pool(kp.pub);  // never refilled
+  const PaillierCiphertext ct = pool.EncryptSigned(99, rng);
+  EXPECT_EQ(kp.priv.DecryptSigned(ct), 99);
+}
+
+TEST(PaillierPool, PooledEncryptionsStayProbabilistic) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(33);
+  PaillierRandomnessPool pool(kp.pub);
+  pool.Refill(2, rng);
+  const PaillierCiphertext a = pool.EncryptSigned(7, rng);
+  const PaillierCiphertext b = pool.EncryptSigned(7, rng);
+  EXPECT_NE(a.value, b.value);
+}
+
+TEST(PaillierPoolRegistry, OnePoolPerModulus) {
+  DeterministicRng rng(34);
+  const PaillierKeyPair a = GeneratePaillierKeyPair(128, rng);
+  const PaillierKeyPair b = GeneratePaillierKeyPair(128, rng);
+  PaillierPoolRegistry registry;
+  PaillierRandomnessPool& pa1 = registry.PoolFor(a.pub);
+  PaillierRandomnessPool& pb = registry.PoolFor(b.pub);
+  PaillierRandomnessPool& pa2 = registry.PoolFor(a.pub);
+  EXPECT_EQ(&pa1, &pa2);
+  EXPECT_NE(&pa1, &pb);
+  EXPECT_EQ(registry.pool_count(), 2u);
+}
+
+TEST(PaillierSerialization, PublicKeyRoundTrip) {
+  const PaillierKeyPair kp = TestKeys();
+  const std::vector<uint8_t> bytes = kp.pub.Serialize();
+  const Result<PaillierPublicKey> back = PaillierPublicKey::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.error().ToString();
+  EXPECT_EQ(back.value(), kp.pub);
+  // The deserialized key encrypts for the original private key.
+  DeterministicRng rng(40);
+  EXPECT_EQ(kp.priv.DecryptSigned(back.value().EncryptSigned(-99, rng)), -99);
+}
+
+TEST(PaillierSerialization, PrivateKeyRoundTrip) {
+  const PaillierKeyPair kp = TestKeys();
+  const Result<PaillierPrivateKey> back =
+      PaillierPrivateKey::Deserialize(kp.priv.Serialize());
+  ASSERT_TRUE(back.ok()) << back.error().ToString();
+  DeterministicRng rng(41);
+  const PaillierCiphertext ct = kp.pub.EncryptSigned(123456, rng);
+  EXPECT_EQ(back.value().DecryptSigned(ct), 123456);
+}
+
+TEST(PaillierSerialization, RejectsTruncatedPublicKey) {
+  const PaillierKeyPair kp = TestKeys();
+  std::vector<uint8_t> bytes = kp.pub.Serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(PaillierPublicKey::Deserialize(bytes).ok());
+  EXPECT_FALSE(PaillierPublicKey::Deserialize({}).ok());
+}
+
+TEST(PaillierSerialization, RejectsWidthMismatch) {
+  const PaillierKeyPair kp = TestKeys();
+  std::vector<uint8_t> bytes = kp.pub.Serialize();
+  bytes[0] = 0x00;  // claim a different key_bits
+  bytes[1] = 0x02;  // 512
+  EXPECT_FALSE(PaillierPublicKey::Deserialize(bytes).ok());
+}
+
+TEST(PaillierSerialization, RejectsTrailingGarbage) {
+  const PaillierKeyPair kp = TestKeys();
+  std::vector<uint8_t> bytes = kp.pub.Serialize();
+  bytes.push_back(0xFF);
+  EXPECT_FALSE(PaillierPublicKey::Deserialize(bytes).ok());
+}
+
+TEST(PaillierSerialization, RejectsInconsistentPrimes) {
+  const PaillierKeyPair a = TestKeys(256, 50);
+  const PaillierKeyPair b = TestKeys(256, 60);
+  // Splice a's public key with b's primes.
+  net::ByteWriter w;
+  w.Bytes(a.pub.Serialize());
+  // Reuse b's private serialization minus its public prefix.
+  const std::vector<uint8_t> b_priv = b.priv.Serialize();
+  net::ByteReader r(b_priv);
+  (void)r.Bytes();  // skip b's public key
+  w.Bytes(r.Bytes());
+  w.Bytes(r.Bytes());
+  const Result<PaillierPrivateKey> spliced =
+      PaillierPrivateKey::Deserialize(w.data());
+  ASSERT_FALSE(spliced.ok());
+  EXPECT_NE(spliced.error().message().find("inconsistent"),
+            std::string::npos);
+}
+
+TEST(PaillierPoolRegistry, RefillAllTopsUpEveryPool) {
+  DeterministicRng rng(35);
+  const PaillierKeyPair a = GeneratePaillierKeyPair(128, rng);
+  const PaillierKeyPair b = GeneratePaillierKeyPair(128, rng);
+  PaillierPoolRegistry registry;
+  (void)registry.PoolFor(a.pub);
+  (void)registry.PoolFor(b.pub);
+  registry.RefillAll(5, rng);
+  EXPECT_EQ(registry.PoolFor(a.pub).available(), 5u);
+  EXPECT_EQ(registry.PoolFor(b.pub).available(), 5u);
+}
+
+}  // namespace
+}  // namespace pem::crypto

@@ -1,0 +1,72 @@
+#include "crypto/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pem::crypto {
+namespace {
+
+TEST(SystemRng, FillsRequestedBytes) {
+  std::vector<uint8_t> buf(64, 0);
+  SystemRng::Instance().Fill(buf);
+  // 64 zero bytes after filling would indicate a broken RNG.
+  int nonzero = 0;
+  for (uint8_t b : buf) nonzero += (b != 0);
+  EXPECT_GT(nonzero, 32);
+}
+
+TEST(SystemRng, SuccessiveDrawsDiffer) {
+  EXPECT_NE(SystemRng::Instance().NextU64(), SystemRng::Instance().NextU64());
+}
+
+TEST(DeterministicRng, SameSeedSameStream) {
+  DeterministicRng a(99), b(99);
+  std::vector<uint8_t> ba(100), bb(100);
+  a.Fill(ba);
+  b.Fill(bb);
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(DeterministicRng, DifferentSeedsDifferentStreams) {
+  DeterministicRng a(1), b(2);
+  std::vector<uint8_t> ba(32), bb(32);
+  a.Fill(ba);
+  b.Fill(bb);
+  EXPECT_NE(ba, bb);
+}
+
+TEST(DeterministicRng, StreamIndependentOfChunking) {
+  DeterministicRng a(7), b(7);
+  std::vector<uint8_t> one(100);
+  a.Fill(one);
+  std::vector<uint8_t> parts(100);
+  b.Fill(std::span<uint8_t>(parts).subspan(0, 33));
+  b.Fill(std::span<uint8_t>(parts).subspan(33, 50));
+  b.Fill(std::span<uint8_t>(parts).subspan(83, 17));
+  EXPECT_EQ(one, parts);
+}
+
+TEST(DeterministicRng, NextU64CoversRange) {
+  DeterministicRng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.NextU64());
+  EXPECT_EQ(seen.size(), 100u);  // collisions would be astronomically rare
+}
+
+TEST(DeterministicRng, ByteHistogramIsRoughlyUniform) {
+  DeterministicRng rng(11);
+  std::vector<int> counts(256, 0);
+  std::vector<uint8_t> buf(65536);
+  rng.Fill(buf);
+  for (uint8_t b : buf) ++counts[b];
+  // Expected 256 per bucket; allow generous slack.
+  for (int c : counts) {
+    EXPECT_GT(c, 150);
+    EXPECT_LT(c, 400);
+  }
+}
+
+}  // namespace
+}  // namespace pem::crypto

@@ -1,0 +1,92 @@
+#include "crypto/secure_compare.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.h"
+
+namespace pem::crypto {
+namespace {
+
+SecureCompareConfig FastConfig(int bits = 64) {
+  SecureCompareConfig cfg;
+  cfg.bits = bits;
+  cfg.group = ModpGroupId::kModp768;
+  return cfg;
+}
+
+TEST(SecureCompare, BasicOrdering) {
+  net::MessageBus bus(2);
+  DeterministicRng rng(1);
+  EXPECT_TRUE(SecureCompareLess(bus, 0, 5, 1, 9, FastConfig(), rng));
+  EXPECT_FALSE(SecureCompareLess(bus, 0, 9, 1, 5, FastConfig(), rng));
+  EXPECT_FALSE(SecureCompareLess(bus, 0, 7, 1, 7, FastConfig(), rng));
+}
+
+TEST(SecureCompare, ZeroAndMaxValues) {
+  net::MessageBus bus(2);
+  DeterministicRng rng(2);
+  const uint64_t max = ~uint64_t{0};
+  EXPECT_TRUE(SecureCompareLess(bus, 0, 0, 1, max, FastConfig(), rng));
+  EXPECT_FALSE(SecureCompareLess(bus, 0, max, 1, 0, FastConfig(), rng));
+  EXPECT_FALSE(SecureCompareLess(bus, 0, 0, 1, 0, FastConfig(), rng));
+}
+
+TEST(SecureCompare, AdjacentValues) {
+  net::MessageBus bus(2);
+  DeterministicRng rng(3);
+  for (uint64_t v : {uint64_t{1}, uint64_t{1} << 20, uint64_t{1} << 62}) {
+    EXPECT_TRUE(SecureCompareLess(bus, 0, v - 1, 1, v, FastConfig(), rng));
+    EXPECT_FALSE(SecureCompareLess(bus, 0, v, 1, v - 1, FastConfig(), rng));
+  }
+}
+
+TEST(SecureCompare, RandomSweepMatchesNative) {
+  net::MessageBus bus(2);
+  DeterministicRng rng(4);
+  DeterministicRng values(5);
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t x = values.NextU64();
+    const uint64_t y = values.NextU64();
+    EXPECT_EQ(SecureCompareLess(bus, 0, x, 1, y, FastConfig(), rng), x < y)
+        << x << " < " << y;
+  }
+}
+
+TEST(SecureCompare, NarrowWidthConfig) {
+  net::MessageBus bus(2);
+  DeterministicRng rng(6);
+  const SecureCompareConfig cfg = FastConfig(16);
+  EXPECT_TRUE(SecureCompareLess(bus, 0, 1000, 1, 60000, cfg, rng));
+  EXPECT_FALSE(SecureCompareLess(bus, 0, 60000, 1, 1000, cfg, rng));
+}
+
+TEST(SecureCompare, TrafficIsAccounted) {
+  net::MessageBus bus(2);
+  DeterministicRng rng(7);
+  (void)SecureCompareLess(bus, 0, 1, 1, 2, FastConfig(), rng);
+  // Tables + 64 OTs in each direction: must be substantial.
+  EXPECT_GT(bus.stats(0).bytes_sent, 10'000u);
+  EXPECT_GT(bus.stats(1).bytes_sent, 5'000u);
+  EXPECT_EQ(bus.total_messages(), 4u);
+}
+
+TEST(SecureCompare, WorksBetweenArbitraryAgentIds) {
+  net::MessageBus bus(10);
+  DeterministicRng rng(8);
+  EXPECT_TRUE(SecureCompareLess(bus, 7, 3, 2, 4, FastConfig(), rng));
+  // Other agents saw no traffic.
+  EXPECT_EQ(bus.stats(0).messages_received, 0u);
+  EXPECT_EQ(bus.stats(5).bytes_sent, 0u);
+}
+
+TEST(SecureCompareDeath, InputExceedingWidthAborts) {
+  net::MessageBus bus(2);
+  DeterministicRng rng(9);
+  const SecureCompareConfig cfg = FastConfig(8);
+  EXPECT_DEATH(
+      (void)SecureCompareLess(bus, 0, 256, 1, 1, cfg, rng),
+      "exceed");
+}
+
+}  // namespace
+}  // namespace pem::crypto

@@ -1,0 +1,113 @@
+#include "grid/arbitrage.h"
+
+#include <gtest/gtest.h>
+
+namespace pem::grid {
+namespace {
+
+// A day with a cheap middle and expensive edges (the Fig. 6(a) shape).
+std::vector<double> PriceValley(int windows = 12) {
+  std::vector<double> f(static_cast<size_t>(windows), 1.2);
+  for (int w = windows / 3; w < 2 * windows / 3; ++w) {
+    f[static_cast<size_t>(w)] = 0.9;
+  }
+  return f;
+}
+
+TEST(ArbitrageBattery, ThresholdsFollowForecastQuantiles) {
+  ArbitrageBattery b(10, 1, PriceValley());
+  EXPECT_NEAR(b.cheap_threshold(), 0.9, 0.05);
+  EXPECT_NEAR(b.expensive_threshold(), 1.2, 0.05);
+}
+
+TEST(ArbitrageBattery, ChargesInCheapWindows) {
+  ArbitrageBattery b(10, 1, PriceValley());
+  // Window 5 is cheap: charge even with no surplus.
+  const double action = b.Step(5, 0.0, 0.0);
+  EXPECT_GT(action, 0.0);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), action);
+}
+
+TEST(ArbitrageBattery, DischargesInExpensiveWindows) {
+  ArbitrageBattery b(10, 1, PriceValley());
+  (void)b.Step(5, 0.0, 0.0);  // charge 1 kWh midday
+  const double action = b.Step(11, 0.0, 0.0);  // expensive evening
+  EXPECT_LT(action, 0.0);
+  EXPECT_NEAR(b.state_of_charge(), 0.0, 1e-12);
+}
+
+TEST(ArbitrageBattery, DischargeBoundedByStoredEnergy) {
+  ArbitrageBattery b(10, 5, PriceValley());
+  (void)b.Step(5, 0.5, 0.0);  // rate-limited to 5 but headroom 10: +5
+  const double action = b.Step(11, 0.0, 0.0);
+  EXPECT_GE(action, -5.0 - 1e-12);
+  EXPECT_GE(b.state_of_charge(), 0.0);
+}
+
+TEST(ArbitrageBattery, ChargeBoundedByCapacity) {
+  ArbitrageBattery b(1.5, 1.0, PriceValley());
+  (void)b.Step(4, 0, 0);
+  (void)b.Step(5, 0, 0);
+  const double third = b.Step(6, 0, 0);
+  EXPECT_NEAR(b.state_of_charge(), 1.5, 1e-12);
+  EXPECT_LE(third, 0.5 + 1e-12);
+}
+
+TEST(ArbitrageBattery, NeutralBandBehavesGreedily) {
+  std::vector<double> flat_with_band = PriceValley();
+  flat_with_band[7] = 1.05;  // strictly between the thresholds
+  ArbitrageBattery b(10, 2, flat_with_band);
+  EXPECT_GT(b.Step(7, 1.0, 0.2), 0.0);   // surplus -> charge
+  EXPECT_LT(b.Step(7, 0.0, 0.5), 0.0);   // deficit -> discharge
+}
+
+TEST(ArbitrageBattery, AggressivenessScalesActions) {
+  ArbitrageConfig gentle;
+  gentle.aggressiveness = 0.5;
+  ArbitrageBattery full(10, 2, PriceValley());
+  ArbitrageBattery half(10, 2, PriceValley(), gentle);
+  EXPECT_NEAR(half.Step(5, 0, 0), 0.5 * full.Step(5, 0, 0), 1e-12);
+}
+
+TEST(ArbitrageBattery, NoBatteryNeverActs) {
+  ArbitrageBattery b(0, 0, PriceValley());
+  EXPECT_DOUBLE_EQ(b.Step(5, 1.0, 0.0), 0.0);
+}
+
+TEST(ArbitrageBattery, ArbitrageBeatsGreedyOnValleyDay) {
+  // Revenue comparison over a valley-price day with a solar home:
+  // selling surplus at window price, buying deficits at window price.
+  const std::vector<double> prices = PriceValley(12);
+  auto day_profit = [&](auto& battery, auto step) {
+    double profit = 0;
+    for (int w = 0; w < 12; ++w) {
+      const double g = (w >= 4 && w < 8) ? 1.0 : 0.0;  // midday sun
+      const double l = 0.2;
+      const double b = step(battery, w, g, l);
+      const double net = g - l - b;
+      profit += prices[static_cast<size_t>(w)] * net;
+    }
+    return profit;
+  };
+  Battery greedy(3, 1);
+  ArbitrageBattery smart(3, 1, prices);
+  const double greedy_profit = day_profit(
+      greedy, [](Battery& b, int, double g, double l) { return b.Step(g, l); });
+  const double smart_profit =
+      day_profit(smart, [](ArbitrageBattery& b, int w, double g, double l) {
+        return b.Step(w, g, l);
+      });
+  EXPECT_GT(smart_profit, greedy_profit);
+}
+
+TEST(ArbitrageBatteryDeath, EmptyForecastAborts) {
+  EXPECT_DEATH(ArbitrageBattery(1, 1, {}), "forecast");
+}
+
+TEST(ArbitrageBatteryDeath, WindowOutsideForecastAborts) {
+  ArbitrageBattery b(1, 1, PriceValley(4));
+  EXPECT_DEATH((void)b.Step(10, 0, 0), "forecast");
+}
+
+}  // namespace
+}  // namespace pem::grid

@@ -1,0 +1,84 @@
+#include "grid/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace pem::grid {
+namespace {
+
+TEST(Battery, NoBatteryNeverActs) {
+  Battery b(0.0, 0.0);
+  EXPECT_FALSE(b.installed());
+  EXPECT_DOUBLE_EQ(b.Step(5.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.Step(0.0, 5.0), 0.0);
+}
+
+TEST(Battery, ChargesFromSurplusUpToRate) {
+  Battery b(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(b.Step(2.0, 1.0), 0.5);  // surplus 1.0, rate-limited
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.5);
+}
+
+TEST(Battery, ChargesOnlyAvailableSurplus) {
+  Battery b(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.Step(1.3, 1.0), 0.3);  // surplus-limited
+}
+
+TEST(Battery, ChargeStopsAtCapacity) {
+  Battery b(1.0, 5.0, 0.8);
+  EXPECT_DOUBLE_EQ(b.Step(3.0, 0.0), 0.2);  // headroom-limited
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 1.0);
+  EXPECT_DOUBLE_EQ(b.Step(3.0, 0.0), 0.0);  // full
+}
+
+TEST(Battery, DischargesToCoverDeficit) {
+  Battery b(10.0, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.Step(0.0, 1.5), -1.5);  // deficit-limited
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 3.5);
+}
+
+TEST(Battery, DischargeRateLimited) {
+  Battery b(10.0, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.Step(0.0, 3.0), -1.0);
+}
+
+TEST(Battery, DischargeStopsWhenEmpty) {
+  Battery b(10.0, 5.0, 0.4);
+  EXPECT_DOUBLE_EQ(b.Step(0.0, 2.0), -0.4);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 0.0);
+  EXPECT_DOUBLE_EQ(b.Step(0.0, 2.0), 0.0);
+}
+
+TEST(Battery, BalancedWindowDoesNothing) {
+  Battery b(10.0, 5.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.Step(2.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.state_of_charge(), 5.0);
+}
+
+TEST(Battery, SocNeverLeavesBounds) {
+  Battery b(2.0, 0.7);
+  for (int i = 0; i < 100; ++i) {
+    (void)b.Step((i % 3) * 1.0, (i % 5) * 0.5);
+    EXPECT_GE(b.state_of_charge(), 0.0);
+    EXPECT_LE(b.state_of_charge(), 2.0);
+  }
+}
+
+TEST(Battery, EnergyConservationOverCycle) {
+  Battery b(5.0, 5.0);
+  double net_in = 0.0;
+  net_in += b.Step(4.0, 0.0);   // charge
+  net_in += b.Step(0.0, 2.0);   // discharge
+  net_in += b.Step(3.0, 1.0);   // charge again
+  EXPECT_NEAR(b.state_of_charge(), net_in, 1e-12);
+}
+
+TEST(BatteryDeath, NegativeCapacityAborts) {
+  EXPECT_DEATH(Battery(-1.0, 1.0), "capacity");
+}
+
+TEST(BatteryDeath, InitialSocAboveCapacityAborts) {
+  EXPECT_DEATH(Battery(1.0, 1.0, 2.0), "SoC");
+}
+
+}  // namespace
+}  // namespace pem::grid

@@ -1,0 +1,77 @@
+#include "grid/load_model.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace pem::grid {
+namespace {
+
+std::vector<double> FullDay(const LoadConfig& cfg, uint64_t seed) {
+  SimRandom rng(seed);
+  LoadModel model(cfg, rng);
+  std::vector<double> out(static_cast<size_t>(cfg.windows_per_day));
+  for (int w = 0; w < cfg.windows_per_day; ++w) {
+    out[static_cast<size_t>(w)] = model.LoadAt(w);
+  }
+  return out;
+}
+
+TEST(LoadModel, LoadIsStrictlyPositive) {
+  for (double l : FullDay(LoadConfig{}, 1)) EXPECT_GT(l, 0.0);
+}
+
+TEST(LoadModel, EveningPeakExceedsMidday) {
+  const std::vector<double> day = FullDay(LoadConfig{}, 2);
+  auto avg = [&](size_t lo, size_t hi) {
+    return std::accumulate(day.begin() + static_cast<ptrdiff_t>(lo),
+                           day.begin() + static_cast<ptrdiff_t>(hi), 0.0) /
+           static_cast<double>(hi - lo);
+  };
+  const double evening = avg(630, 700);  // ~17:30-18:40
+  const double midday = avg(330, 420);   // 12:30-14:00
+  EXPECT_GT(evening, 1.4 * midday);
+}
+
+TEST(LoadModel, MorningHumpVisible) {
+  const std::vector<double> day = FullDay(LoadConfig{}, 3);
+  auto avg = [&](size_t lo, size_t hi) {
+    return std::accumulate(day.begin() + static_cast<ptrdiff_t>(lo),
+                           day.begin() + static_cast<ptrdiff_t>(hi), 0.0) /
+           static_cast<double>(hi - lo);
+  };
+  const double morning = avg(20, 90);   // ~7:20-8:30
+  const double midday = avg(330, 420);
+  EXPECT_GT(morning, midday);
+}
+
+TEST(LoadModel, DeterministicForSeed) {
+  EXPECT_EQ(FullDay(LoadConfig{}, 5), FullDay(LoadConfig{}, 5));
+  EXPECT_NE(FullDay(LoadConfig{}, 5), FullDay(LoadConfig{}, 6));
+}
+
+TEST(LoadModel, DailyConsumptionPlausible) {
+  // Typical household: 5-25 kWh over the 12 daytime hours.
+  const std::vector<double> day = FullDay(LoadConfig{}, 7);
+  const double total = std::accumulate(day.begin(), day.end(), 0.0);
+  EXPECT_GT(total, 3.0);
+  EXPECT_LT(total, 30.0);
+}
+
+TEST(LoadModel, NoiseFractionZeroIsSmooth) {
+  LoadConfig cfg;
+  cfg.noise_fraction = 0.0;
+  const std::vector<double> a = FullDay(cfg, 8);
+  const std::vector<double> b = FullDay(cfg, 9);
+  for (size_t w = 0; w < a.size(); ++w) EXPECT_DOUBLE_EQ(a[w], b[w]);
+}
+
+TEST(LoadModelDeath, WindowOutOfRangeAborts) {
+  SimRandom rng(1);
+  LoadModel model(LoadConfig{}, rng);
+  EXPECT_DEATH((void)model.LoadAt(999), "window");
+}
+
+}  // namespace
+}  // namespace pem::grid

@@ -1,0 +1,87 @@
+#include "grid/solar.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace pem::grid {
+namespace {
+
+std::vector<double> FullDay(const SolarConfig& cfg, uint64_t seed) {
+  SimRandom rng(seed);
+  SolarModel model(cfg, rng);
+  std::vector<double> out(static_cast<size_t>(cfg.windows_per_day));
+  for (int w = 0; w < cfg.windows_per_day; ++w) {
+    out[static_cast<size_t>(w)] = model.GenerationAt(w);
+  }
+  return out;
+}
+
+TEST(SolarModel, GenerationIsNonNegative) {
+  for (double g : FullDay(SolarConfig{}, 1)) EXPECT_GE(g, 0.0);
+}
+
+TEST(SolarModel, ZeroCapacityMeansZeroOutput) {
+  SolarConfig cfg;
+  cfg.capacity_kw = 0.0;
+  for (double g : FullDay(cfg, 2)) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(SolarModel, PeaksNearMidday) {
+  const std::vector<double> day = FullDay(SolarConfig{}, 3);
+  // Average over the noon band vs. the edges.
+  auto avg = [&](size_t lo, size_t hi) {
+    return std::accumulate(day.begin() + static_cast<ptrdiff_t>(lo),
+                           day.begin() + static_cast<ptrdiff_t>(hi), 0.0) /
+           static_cast<double>(hi - lo);
+  };
+  const double noon = avg(330, 390);   // ~12:30-13:30
+  const double morning = avg(0, 60);   // 7:00-8:00
+  const double evening = avg(660, 720);
+  EXPECT_GT(noon, 3 * morning);
+  EXPECT_GT(noon, 3 * evening);
+}
+
+TEST(SolarModel, OutputBoundedByCapacity) {
+  SolarConfig cfg;
+  cfg.capacity_kw = 2.0;
+  const double hours_per_window = 12.0 / cfg.windows_per_day;
+  for (double g : FullDay(cfg, 4)) {
+    EXPECT_LE(g, cfg.capacity_kw * hours_per_window + 1e-12);
+  }
+}
+
+TEST(SolarModel, DeterministicForSeed) {
+  EXPECT_EQ(FullDay(SolarConfig{}, 7), FullDay(SolarConfig{}, 7));
+  EXPECT_NE(FullDay(SolarConfig{}, 7), FullDay(SolarConfig{}, 8));
+}
+
+TEST(SolarModel, CloudsCreateVariation) {
+  const std::vector<double> day = FullDay(SolarConfig{}, 9);
+  // Successive midday values should not all be identical.
+  int distinct = 0;
+  for (size_t w = 300; w < 420; ++w) {
+    if (std::abs(day[w] - day[w - 1]) > 1e-9) ++distinct;
+  }
+  EXPECT_GT(distinct, 60);
+}
+
+TEST(SolarModel, DailyTotalIsPlausible) {
+  // A 3 kW panel over a 12h day should produce on the order of
+  // 8-25 kWh (bell curve with cloud losses).
+  const std::vector<double> day = FullDay(SolarConfig{}, 10);
+  const double total = std::accumulate(day.begin(), day.end(), 0.0);
+  EXPECT_GT(total, 5.0);
+  EXPECT_LT(total, 30.0);
+}
+
+TEST(SolarModelDeath, WindowOutOfRangeAborts) {
+  SimRandom rng(1);
+  SolarModel model(SolarConfig{}, rng);
+  EXPECT_DEATH((void)model.GenerationAt(720), "window");
+  EXPECT_DEATH((void)model.GenerationAt(-1), "window");
+}
+
+}  // namespace
+}  // namespace pem::grid

@@ -1,0 +1,163 @@
+#include "grid/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace pem::grid {
+namespace {
+
+TraceConfig SmallConfig() {
+  TraceConfig cfg;
+  cfg.num_homes = 20;
+  cfg.windows_per_day = 48;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(TraceGenerator, ShapeMatchesConfig) {
+  const CommunityTrace t = GenerateCommunityTrace(SmallConfig());
+  EXPECT_EQ(t.num_homes(), 20);
+  EXPECT_EQ(t.windows_per_day, 48);
+  for (const HomeTrace& h : t.homes) {
+    EXPECT_EQ(h.observations.size(), 48u);
+  }
+}
+
+TEST(TraceGenerator, DeterministicForSeed) {
+  const CommunityTrace a = GenerateCommunityTrace(SmallConfig());
+  const CommunityTrace b = GenerateCommunityTrace(SmallConfig());
+  for (int h = 0; h < a.num_homes(); ++h) {
+    for (int w = 0; w < a.windows_per_day; ++w) {
+      EXPECT_DOUBLE_EQ(
+          a.homes[static_cast<size_t>(h)].observations[static_cast<size_t>(w)].generation_kwh,
+          b.homes[static_cast<size_t>(h)].observations[static_cast<size_t>(w)].generation_kwh);
+    }
+  }
+}
+
+TEST(TraceGenerator, SeedChangesTrace) {
+  TraceConfig c2 = SmallConfig();
+  c2.seed = 8;
+  const CommunityTrace a = GenerateCommunityTrace(SmallConfig());
+  const CommunityTrace b = GenerateCommunityTrace(c2);
+  EXPECT_NE(a.homes[0].observations[10].load_kwh,
+            b.homes[0].observations[10].load_kwh);
+}
+
+TEST(TraceGenerator, ParamsWithinConfiguredRanges) {
+  const TraceConfig cfg = SmallConfig();
+  const CommunityTrace t = GenerateCommunityTrace(cfg);
+  for (const HomeTrace& h : t.homes) {
+    EXPECT_GE(h.params.preference_k, cfg.min_preference_k);
+    EXPECT_LE(h.params.preference_k, cfg.max_preference_k);
+    EXPECT_GE(h.params.battery_epsilon, cfg.min_epsilon);
+    EXPECT_LE(h.params.battery_epsilon, cfg.max_epsilon);
+    if (h.params.battery_capacity_kwh > 0) {
+      EXPECT_GE(h.params.battery_capacity_kwh, cfg.min_battery_kwh);
+      EXPECT_LE(h.params.battery_capacity_kwh, cfg.max_battery_kwh);
+      EXPECT_GT(h.params.battery_rate_kwh, 0.0);
+    }
+  }
+}
+
+TEST(TraceGenerator, SomeHomesHaveNoPanel) {
+  TraceConfig cfg = SmallConfig();
+  cfg.num_homes = 200;
+  cfg.no_panel_fraction = 0.3;
+  const CommunityTrace t = GenerateCommunityTrace(cfg);
+  int without_panel = 0;
+  for (const HomeTrace& h : t.homes) {
+    double total_gen = 0;
+    for (const WindowObservation& o : h.observations) {
+      total_gen += o.generation_kwh;
+    }
+    if (total_gen == 0.0) ++without_panel;
+  }
+  EXPECT_GT(without_panel, 20);
+  EXPECT_LT(without_panel, 120);
+}
+
+TEST(TraceGenerator, RolesChurnAcrossTheDay) {
+  // Midday should have net producers; edges should be dominated by
+  // consumers (the Fig. 4 shape).
+  TraceConfig cfg;
+  cfg.num_homes = 100;
+  cfg.windows_per_day = 720;
+  const CommunityTrace t = GenerateCommunityTrace(cfg);
+  std::vector<Battery> bats = t.MakeBatteries();
+  std::vector<int> seller_count(static_cast<size_t>(t.windows_per_day), 0);
+  for (int w = 0; w < t.windows_per_day; ++w) {
+    for (int h = 0; h < t.num_homes(); ++h) {
+      const WindowState st = t.ResolveWindow(h, w, bats);
+      if (ClassifyRole(st.NetEnergy()) == Role::kSeller) {
+        ++seller_count[static_cast<size_t>(w)];
+      }
+    }
+  }
+  const int sellers_early = seller_count[10];
+  const int sellers_noon = seller_count[360];
+  EXPECT_GT(sellers_noon, sellers_early + 10);
+}
+
+TEST(TraceGenerator, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pem_trace_test.csv";
+  TraceConfig cfg = SmallConfig();
+  cfg.num_homes = 5;
+  cfg.windows_per_day = 12;
+  const CommunityTrace t = GenerateCommunityTrace(cfg);
+  t.SaveCsv(path);
+  const CommunityTrace back = CommunityTrace::LoadCsv(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(back.num_homes(), t.num_homes());
+  ASSERT_EQ(back.windows_per_day, t.windows_per_day);
+  for (int h = 0; h < t.num_homes(); ++h) {
+    const auto& orig = t.homes[static_cast<size_t>(h)];
+    const auto& got = back.homes[static_cast<size_t>(h)];
+    EXPECT_NEAR(got.params.preference_k, orig.params.preference_k, 1e-6);
+    for (int w = 0; w < t.windows_per_day; ++w) {
+      EXPECT_NEAR(got.observations[static_cast<size_t>(w)].generation_kwh,
+                  orig.observations[static_cast<size_t>(w)].generation_kwh,
+                  1e-8);
+      EXPECT_NEAR(got.observations[static_cast<size_t>(w)].load_kwh,
+                  orig.observations[static_cast<size_t>(w)].load_kwh, 1e-8);
+    }
+  }
+}
+
+TEST(TraceResolve, BatteryStateCarriesAcrossWindows) {
+  TraceConfig cfg = SmallConfig();
+  cfg.battery_fraction = 1.0;
+  cfg.no_panel_fraction = 0.0;
+  const CommunityTrace t = GenerateCommunityTrace(cfg);
+  std::vector<Battery> bats = t.MakeBatteries();
+  // After resolving all windows the SoC should have moved for at least
+  // one home with a battery (charging happened midday).
+  for (int w = 0; w < t.windows_per_day; ++w) {
+    for (int h = 0; h < t.num_homes(); ++h) (void)t.ResolveWindow(h, w, bats);
+  }
+  bool any_charged = false;
+  for (const Battery& b : bats) {
+    if (b.state_of_charge() > 0.0) any_charged = true;
+  }
+  EXPECT_TRUE(any_charged);
+}
+
+TEST(TraceResolve, NetEnergyIdentityHolds) {
+  const CommunityTrace t = GenerateCommunityTrace(SmallConfig());
+  std::vector<Battery> bats = t.MakeBatteries();
+  const WindowState st = t.ResolveWindow(3, 5, bats);
+  EXPECT_DOUBLE_EQ(st.NetEnergy(),
+                   st.generation_kwh - st.load_kwh - st.battery_kwh);
+}
+
+TEST(TraceDeath, BadIndicesAbort) {
+  const CommunityTrace t = GenerateCommunityTrace(SmallConfig());
+  std::vector<Battery> bats = t.MakeBatteries();
+  EXPECT_DEATH((void)t.ResolveWindow(99, 0, bats), "home index");
+  EXPECT_DEATH((void)t.ResolveWindow(0, 99, bats), "window index");
+}
+
+}  // namespace
+}  // namespace pem::grid

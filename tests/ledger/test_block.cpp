@@ -1,0 +1,115 @@
+#include "ledger/block.h"
+
+#include <gtest/gtest.h>
+
+namespace pem::ledger {
+namespace {
+
+Transaction Tx(int32_t window, int32_t seller, int32_t buyer, int64_t energy,
+               int64_t payment) {
+  Transaction t;
+  t.window = window;
+  t.seller = seller;
+  t.buyer = buyer;
+  t.energy_micro_kwh = energy;
+  t.payment_micro_usd = payment;
+  return t;
+}
+
+TEST(Transaction, SerializationIsStable) {
+  const Transaction t = Tx(5, 1, 2, 1'000'000, 950'000);
+  EXPECT_EQ(t.Serialize(), t.Serialize());
+  EXPECT_EQ(t.Serialize().size(), 4u + 4u + 4u + 8u + 8u);
+}
+
+TEST(Transaction, DigestChangesWithEveryField) {
+  const Transaction base = Tx(1, 2, 3, 100, 90);
+  EXPECT_NE(Tx(9, 2, 3, 100, 90).Digest(), base.Digest());
+  EXPECT_NE(Tx(1, 9, 3, 100, 90).Digest(), base.Digest());
+  EXPECT_NE(Tx(1, 2, 9, 100, 90).Digest(), base.Digest());
+  EXPECT_NE(Tx(1, 2, 3, 999, 90).Digest(), base.Digest());
+  EXPECT_NE(Tx(1, 2, 3, 100, 99).Digest(), base.Digest());
+  EXPECT_EQ(Tx(1, 2, 3, 100, 90).Digest(), base.Digest());
+}
+
+TEST(Block, EmptyTxRootIsDefined) {
+  const crypto::Sha256Digest a = Block::ComputeTxRoot({});
+  const crypto::Sha256Digest b = Block::ComputeTxRoot({});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Block, TxRootCoversAllTransactions) {
+  std::vector<Transaction> txs = {Tx(1, 0, 1, 10, 9), Tx(1, 0, 2, 20, 18),
+                                  Tx(1, 3, 1, 5, 4)};
+  const crypto::Sha256Digest root = Block::ComputeTxRoot(txs);
+  txs[2].payment_micro_usd += 1;  // tamper with the last (odd) leaf
+  EXPECT_NE(Block::ComputeTxRoot(txs), root);
+}
+
+TEST(Block, TxRootOrderSensitive) {
+  const std::vector<Transaction> ab = {Tx(1, 0, 1, 10, 9), Tx(1, 0, 2, 20, 18)};
+  const std::vector<Transaction> ba = {Tx(1, 0, 2, 20, 18), Tx(1, 0, 1, 10, 9)};
+  EXPECT_NE(Block::ComputeTxRoot(ab), Block::ComputeTxRoot(ba));
+}
+
+TEST(Block, SingleTransactionRootIsLeafDigest) {
+  const Transaction t = Tx(1, 0, 1, 10, 9);
+  EXPECT_EQ(Block::ComputeTxRoot({t}), t.Digest());
+}
+
+TEST(Block, HashDependsOnEveryHeaderField) {
+  Block b;
+  b.header.index = 1;
+  b.header.logical_time = 100;
+  b.header.tx_root = Block::ComputeTxRoot({});
+  const crypto::Sha256Digest base = b.Hash();
+  Block c = b;
+  c.header.index = 2;
+  EXPECT_NE(c.Hash(), base);
+  c = b;
+  c.header.logical_time = 101;
+  EXPECT_NE(c.Hash(), base);
+  c = b;
+  c.header.previous_hash.bytes[0] ^= 1;
+  EXPECT_NE(c.Hash(), base);
+}
+
+// Merkle-root property sweep: tampering with ANY transaction in a
+// block of any size must change the root.
+class MerkleRootProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleRootProperty, AnySingleTamperChangesRoot) {
+  const int n = GetParam();
+  std::vector<Transaction> txs;
+  for (int i = 0; i < n; ++i) {
+    txs.push_back(Tx(1, i, i + 1, 100 + i, 90 + i));
+  }
+  const crypto::Sha256Digest root = Block::ComputeTxRoot(txs);
+  for (int i = 0; i < n; ++i) {
+    std::vector<Transaction> tampered = txs;
+    tampered[static_cast<size_t>(i)].payment_micro_usd ^= 1;
+    EXPECT_NE(Block::ComputeTxRoot(tampered), root) << "leaf " << i;
+  }
+}
+
+TEST_P(MerkleRootProperty, RootIsDeterministic) {
+  const int n = GetParam();
+  std::vector<Transaction> txs;
+  for (int i = 0; i < n; ++i) txs.push_back(Tx(2, i, i + 1, i, i));
+  EXPECT_EQ(Block::ComputeTxRoot(txs), Block::ComputeTxRoot(txs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleRootProperty,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 16, 33));
+
+TEST(Block, ConsistencyDetectsBodyTampering) {
+  Block b;
+  b.transactions = {Tx(1, 0, 1, 10, 9)};
+  b.header.tx_root = Block::ComputeTxRoot(b.transactions);
+  EXPECT_TRUE(b.IsConsistent());
+  b.transactions[0].energy_micro_kwh = 11;
+  EXPECT_FALSE(b.IsConsistent());
+}
+
+}  // namespace
+}  // namespace pem::ledger

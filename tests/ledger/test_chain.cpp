@@ -1,0 +1,108 @@
+#include "ledger/chain.h"
+
+#include <gtest/gtest.h>
+
+namespace pem::ledger {
+namespace {
+
+Transaction Tx(int32_t window, int32_t seller, int32_t buyer, int64_t energy,
+               int64_t payment) {
+  Transaction t;
+  t.window = window;
+  t.seller = seller;
+  t.buyer = buyer;
+  t.energy_micro_kwh = energy;
+  t.payment_micro_usd = payment;
+  return t;
+}
+
+TEST(Ledger, StartsWithGenesisOnly) {
+  const Ledger chain;
+  EXPECT_EQ(chain.block_count(), 1u);
+  EXPECT_EQ(chain.TotalTransactions(), 0u);
+  EXPECT_TRUE(chain.Validate().empty());
+}
+
+TEST(Ledger, AppendLinksBlocks) {
+  Ledger chain;
+  chain.Append({Tx(0, 0, 1, 10, 9)}, 0);
+  chain.Append({Tx(1, 0, 2, 20, 18)}, 1);
+  EXPECT_EQ(chain.block_count(), 3u);
+  EXPECT_EQ(chain.block(2).header.previous_hash, chain.block(1).Hash());
+  EXPECT_EQ(chain.block(1).header.previous_hash, chain.block(0).Hash());
+  EXPECT_TRUE(chain.Validate().empty());
+}
+
+TEST(Ledger, AppendReturnsTipHash) {
+  Ledger chain;
+  const crypto::Sha256Digest h = chain.Append({Tx(0, 0, 1, 1, 1)}, 0);
+  EXPECT_EQ(h, chain.tip().Hash());
+}
+
+TEST(Ledger, EmptyBlocksAreLegal) {
+  Ledger chain;
+  chain.Append({}, 7);
+  EXPECT_TRUE(chain.Validate().empty());
+  EXPECT_EQ(chain.tip().header.logical_time, 7u);
+}
+
+TEST(Ledger, DetectsBodyTampering) {
+  Ledger chain;
+  chain.Append({Tx(0, 0, 1, 10, 9)}, 0);
+  chain.Append({Tx(1, 0, 1, 10, 9)}, 1);
+  chain.MutableBlockForTest(1).transactions[0].payment_micro_usd = 1;
+  const std::vector<ValidationIssue> issues = chain.Validate();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].block_index, 1u);
+  EXPECT_NE(issues[0].what.find("tx root"), std::string::npos);
+}
+
+TEST(Ledger, DetectsRewrittenHistory) {
+  Ledger chain;
+  chain.Append({Tx(0, 0, 1, 10, 9)}, 0);
+  chain.Append({Tx(1, 2, 3, 5, 4)}, 1);
+  // Rewrite block 1 entirely (consistent body + root, but the link
+  // from block 2 must now fail).
+  Block& b1 = chain.MutableBlockForTest(1);
+  b1.transactions[0].buyer = 9;
+  b1.header.tx_root = Block::ComputeTxRoot(b1.transactions);
+  const std::vector<ValidationIssue> issues = chain.Validate();
+  ASSERT_FALSE(issues.empty());
+  bool link_issue = false;
+  for (const auto& i : issues) {
+    if (i.what.find("hash link") != std::string::npos) link_issue = true;
+  }
+  EXPECT_TRUE(link_issue);
+}
+
+TEST(Ledger, BalancesNetOut) {
+  Ledger chain;
+  chain.Append({Tx(0, /*seller=*/0, /*buyer=*/1, 10, 9),
+                Tx(0, /*seller=*/0, /*buyer=*/2, 10, 9)},
+               0);
+  chain.Append({Tx(1, /*seller=*/2, /*buyer=*/0, 30, 27)}, 1);
+  EXPECT_EQ(chain.BalanceOf(0), 9 + 9 - 27);
+  EXPECT_EQ(chain.BalanceOf(1), -9);
+  EXPECT_EQ(chain.BalanceOf(2), -9 + 27);
+  EXPECT_EQ(chain.BalanceOf(99), 0);
+  // Money conservation: balances sum to zero.
+  EXPECT_EQ(chain.BalanceOf(0) + chain.BalanceOf(1) + chain.BalanceOf(2), 0);
+}
+
+TEST(Ledger, WindowQueryFiltersCorrectly) {
+  Ledger chain;
+  chain.Append({Tx(3, 0, 1, 1, 1), Tx(3, 0, 2, 2, 2)}, 3);
+  chain.Append({Tx(4, 0, 1, 3, 3)}, 4);
+  EXPECT_EQ(chain.TransactionsInWindow(3).size(), 2u);
+  EXPECT_EQ(chain.TransactionsInWindow(4).size(), 1u);
+  EXPECT_TRUE(chain.TransactionsInWindow(5).empty());
+  EXPECT_EQ(chain.TotalTransactions(), 3u);
+}
+
+TEST(LedgerDeath, BlockIndexOutOfRangeAborts) {
+  const Ledger chain;
+  EXPECT_DEATH((void)chain.block(5), "out of range");
+}
+
+}  // namespace
+}  // namespace pem::ledger

@@ -1,0 +1,81 @@
+#include "market/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "market/incentives.h"
+
+namespace pem::market {
+namespace {
+
+AgentWindowInput Agent(double g, double l, double b = 0.0) {
+  AgentWindowInput in;
+  in.params.preference_k = 1.0;
+  in.params.battery_epsilon = 0.9;
+  in.state.generation_kwh = g;
+  in.state.load_kwh = l;
+  in.state.battery_kwh = b;
+  return in;
+}
+
+TEST(Baseline, GridAbsorbsAllFlows) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(2.0, 1.0),  // +1.0 exported
+      Agent(0.0, 1.5),  // 1.5 imported
+      Agent(1.0, 1.0),  // balanced
+  };
+  const BaselineOutcome out = ComputeBaseline(agents, MarketParams{});
+  EXPECT_NEAR(out.grid_export_kwh, 1.0, 1e-9);
+  EXPECT_NEAR(out.grid_import_kwh, 1.5, 1e-9);
+  EXPECT_NEAR(out.GridInteraction(), 2.5, 1e-9);
+}
+
+TEST(Baseline, BuyersPayFullRetail) {
+  const std::vector<AgentWindowInput> agents = {Agent(0.0, 2.0),
+                                                Agent(0.5, 1.0)};
+  const BaselineOutcome out = ComputeBaseline(agents, MarketParams{});
+  EXPECT_NEAR(out.buyer_total_cost, 1.2 * 2.5, 1e-9);
+}
+
+TEST(Baseline, InteractionAlwaysAtLeastPemInteraction) {
+  // Without PEM the grid sees E_s + E_b; with PEM only |E_b - E_s|.
+  const std::vector<AgentWindowInput> agents = {
+      Agent(2.5, 1.0), Agent(0.0, 2.0), Agent(0.3, 1.4), Agent(1.9, 0.2)};
+  const MarketParams p;
+  const BaselineOutcome base = ComputeBaseline(agents, p);
+  const MarketOutcome pem = ClearMarket(agents, p);
+  EXPECT_GE(base.GridInteraction(), pem.GridInteraction() - 1e-9);
+}
+
+TEST(Baseline, EmptyMarketIsZero) {
+  const std::vector<AgentWindowInput> none;
+  const BaselineOutcome out = ComputeBaseline(none, MarketParams{});
+  EXPECT_DOUBLE_EQ(out.buyer_total_cost, 0.0);
+  EXPECT_DOUBLE_EQ(out.GridInteraction(), 0.0);
+}
+
+TEST(SellerUtilityAtPrice, HigherPriceHigherUtilityForProducers) {
+  grid::AgentParams params;
+  params.preference_k = 1.0;
+  params.battery_epsilon = 0.9;
+  grid::WindowState st;
+  st.generation_kwh = 4.0;
+  st.load_kwh = 0.5;
+  const double at_buyback = SellerUtilityAtPrice(params, st, 0.8);
+  const double at_pem = SellerUtilityAtPrice(params, st, 1.0);
+  EXPECT_GT(at_pem, at_buyback);
+}
+
+TEST(SellerUtilityAtPrice, UsesBestResponseLoad) {
+  // Utility at the best-response load must dominate a fixed load.
+  grid::AgentParams params;
+  params.preference_k = 2.0;
+  params.battery_epsilon = 0.9;
+  grid::WindowState st;
+  st.generation_kwh = 5.0;
+  const double best = SellerUtilityAtPrice(params, st, 1.0);
+  const double fixed = SellerUtility(2.0, 0.2, 0.9, 0.0, 1.0, 5.0);
+  EXPECT_GE(best, fixed);
+}
+
+}  // namespace
+}  // namespace pem::market

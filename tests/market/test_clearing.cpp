@@ -1,0 +1,241 @@
+#include "market/clearing.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pem::market {
+namespace {
+
+AgentWindowInput Agent(double g, double l, double b = 0.0, double k = 1.0) {
+  AgentWindowInput in;
+  in.params.preference_k = k;
+  in.params.battery_epsilon = 0.9;
+  in.state.generation_kwh = g;
+  in.state.load_kwh = l;
+  in.state.battery_kwh = b;
+  return in;
+}
+
+MarketParams Params() { return MarketParams{}; }
+
+TEST(Clearing, ClassifiesRoles) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(2.0, 1.0),  // seller
+      Agent(0.5, 1.5),  // buyer
+      Agent(1.0, 1.0),  // off market
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  EXPECT_EQ(out.roles[0], grid::Role::kSeller);
+  EXPECT_EQ(out.roles[1], grid::Role::kBuyer);
+  EXPECT_EQ(out.roles[2], grid::Role::kOffMarket);
+  EXPECT_EQ(out.CountRole(grid::Role::kSeller), 1);
+  EXPECT_EQ(out.CountRole(grid::Role::kBuyer), 1);
+}
+
+TEST(Clearing, GeneralMarketWhenDemandExceedsSupply) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(1.5, 1.0),  // sn = +0.5
+      Agent(0.0, 2.0),  // sn = -2.0
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  EXPECT_EQ(out.type, MarketType::kGeneral);
+  EXPECT_NEAR(out.supply_total, 0.5, 1e-9);
+  EXPECT_NEAR(out.demand_total, 2.0, 1e-9);
+}
+
+TEST(Clearing, ExtremeMarketWhenSupplyCoversDemand) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(3.0, 0.5),  // sn = +2.5
+      Agent(0.0, 1.0),  // sn = -1.0
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  EXPECT_EQ(out.type, MarketType::kExtreme);
+  EXPECT_DOUBLE_EQ(out.price, Params().price_floor);
+}
+
+TEST(Clearing, NoMarketWithoutSellers) {
+  const std::vector<AgentWindowInput> agents = {Agent(0.0, 1.0),
+                                                Agent(0.5, 2.0)};
+  const MarketOutcome out = ClearMarket(agents, Params());
+  EXPECT_EQ(out.type, MarketType::kNoMarket);
+  EXPECT_DOUBLE_EQ(out.price, Params().retail_price);
+  // Buyers pay full retail.
+  EXPECT_NEAR(out.buyer_total_cost, 1.2 * (1.0 + 1.5), 1e-9);
+}
+
+TEST(Clearing, NoMarketWithoutBuyers) {
+  const std::vector<AgentWindowInput> agents = {Agent(2.0, 1.0),
+                                                Agent(3.0, 1.0)};
+  const MarketOutcome out = ClearMarket(agents, Params());
+  EXPECT_EQ(out.type, MarketType::kNoMarket);
+  // All surplus exported at the buyback price.
+  EXPECT_NEAR(out.grid_export_kwh, 3.0, 1e-9);
+  EXPECT_NEAR(out.money_received[0], 0.8 * 1.0, 1e-9);
+}
+
+TEST(Clearing, GeneralMarketSellsAllSupply) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(2.0, 1.0),  // seller +1.0
+      Agent(0.0, 1.5),  // buyer -1.5
+      Agent(0.0, 0.5),  // buyer -0.5
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  ASSERT_EQ(out.type, MarketType::kGeneral);
+  EXPECT_NEAR(out.market_sale[0], 1.0, 1e-9);
+  // Buyers split supply by demand ratio: 1.5/2.0 and 0.5/2.0.
+  EXPECT_NEAR(out.market_purchase[1], 0.75, 1e-9);
+  EXPECT_NEAR(out.market_purchase[2], 0.25, 1e-9);
+  // Residual demand covered by the grid.
+  EXPECT_NEAR(out.grid_import_kwh, 1.0, 1e-9);
+  EXPECT_NEAR(out.grid_export_kwh, 0.0, 1e-9);
+}
+
+TEST(Clearing, ExtremeMarketCoversAllDemand) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(4.0, 1.0),  // seller +3.0
+      Agent(2.0, 1.0),  // seller +1.0
+      Agent(0.0, 2.0),  // buyer  -2.0
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  ASSERT_EQ(out.type, MarketType::kExtreme);
+  EXPECT_NEAR(out.market_purchase[2], 2.0, 1e-9);
+  // Sellers sell proportionally to supply: 3/4 and 1/4 of demand.
+  EXPECT_NEAR(out.market_sale[0], 1.5, 1e-9);
+  EXPECT_NEAR(out.market_sale[1], 0.5, 1e-9);
+  // Leftover supply exported: 4 - 2 = 2.
+  EXPECT_NEAR(out.grid_export_kwh, 2.0, 1e-9);
+  EXPECT_NEAR(out.grid_import_kwh, 0.0, 1e-9);
+}
+
+TEST(Clearing, BuyerTotalCostMatchesEquation7) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(1.6, 1.0, 0.0, 0.9),  // seller +0.6
+      Agent(0.0, 1.0),            // buyer -1.0
+      Agent(0.0, 0.8),            // buyer -0.8
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  ASSERT_EQ(out.type, MarketType::kGeneral);
+  const double gamma = out.price * out.supply_total +
+                       Params().retail_price *
+                           (out.demand_total - out.supply_total);
+  EXPECT_NEAR(out.buyer_total_cost, gamma, 1e-9);
+}
+
+TEST(Clearing, MoneyConservation) {
+  // Total buyer payments == seller market revenue + grid retail revenue;
+  // seller receipts == market revenue + grid buyback payments.
+  const std::vector<AgentWindowInput> agents = {
+      Agent(2.0, 1.0), Agent(1.8, 1.2), Agent(0.0, 1.4), Agent(0.2, 1.5),
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  double paid = std::accumulate(out.money_paid.begin(), out.money_paid.end(), 0.0);
+  double market_volume = 0.0;
+  for (double s : out.market_sale) market_volume += s;
+  const double expected_paid = out.price * market_volume +
+                               Params().retail_price * out.grid_import_kwh;
+  EXPECT_NEAR(paid, expected_paid, 1e-9);
+
+  double received = std::accumulate(out.money_received.begin(),
+                                    out.money_received.end(), 0.0);
+  EXPECT_NEAR(received, out.price * market_volume +
+                            Params().buyback_price * out.grid_export_kwh,
+              1e-9);
+}
+
+TEST(Clearing, EnergyConservation) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(3.0, 1.0), Agent(0.5, 1.6), Agent(0.1, 2.2), Agent(2.2, 0.3),
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  double sold = 0.0, bought = 0.0;
+  for (double s : out.market_sale) sold += s;
+  for (double b : out.market_purchase) bought += b;
+  EXPECT_NEAR(sold, bought, 1e-9);
+  EXPECT_NEAR(sold + out.grid_export_kwh, out.supply_total, 1e-9);
+  EXPECT_NEAR(bought + out.grid_import_kwh, out.demand_total, 1e-9);
+}
+
+TEST(Clearing, PairwiseAllocationSumsToTotals) {
+  const std::vector<AgentWindowInput> agents = {
+      Agent(2.0, 1.0), Agent(1.5, 1.0), Agent(0.0, 1.9), Agent(0.0, 1.1),
+  };
+  const MarketOutcome out = ClearMarket(agents, Params());
+  for (int i = 0; i < 2; ++i) {
+    double row = 0.0;
+    for (int j = 2; j < 4; ++j) row += PairwiseAllocation(out, i, j);
+    EXPECT_NEAR(row, out.market_sale[static_cast<size_t>(i)], 1e-9) << i;
+  }
+  for (int j = 2; j < 4; ++j) {
+    double col = 0.0;
+    for (int i = 0; i < 2; ++i) col += PairwiseAllocation(out, i, j);
+    EXPECT_NEAR(col, out.market_purchase[static_cast<size_t>(j)], 1e-9) << j;
+  }
+}
+
+TEST(Clearing, PairwiseAllocationZeroForWrongRoles) {
+  const std::vector<AgentWindowInput> agents = {Agent(2.0, 1.0),
+                                                Agent(0.0, 1.9)};
+  const MarketOutcome out = ClearMarket(agents, Params());
+  EXPECT_DOUBLE_EQ(PairwiseAllocation(out, 1, 0), 0.0);  // roles swapped
+  EXPECT_DOUBLE_EQ(PairwiseAllocation(out, 0, 0), 0.0);  // buyer == seller id
+}
+
+TEST(Clearing, QuantizationMakesTinyNetsOffMarket) {
+  // |sn| below half a fixed-point unit quantizes to zero.
+  const std::vector<AgentWindowInput> agents = {Agent(1.0, 1.0 - 4e-7),
+                                                Agent(1.0, 1.0 + 4e-7)};
+  const MarketOutcome out = ClearMarket(agents, Params());
+  EXPECT_EQ(out.roles[0], grid::Role::kOffMarket);
+  EXPECT_EQ(out.roles[1], grid::Role::kOffMarket);
+  EXPECT_EQ(out.type, MarketType::kNoMarket);
+}
+
+TEST(Clearing, BalancedMarketIsExtremeWithNoGridFlows) {
+  // E_s == E_b exactly: extreme market, everything trades locally.
+  const std::vector<AgentWindowInput> agents = {Agent(2.0, 1.0),
+                                                Agent(0.0, 1.0)};
+  const MarketOutcome out = ClearMarket(agents, Params());
+  ASSERT_EQ(out.type, MarketType::kExtreme);
+  EXPECT_NEAR(out.market_sale[0], 1.0, 1e-9);
+  EXPECT_NEAR(out.market_purchase[1], 1.0, 1e-9);
+  EXPECT_NEAR(out.GridInteraction(), 0.0, 1e-9);
+}
+
+TEST(Clearing, SingleSellerSingleBuyerGeneral) {
+  const std::vector<AgentWindowInput> agents = {Agent(1.3, 1.0),  // +0.3
+                                                Agent(0.0, 0.9)}; // -0.9
+  const MarketOutcome out = ClearMarket(agents, Params());
+  ASSERT_EQ(out.type, MarketType::kGeneral);
+  EXPECT_NEAR(out.market_sale[0], 0.3, 1e-9);     // all supply sold
+  EXPECT_NEAR(out.market_purchase[1], 0.3, 1e-9);
+  EXPECT_NEAR(out.grid_import_kwh, 0.6, 1e-9);    // residual from grid
+  EXPECT_NEAR(PairwiseAllocation(out, 0, 1), 0.3, 1e-9);
+}
+
+TEST(Clearing, ManyAgentsStressInvariants) {
+  // 200 agents with varied positions: conservation must hold exactly.
+  std::vector<AgentWindowInput> agents;
+  for (int i = 0; i < 200; ++i) {
+    const double g = (i % 3 == 0) ? 0.01 * (i % 17) : 0.0;
+    const double l = 0.005 * (i % 23) + 0.001;
+    agents.push_back(Agent(g, l, 0.0, 0.6 + 0.004 * (i % 100)));
+  }
+  const MarketOutcome out = ClearMarket(agents, Params());
+  double sold = 0, bought = 0;
+  for (double s : out.market_sale) sold += s;
+  for (double b : out.market_purchase) bought += b;
+  EXPECT_NEAR(sold, bought, 1e-9);
+  EXPECT_NEAR(sold + out.grid_export_kwh, out.supply_total, 1e-9);
+  EXPECT_NEAR(bought + out.grid_import_kwh, out.demand_total, 1e-9);
+}
+
+TEST(Clearing, EmptyMarketIsNoMarket) {
+  const std::vector<AgentWindowInput> agents;
+  const MarketOutcome out = ClearMarket(agents, Params());
+  EXPECT_EQ(out.type, MarketType::kNoMarket);
+  EXPECT_DOUBLE_EQ(out.buyer_total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace pem::market

@@ -1,0 +1,107 @@
+#include "market/incentives.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pem::market {
+namespace {
+
+TEST(SellerUtility, MatchesEquation4ByHand) {
+  // U = k log(1 + l + eps*b) + p (g - l - b)
+  const double u = SellerUtility(/*k=*/2.0, /*load=*/1.0, /*eps=*/0.5,
+                                 /*b=*/2.0, /*p=*/1.1, /*g=*/5.0);
+  EXPECT_NEAR(u, 2.0 * std::log(3.0) + 1.1 * 2.0, 1e-12);
+}
+
+TEST(SellerUtility, ZeroLoadNoBattery) {
+  const double u = SellerUtility(1.0, 0.0, 0.9, 0.0, 1.0, 3.0);
+  EXPECT_NEAR(u, 3.0, 1e-12);  // log(1) = 0
+}
+
+TEST(SellerUtility, DischargingBatteryAddsSupplyRevenue) {
+  const double discharging = SellerUtility(1.0, 0.5, 0.9, -1.0, 1.0, 2.0);
+  const double idle = SellerUtility(1.0, 0.5, 0.9, 0.0, 1.0, 2.0);
+  // b = -1 adds 1 kWh of paid supply but subtracts comfort.
+  EXPECT_GT(discharging, idle - 1e12);
+  EXPECT_NEAR(discharging - idle,
+              1.0 * 1.0 + (std::log(1.5 - 0.9) - std::log(1.5)), 1e-12);
+}
+
+TEST(SellerUtility, IncreasingInPriceForNetProducers) {
+  // g - l - b > 0 => dU/dp > 0.
+  const double lo = SellerUtility(1.0, 1.0, 0.9, 0.0, 0.9, 5.0);
+  const double hi = SellerUtility(1.0, 1.0, 0.9, 0.0, 1.1, 5.0);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(BuyerCost, MatchesEquation5ByHand) {
+  // C = p*x + ps*(l + b - g - x)
+  const double c = BuyerCost(/*p=*/1.0, /*x=*/2.0, /*ps=*/1.2,
+                             /*l=*/5.0, /*b=*/0.0, /*g=*/1.0);
+  EXPECT_NEAR(c, 1.0 * 2.0 + 1.2 * 2.0, 1e-12);
+}
+
+TEST(BuyerCost, FullMarketCoverageCheaperThanGridOnly) {
+  const double deficit_covered = BuyerCost(0.9, 4.0, 1.2, 5.0, 0.0, 1.0);
+  const double grid_only = BuyerCost(0.9, 0.0, 1.2, 5.0, 0.0, 1.0);
+  EXPECT_LT(deficit_covered, grid_only);
+}
+
+TEST(BuyerCost, ChargingBatteryIncreasesDeficit) {
+  const double with_charge = BuyerCost(1.0, 1.0, 1.2, 3.0, 1.0, 1.0);
+  const double without = BuyerCost(1.0, 1.0, 1.2, 3.0, 0.0, 1.0);
+  EXPECT_NEAR(with_charge - without, 1.2, 1e-12);
+}
+
+TEST(BuyerCostDeath, PurchaseBeyondDeficitAborts) {
+  EXPECT_DEATH((void)BuyerCost(1.0, 10.0, 1.2, 3.0, 0.0, 1.0), "deficit");
+}
+
+TEST(OptimalSellerLoad, MatchesCorrectedEquation15) {
+  // l* = k/p - 1 - eps*b (paper's Eq. 15 with the spurious eps factor
+  // dropped; see the erratum note in incentives.h).
+  EXPECT_NEAR(OptimalSellerLoad(2.0, 0.9, 1.0, 0.5), 2.0 - 1 - 0.45, 1e-12);
+}
+
+TEST(OptimalSellerLoad, InteriorVariantCanGoNegative) {
+  EXPECT_LT(OptimalSellerLoadInterior(0.1, 0.9, 1.1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(OptimalSellerLoad(0.1, 0.9, 1.1, 0.0), 0.0);
+}
+
+TEST(OptimalSellerLoad, SatisfiesFirstOrderCondition) {
+  // dU/dl at l* must vanish: k/(1+l*+eps*b) == p.
+  const double k = 2.5, eps = 0.9, p = 1.0, b = 0.3;
+  const double l = OptimalSellerLoadInterior(k, eps, p, b);
+  EXPECT_NEAR(k / (1.0 + l + eps * b), p, 1e-12);
+}
+
+TEST(OptimalSellerLoad, ClampsAtZero) {
+  EXPECT_DOUBLE_EQ(OptimalSellerLoad(0.1, 0.9, 1.1, 0.0), 0.0);
+}
+
+TEST(OptimalSellerLoad, DecreasingInPrice) {
+  const double lo_price = OptimalSellerLoad(3.0, 0.9, 0.9, 0.0);
+  const double hi_price = OptimalSellerLoad(3.0, 0.9, 1.1, 0.0);
+  EXPECT_GT(lo_price, hi_price);
+}
+
+TEST(OptimalSellerLoad, IsTheArgmaxOfUtility) {
+  // First-order condition check: U(l*) >= U(l* ± delta).
+  const double k = 2.5, eps = 0.9, p = 1.0, b = 0.3, g = 6.0;
+  const double l_star = OptimalSellerLoad(k, eps, p, b);
+  const double u_star = SellerUtility(k, l_star, eps, b, p, g);
+  for (double delta : {0.01, 0.1, 0.5}) {
+    EXPECT_GE(u_star, SellerUtility(k, l_star + delta, eps, b, p, g));
+    if (l_star - delta > 0) {
+      EXPECT_GE(u_star, SellerUtility(k, l_star - delta, eps, b, p, g));
+    }
+  }
+}
+
+TEST(SellerUtilityDeath, NonPositiveKAborts) {
+  EXPECT_DEATH((void)SellerUtility(0.0, 1.0, 0.9, 0.0, 1.0, 1.0), "positive");
+}
+
+}  // namespace
+}  // namespace pem::market

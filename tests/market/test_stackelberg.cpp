@@ -1,0 +1,111 @@
+#include "market/stackelberg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pem::market {
+namespace {
+
+MarketParams DefaultParams() { return MarketParams{}; }
+
+std::vector<SellerGameInput> MakeSellers(int n, double k, double g) {
+  std::vector<SellerGameInput> out(static_cast<size_t>(n));
+  for (auto& s : out) {
+    s.k = k;
+    s.generation = g;
+    s.epsilon = 0.9;
+    s.battery = 0.0;
+  }
+  return out;
+}
+
+TEST(Stackelberg, InteriorPriceMatchesEquation13) {
+  const auto sellers = MakeSellers(10, 1.0, 0.05);
+  const PriceSolution sol = SolveStackelbergPrice(sellers, DefaultParams());
+  // p_hat = sqrt(ps * n*k / (n*(g+1))) = sqrt(1.2 * 1.0 / 1.05)
+  EXPECT_NEAR(sol.interior_price, std::sqrt(1.2 / 1.05), 1e-12);
+}
+
+TEST(Stackelberg, PriceClampedToFloor) {
+  // Small k drives the interior price below pl = 0.9.
+  const auto sellers = MakeSellers(5, 0.3, 0.1);
+  const PriceSolution sol = SolveStackelbergPrice(sellers, DefaultParams());
+  EXPECT_LT(sol.interior_price, 0.9);
+  EXPECT_DOUBLE_EQ(sol.price, 0.9);
+  EXPECT_TRUE(sol.clamped_low);
+  EXPECT_FALSE(sol.clamped_high);
+}
+
+TEST(Stackelberg, PriceClampedToCeiling) {
+  const auto sellers = MakeSellers(5, 3.0, 0.1);
+  const PriceSolution sol = SolveStackelbergPrice(sellers, DefaultParams());
+  EXPECT_GT(sol.interior_price, 1.1);
+  EXPECT_DOUBLE_EQ(sol.price, 1.1);
+  EXPECT_TRUE(sol.clamped_high);
+}
+
+TEST(Stackelberg, InRangePriceNotClamped) {
+  const auto sellers = MakeSellers(5, 0.85, 0.02);
+  const PriceSolution sol = SolveStackelbergPrice(sellers, DefaultParams());
+  EXPECT_GE(sol.price, 0.9);
+  EXPECT_LE(sol.price, 1.1);
+  EXPECT_DOUBLE_EQ(sol.price, sol.interior_price);
+  EXPECT_FALSE(sol.clamped_low);
+  EXPECT_FALSE(sol.clamped_high);
+}
+
+TEST(Stackelberg, AggregateSumsAreLinear) {
+  std::vector<SellerGameInput> sellers;
+  sellers.push_back({1.0, 2.0, 0.9, 1.0});   // supply term: 2+1+0.9-1 = 2.9
+  sellers.push_back({2.0, 0.5, 0.8, -1.0});  // 0.5+1-0.8+1 = 1.7
+  const PricingSums sums = AggregatePricingSums(sellers);
+  EXPECT_NEAR(sums.sum_k, 3.0, 1e-12);
+  EXPECT_NEAR(sums.sum_supply, 4.6, 1e-12);
+}
+
+TEST(Stackelberg, BatteryChargingLowersEffectiveSupplyTerm) {
+  // Charging (b > 0, eps < 1) reduces g+1+eps*b-b relative to b = 0,
+  // which raises the interior price.
+  const auto idle = MakeSellers(1, 1.0, 1.0);
+  auto charging = MakeSellers(1, 1.0, 1.0);
+  charging[0].battery = 0.5;
+  const double p_idle =
+      SolveStackelbergPrice(idle, DefaultParams()).interior_price;
+  const double p_chg =
+      SolveStackelbergPrice(charging, DefaultParams()).interior_price;
+  EXPECT_GT(p_chg, p_idle);
+}
+
+TEST(Stackelberg, MoreGenerationLowersPrice) {
+  const double p_low_gen =
+      SolveStackelbergPrice(MakeSellers(10, 1.0, 0.01), DefaultParams())
+          .interior_price;
+  const double p_high_gen =
+      SolveStackelbergPrice(MakeSellers(10, 1.0, 0.5), DefaultParams())
+          .interior_price;
+  EXPECT_LT(p_high_gen, p_low_gen);
+}
+
+TEST(Stackelberg, CostFunctionEvaluates) {
+  const auto sellers = MakeSellers(3, 1.0, 0.1);
+  const double cost =
+      BuyerCoalitionCost(sellers, 1.0, /*market_demand=*/2.0, DefaultParams());
+  EXPECT_TRUE(std::isfinite(cost));
+}
+
+TEST(StackelbergDeath, EmptySellerSetAborts) {
+  const std::vector<SellerGameInput> none;
+  EXPECT_DEATH((void)SolveStackelbergPrice(none, DefaultParams()), "seller");
+}
+
+TEST(StackelbergDeath, InvalidParamsAbort) {
+  MarketParams bad;
+  bad.price_floor = 0.5;  // violates pb < pl
+  const auto sellers = MakeSellers(2, 1.0, 0.1);
+  EXPECT_DEATH((void)SolveStackelbergPrice(sellers, bad), "pb < pl");
+}
+
+}  // namespace
+}  // namespace pem::market

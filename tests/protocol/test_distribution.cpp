@@ -1,0 +1,158 @@
+#include "protocol/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace pem::protocol {
+namespace {
+
+PemConfig TestConfig() {
+  PemConfig cfg;
+  cfg.key_bits = 128;
+  return cfg;
+}
+
+struct Harness {
+  std::vector<Party> parties;
+  net::MessageBus bus;
+  crypto::DeterministicRng rng;
+
+  Harness(const std::vector<double>& nets, uint64_t seed)
+      : bus(static_cast<int>(nets.size())), rng(seed) {
+    for (size_t i = 0; i < nets.size(); ++i) {
+      parties.emplace_back(static_cast<net::AgentId>(i), grid::AgentParams{});
+      grid::WindowState st;
+      st.generation_kwh = nets[i] > 0 ? nets[i] : 0.0;
+      st.load_kwh = nets[i] < 0 ? -nets[i] : 0.0;
+      parties.back().BeginWindow(st, int64_t{1} << 30, rng);
+    }
+  }
+
+  DistributionResult Run(bool general, double price, const PemConfig& cfg) {
+    ProtocolContext ctx{bus, rng, cfg};
+    return RunPrivateDistribution(ctx, parties, FormCoalitions(parties),
+                                  general, price);
+  }
+};
+
+TEST(Distribution, GeneralMarketProportionalToDemand) {
+  // Sellers: +1.0; buyers: -1.5 and -0.5 (E_b = 2).
+  Harness s({1.0, -1.5, -0.5}, 1);
+  const DistributionResult r = s.Run(true, 1.0, TestConfig());
+  ASSERT_EQ(r.trades.size(), 2u);
+  // e_ij = sn_i * |sn_j| / E_b.
+  for (const Trade& t : r.trades) {
+    if (t.buyer_index == 1) {
+      EXPECT_NEAR(t.energy_kwh, 1.0 * 1.5 / 2.0, 1e-4);
+    } else {
+      EXPECT_NEAR(t.energy_kwh, 1.0 * 0.5 / 2.0, 1e-4);
+    }
+    EXPECT_NEAR(t.payment, 1.0 * t.energy_kwh, 1e-9);
+  }
+}
+
+TEST(Distribution, GeneralMarketSellsAllSupply) {
+  Harness s({0.7, 0.3, -1.1, -0.9, -2.0}, 2);
+  const DistributionResult r = s.Run(true, 0.95, TestConfig());
+  double sold0 = 0, sold1 = 0;
+  for (const Trade& t : r.trades) {
+    if (t.seller_index == 0) sold0 += t.energy_kwh;
+    if (t.seller_index == 1) sold1 += t.energy_kwh;
+  }
+  EXPECT_NEAR(sold0, 0.7, 1e-4);
+  EXPECT_NEAR(sold1, 0.3, 1e-4);
+}
+
+TEST(Distribution, ExtremeMarketProportionalToSupply) {
+  // Sellers: +3.0 and +1.0 (E_s = 4); buyer: -2.0.
+  Harness s({3.0, 1.0, -2.0}, 3);
+  const DistributionResult r = s.Run(false, 0.9, TestConfig());
+  ASSERT_EQ(r.trades.size(), 2u);
+  for (const Trade& t : r.trades) {
+    if (t.seller_index == 0) {
+      EXPECT_NEAR(t.energy_kwh, 2.0 * 3.0 / 4.0, 1e-4);
+    } else {
+      EXPECT_NEAR(t.energy_kwh, 2.0 * 1.0 / 4.0, 1e-4);
+    }
+    EXPECT_NEAR(t.payment, 0.9 * t.energy_kwh, 1e-9);
+  }
+}
+
+TEST(Distribution, ExtremeMarketCoversAllDemand) {
+  Harness s({2.0, 2.5, -0.8, -1.2}, 4);
+  const DistributionResult r = s.Run(false, 0.9, TestConfig());
+  double bought2 = 0, bought3 = 0;
+  for (const Trade& t : r.trades) {
+    if (t.buyer_index == 2) bought2 += t.energy_kwh;
+    if (t.buyer_index == 3) bought3 += t.energy_kwh;
+  }
+  EXPECT_NEAR(bought2, 0.8, 1e-4);
+  EXPECT_NEAR(bought3, 1.2, 1e-4);
+}
+
+TEST(Distribution, TradeCountIsPairwise) {
+  Harness s({1.0, 0.5, 0.2, -1.0, -2.0, -0.5, -1.5}, 5);  // 3 sellers, 4 buyers
+  const DistributionResult r = s.Run(true, 1.0, TestConfig());
+  EXPECT_EQ(r.trades.size(), 12u);
+}
+
+TEST(Distribution, PaymentsMatchPriceTimesEnergy) {
+  Harness s({0.6, -0.5, -0.7}, 6);
+  const double price = 1.07;
+  const DistributionResult r = s.Run(true, price, TestConfig());
+  for (const Trade& t : r.trades) {
+    EXPECT_NEAR(t.payment, price * t.energy_kwh, 1e-12);
+  }
+}
+
+TEST(Distribution, RatioPrecisionOnSkewedShares) {
+  // Very uneven demands stress the K/share rounding.
+  Harness s({1.0, -0.000123, -2.345678}, 7);
+  const DistributionResult r = s.Run(true, 1.0, TestConfig());
+  double total = 0;
+  for (const Trade& t : r.trades) total += t.energy_kwh;
+  EXPECT_NEAR(total, 1.0, 1e-4);
+  for (const Trade& t : r.trades) {
+    if (t.buyer_index == 1) {
+      EXPECT_NEAR(t.energy_kwh, 1.0 * 0.000123 / 2.345801, 1e-7);
+    }
+  }
+}
+
+TEST(Distribution, AggregatorFromCorrectCoalition) {
+  Harness general({1.0, 0.4, -2.0}, 8);
+  EXPECT_LE(general.Run(true, 1.0, TestConfig()).aggregator_index, 1u);
+  Harness extreme({3.0, 1.0, -2.0}, 9);
+  EXPECT_EQ(extreme.Run(false, 0.9, TestConfig()).aggregator_index, 2u);
+}
+
+TEST(Distribution, QuadraticMessageComplexity) {
+  Harness s({0.5, 0.5, -0.4, -0.4, -0.4}, 10);
+  (void)s.Run(true, 1.0, TestConfig());
+  // 2 sellers x 3 buyers x 2 messages (energy + payment) at minimum.
+  EXPECT_GE(s.bus.total_messages(), 12u);
+}
+
+TEST(DistributionDeath, RequiresBothCoalitions) {
+  Harness s({1.0, 2.0}, 11);
+  PemConfig cfg = TestConfig();
+  ProtocolContext ctx{s.bus, s.rng, cfg};
+  EXPECT_DEATH((void)RunPrivateDistribution(ctx, s.parties,
+                                            FormCoalitions(s.parties), true,
+                                            1.0),
+               "both coalitions");
+}
+
+TEST(DistributionDeath, NonPositivePriceAborts) {
+  Harness s({1.0, -1.5}, 12);
+  PemConfig cfg = TestConfig();
+  ProtocolContext ctx{s.bus, s.rng, cfg};
+  EXPECT_DEATH((void)RunPrivateDistribution(ctx, s.parties,
+                                            FormCoalitions(s.parties), true,
+                                            0.0),
+               "price");
+}
+
+}  // namespace
+}  // namespace pem::protocol

@@ -1,0 +1,62 @@
+#include "protocol/key_directory.h"
+
+#include <gtest/gtest.h>
+
+namespace pem::protocol {
+namespace {
+
+crypto::PaillierPublicKey MakeKey(uint64_t seed) {
+  crypto::DeterministicRng rng(seed);
+  return crypto::GeneratePaillierKeyPair(128, rng).pub;
+}
+
+TEST(KeyDirectory, RegisterAndLookup) {
+  KeyDirectory dir;
+  const crypto::PaillierPublicKey key = MakeKey(1);
+  ASSERT_TRUE(dir.Register(3, key).ok());
+  ASSERT_TRUE(dir.Has(3));
+  const Result<crypto::PaillierPublicKey> found = dir.Lookup(3);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().n(), key.n());
+}
+
+TEST(KeyDirectory, LookupUnknownAgentFails) {
+  KeyDirectory dir;
+  const Result<crypto::PaillierPublicKey> r = dir.Lookup(9);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(dir.Has(9));
+}
+
+TEST(KeyDirectory, ReRegisteringSameKeyIsIdempotent) {
+  KeyDirectory dir;
+  const crypto::PaillierPublicKey key = MakeKey(2);
+  EXPECT_TRUE(dir.Register(1, key).ok());
+  EXPECT_TRUE(dir.Register(1, key).ok());
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(KeyDirectory, EquivocationIsRejected) {
+  KeyDirectory dir;
+  ASSERT_TRUE(dir.Register(1, MakeKey(3)).ok());
+  const Status s = dir.Register(1, MakeKey(4));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kProtocolViolation);
+  // The original key survives.
+  EXPECT_EQ(dir.Lookup(1).value().n(), MakeKey(3).n());
+}
+
+TEST(KeyDirectory, ManyAgentsIndependent) {
+  KeyDirectory dir;
+  for (int a = 0; a < 10; ++a) {
+    ASSERT_TRUE(dir.Register(a, MakeKey(100 + static_cast<uint64_t>(a))).ok());
+  }
+  EXPECT_EQ(dir.size(), 10u);
+  for (int a = 0; a < 10; ++a) {
+    EXPECT_EQ(dir.Lookup(a).value().n(),
+              MakeKey(100 + static_cast<uint64_t>(a)).n());
+  }
+}
+
+}  // namespace
+}  // namespace pem::protocol

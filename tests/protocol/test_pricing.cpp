@@ -1,0 +1,163 @@
+#include "protocol/pricing.h"
+
+#include <gtest/gtest.h>
+
+#include "market/stackelberg.h"
+
+namespace pem::protocol {
+namespace {
+
+PemConfig TestConfig() {
+  PemConfig cfg;
+  cfg.key_bits = 128;
+  return cfg;
+}
+
+struct AgentSpec {
+  double generation = 0;
+  double load = 0;
+  double battery = 0;
+  double k = 1.0;
+  double epsilon = 0.9;
+};
+
+struct Harness {
+  std::vector<Party> parties;
+  net::MessageBus bus;
+  crypto::DeterministicRng rng;
+
+  Harness(const std::vector<AgentSpec>& specs, uint64_t seed)
+      : bus(static_cast<int>(specs.size())), rng(seed) {
+    for (size_t i = 0; i < specs.size(); ++i) {
+      grid::AgentParams params;
+      params.preference_k = specs[i].k;
+      params.battery_epsilon = specs[i].epsilon;
+      parties.emplace_back(static_cast<net::AgentId>(i), params);
+      grid::WindowState st;
+      st.generation_kwh = specs[i].generation;
+      st.load_kwh = specs[i].load;
+      st.battery_kwh = specs[i].battery;
+      parties.back().BeginWindow(st, int64_t{1} << 30, rng);
+    }
+  }
+
+  PricingResult Run(const PemConfig& cfg) {
+    ProtocolContext ctx{bus, rng, cfg};
+    return RunPrivatePricing(ctx, parties, FormCoalitions(parties));
+  }
+};
+
+// The plaintext reference price for the same sellers.
+double OraclePrice(const std::vector<AgentSpec>& specs,
+                   const market::MarketParams& params) {
+  std::vector<market::SellerGameInput> sellers;
+  for (const AgentSpec& s : specs) {
+    if (s.generation - s.load - s.battery > 0) {
+      sellers.push_back({s.k, s.generation, s.epsilon, s.battery});
+    }
+  }
+  return market::SolveStackelbergPrice(sellers, params).price;
+}
+
+TEST(Pricing, MatchesPlaintextOracleMidRange) {
+  const std::vector<AgentSpec> specs = {
+      {0.9, 0.1, 0.0, 0.85},  // seller
+      {1.1, 0.2, 0.0, 0.95},  // seller
+      {0.0, 1.0, 0.0, 1.0},   // buyer
+  };
+  Harness s(specs, 1);
+  const PemConfig cfg = TestConfig();
+  const PricingResult r = s.Run(cfg);
+  EXPECT_NEAR(r.price, OraclePrice(specs, cfg.market), 1e-5);
+  EXPECT_GE(r.price, cfg.market.price_floor);
+  EXPECT_LE(r.price, cfg.market.price_ceiling);
+}
+
+TEST(Pricing, ClampsAtFloorLikeOracle) {
+  // Tiny k forces the interior price below the floor.
+  const std::vector<AgentSpec> specs = {
+      {1.0, 0.1, 0.0, 0.2}, {0.0, 1.5, 0.0, 1.0}};
+  Harness s(specs, 2);
+  const PemConfig cfg = TestConfig();
+  const PricingResult r = s.Run(cfg);
+  EXPECT_DOUBLE_EQ(r.price, cfg.market.price_floor);
+  EXPECT_LT(r.interior_price, cfg.market.price_floor);
+}
+
+TEST(Pricing, ClampsAtCeilingLikeOracle) {
+  const std::vector<AgentSpec> specs = {
+      {1.0, 0.1, 0.0, 4.0}, {0.0, 1.5, 0.0, 1.0}};
+  Harness s(specs, 3);
+  const PemConfig cfg = TestConfig();
+  const PricingResult r = s.Run(cfg);
+  EXPECT_DOUBLE_EQ(r.price, cfg.market.price_ceiling);
+}
+
+TEST(Pricing, AggregatesOnlySellerData) {
+  const std::vector<AgentSpec> specs = {
+      {2.0, 0.1, 0.0, 0.8},            // seller, k = 0.8
+      {0.0, 1.0, 0.0, 123.0},          // buyer: its k must NOT enter
+      {0.0, 2.0, 0.0, 55.0},           // buyer
+  };
+  Harness s(specs, 4);
+  const PricingResult r = s.Run(TestConfig());
+  EXPECT_NEAR(r.sums.sum_k, 0.8, 1e-6);
+}
+
+TEST(Pricing, BatteryTermsEnterTheSums) {
+  const std::vector<AgentSpec> specs = {
+      {2.0, 0.1, 0.5, 1.0, 0.9},  // supply term: 2+1+0.45-0.5 = 2.95
+      {0.0, 1.0, 0.0, 1.0},
+  };
+  Harness s(specs, 5);
+  const PricingResult r = s.Run(TestConfig());
+  EXPECT_NEAR(r.sums.sum_supply, 2.95, 1e-6);
+}
+
+TEST(Pricing, AggregatorIsABuyer) {
+  const std::vector<AgentSpec> specs = {
+      {2.0, 0.1}, {1.5, 0.1}, {0.0, 1.0}, {0.0, 2.0}};
+  Harness s(specs, 6);
+  const PricingResult r = s.Run(TestConfig());
+  EXPECT_GE(r.hb_buyer_index, 2u);
+}
+
+TEST(Pricing, PriceIdenticalAcrossProtocolRandomness) {
+  const std::vector<AgentSpec> specs = {
+      {0.9, 0.1, 0.0, 0.9}, {1.2, 0.3, 0.0, 1.1}, {0.0, 1.0}, {0.0, 1.2}};
+  double first = -1;
+  for (uint64_t seed = 10; seed < 16; ++seed) {
+    Harness s(specs, seed);
+    const double p = s.Run(TestConfig()).price;
+    if (first < 0) {
+      first = p;
+    } else {
+      EXPECT_DOUBLE_EQ(p, first) << seed;
+    }
+  }
+}
+
+TEST(Pricing, LargerKeySizeSameResult) {
+  const std::vector<AgentSpec> specs = {
+      {0.9, 0.1, 0.0, 0.9}, {0.0, 1.0}};
+  Harness s128(specs, 20);
+  PemConfig cfg = TestConfig();
+  const double p128 = s128.Run(cfg).price;
+  Harness s512(specs, 21);
+  cfg.key_bits = 512;
+  const double p512 = s512.Run(cfg).price;
+  EXPECT_NEAR(p128, p512, 1e-12);
+}
+
+TEST(PricingDeath, NoSellersAborts) {
+  const std::vector<AgentSpec> specs = {{0.0, 1.0}, {0.0, 2.0}};
+  Harness s(specs, 30);
+  PemConfig cfg = TestConfig();
+  ProtocolContext ctx{s.bus, s.rng, cfg};
+  EXPECT_DEATH(
+      (void)RunPrivatePricing(ctx, s.parties, FormCoalitions(s.parties)),
+      "sellers");
+}
+
+}  // namespace
+}  // namespace pem::protocol

@@ -1,0 +1,61 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pem {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/pem_csv_test.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    ASSERT_TRUE(w.ok());
+    w.Row({"1", "2"});
+    w.Row({"x", "y"});
+  }
+  EXPECT_EQ(ReadAll(path_), "a,b\n1,2\nx,y\n");
+}
+
+TEST_F(CsvTest, EmptyRowProducesBlankLine) {
+  {
+    CsvWriter w(path_, {"only"});
+    w.Row({});
+  }
+  EXPECT_EQ(ReadAll(path_), "only\n\n");
+}
+
+TEST(CsvWriter, BadPathDegradesToNoop) {
+  CsvWriter w("/nonexistent_dir_zzz/file.csv", {"h"});
+  EXPECT_FALSE(w.ok());
+  w.Row({"ignored"});  // must not crash
+}
+
+TEST(CsvWriter, NumFormatsDoubles) {
+  EXPECT_EQ(CsvWriter::Num(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::Num(0.000001), "1e-06");
+}
+
+TEST(CsvWriter, NumFormatsIntegers) {
+  EXPECT_EQ(CsvWriter::Num(int64_t{42}), "42");
+  EXPECT_EQ(CsvWriter::Num(int64_t{-7}), "-7");
+}
+
+}  // namespace
+}  // namespace pem

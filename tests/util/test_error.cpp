@@ -1,0 +1,69 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+namespace pem {
+namespace {
+
+TEST(Result, HoldsValue) {
+  const Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r(Error(ErrorCode::kNotFound, "missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message(), "missing");
+}
+
+TEST(Result, ValueOrFallsBack) {
+  const Result<int> ok(7);
+  const Result<int> bad(Error(ErrorCode::kInternal, "x"));
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  const Status s(Error(ErrorCode::kProtocolViolation, "bad message"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kProtocolViolation);
+}
+
+TEST(Error, ToStringIncludesCodeAndMessage) {
+  const Error e(ErrorCode::kCryptoFailure, "decrypt failed");
+  EXPECT_EQ(e.ToString(), "crypto_failure: decrypt failed");
+}
+
+TEST(Error, AllCodesHaveNames) {
+  for (ErrorCode c : {ErrorCode::kInvalidArgument, ErrorCode::kOutOfRange,
+                      ErrorCode::kCryptoFailure, ErrorCode::kProtocolViolation,
+                      ErrorCode::kSerialization, ErrorCode::kNotFound,
+                      ErrorCode::kInternal}) {
+    EXPECT_STRNE(ErrorCodeName(c), "unknown");
+  }
+}
+
+TEST(PemCheckDeath, AbortsOnViolation) {
+  EXPECT_DEATH(PEM_CHECK(false, "boom"), "boom");
+}
+
+TEST(ResultDeath, ValueOnErrorAborts) {
+  const Result<int> r(Error(ErrorCode::kInternal, "x"));
+  EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+}  // namespace
+}  // namespace pem

@@ -1,0 +1,100 @@
+#include "util/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pem {
+namespace {
+
+TEST(FixedPoint, RoundTripsPositiveValues) {
+  const FixedPoint fp = FixedPoint::FromDouble(1.234567);
+  EXPECT_EQ(fp.raw(), 1'234'567);
+  EXPECT_DOUBLE_EQ(fp.ToDouble(), 1.234567);
+}
+
+TEST(FixedPoint, RoundTripsNegativeValues) {
+  const FixedPoint fp = FixedPoint::FromDouble(-0.5);
+  EXPECT_EQ(fp.raw(), -500'000);
+  EXPECT_DOUBLE_EQ(fp.ToDouble(), -0.5);
+}
+
+TEST(FixedPoint, RoundsToNearestUnit) {
+  EXPECT_EQ(FixedPoint::FromDouble(0.0000014).raw(), 1);
+  EXPECT_EQ(FixedPoint::FromDouble(0.0000016).raw(), 2);
+  EXPECT_EQ(FixedPoint::FromDouble(-0.0000016).raw(), -2);
+}
+
+TEST(FixedPoint, ZeroIsZero) {
+  const FixedPoint fp = FixedPoint::FromDouble(0.0);
+  EXPECT_TRUE(fp.IsZero());
+  EXPECT_FALSE(fp.IsNegative());
+}
+
+TEST(FixedPoint, AdditionMatchesRealAddition) {
+  const FixedPoint a = FixedPoint::FromDouble(1.5);
+  const FixedPoint b = FixedPoint::FromDouble(2.25);
+  EXPECT_DOUBLE_EQ((a + b).ToDouble(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).ToDouble(), -0.75);
+}
+
+TEST(FixedPoint, NegationFlipsSign) {
+  const FixedPoint a = FixedPoint::FromDouble(2.5);
+  EXPECT_DOUBLE_EQ((-a).ToDouble(), -2.5);
+  EXPECT_TRUE((-a).IsNegative());
+}
+
+TEST(FixedPoint, ComparisonFollowsRealOrder) {
+  const FixedPoint a = FixedPoint::FromDouble(1.0);
+  const FixedPoint b = FixedPoint::FromDouble(1.000001);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, FixedPoint::FromDouble(1.0));
+}
+
+TEST(FixedPoint, CustomScaleSupported) {
+  const FixedPoint fp = FixedPoint::FromDouble(3.14, 100);
+  EXPECT_EQ(fp.raw(), 314);
+  EXPECT_DOUBLE_EQ(fp.ToDouble(), 3.14);
+}
+
+TEST(FixedPoint, ToStringFormatsSixDecimals) {
+  EXPECT_EQ(FixedPoint::FromDouble(1.5).ToString(), "1.500000");
+}
+
+TEST(RoundDiv, RoundsHalfAwayFromZeroForPositives) {
+  EXPECT_EQ(RoundDiv(7, 2), 4);   // 3.5 -> 4
+  EXPECT_EQ(RoundDiv(6, 4), 2);   // 1.5 -> 2
+  EXPECT_EQ(RoundDiv(5, 4), 1);   // 1.25 -> 1
+}
+
+TEST(RoundDiv, HandlesNegativeNumerators) {
+  EXPECT_EQ(RoundDiv(-7, 2), -4);
+  EXPECT_EQ(RoundDiv(-5, 4), -1);
+}
+
+TEST(RoundDiv, ExactDivisionIsExact) {
+  EXPECT_EQ(RoundDiv(100, 10), 10);
+  EXPECT_EQ(RoundDiv(-100, 10), -10);
+  EXPECT_EQ(RoundDiv(0, 7), 0);
+}
+
+// Property sweep: RoundDiv(n, d) equals llround(n / (double)d) for a
+// grid of values (the reciprocal trick in Protocol 4 relies on this).
+class RoundDivProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RoundDivProperty, MatchesFloatingPointRounding) {
+  const int64_t den = GetParam();
+  for (int64_t num = -1000; num <= 1000; num += 37) {
+    const double expected =
+        static_cast<double>(num) / static_cast<double>(den);
+    EXPECT_EQ(RoundDiv(num, den), std::llround(expected))
+        << "num=" << num << " den=" << den;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Denominators, RoundDivProperty,
+                         ::testing::Values(1, 2, 3, 7, 10, 97, 1000));
+
+}  // namespace
+}  // namespace pem
