@@ -19,6 +19,7 @@
 
 #include "core/simulation.h"
 #include "grid/trace.h"
+#include "net/transport.h"
 #include "util/csv.h"
 
 namespace pem::bench {
@@ -50,6 +51,10 @@ struct Flags {
         std::exit(2);
       }
     }
+    if (f.windows < 1 || f.samples < 1) {
+      std::fprintf(stderr, "--windows and --samples must be >= 1\n");
+      std::exit(2);
+    }
     return f;
   }
 };
@@ -71,11 +76,13 @@ struct CryptoWindowCost {
   int windows_executed = 0;
 };
 
-inline CryptoWindowCost MeasureCryptoWindows(const grid::CommunityTrace& trace,
-                                             int key_bits, int samples) {
+inline CryptoWindowCost MeasureCryptoWindows(
+    const grid::CommunityTrace& trace, int key_bits, int samples,
+    net::ExecutionPolicy policy = net::ExecutionPolicy::Serial()) {
   core::SimulationConfig cfg;
   cfg.engine = core::Engine::kCrypto;
   cfg.pem.key_bits = key_bits;
+  cfg.policy = policy;
   // Sample evenly across the active part of the day: start mid-morning
   // so degenerate no-market windows do not dilute the average.
   cfg.window_offset = trace.windows_per_day / 6;

@@ -9,6 +9,7 @@
 #include "crypto/paillier.h"
 #include "crypto/rng.h"
 #include "crypto/secure_compare.h"
+#include "net/bus.h"
 
 namespace {
 

@@ -12,6 +12,7 @@
 #include "crypto/paillier.h"
 #include "crypto/rng.h"
 #include "crypto/secure_compare.h"
+#include "net/bus.h"
 #include "util/fixed_point.h"
 
 int main() {

@@ -28,12 +28,16 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
   std::vector<grid::Battery> batteries = trace.MakeBatteries();
 
   // Crypto-engine state persists across windows (keys are cached).
+  // The transport backend is chosen by the execution policy: the
+  // serial FIFO bus, or the mutex-guarded bus that tolerates sends
+  // from compute-phase workers.
   crypto::DeterministicRng rng(config.crypto_seed);
-  std::optional<net::MessageBus> bus;
+  std::unique_ptr<net::Transport> bus;
   std::vector<protocol::Party> parties;
   crypto::PaillierPoolRegistry pools;
   if (config.engine == Engine::kCrypto) {
-    bus.emplace(num_homes);
+    bus = net::MakeTransport(config.policy.transport_kind, num_homes);
+    if (config.bus_observer) bus->SetObserver(config.bus_observer);
     parties.reserve(static_cast<size_t>(num_homes));
     for (int h = 0; h < num_homes; ++h) {
       parties.emplace_back(static_cast<net::AgentId>(h),
@@ -86,7 +90,8 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
       protocol::ProtocolContext ctx{*bus, rng, config.pem,
                                     config.pem.precompute_encryption
                                         ? &pools
-                                        : nullptr};
+                                        : nullptr,
+                                    config.policy};
       const protocol::PemWindowResult out = protocol::RunPemWindow(ctx, parties);
       if (config.pem.precompute_encryption) {
         // Idle-time phase: top the pools back up between windows, so

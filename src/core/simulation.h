@@ -19,6 +19,7 @@
 #include "grid/trace.h"
 #include "market/baseline.h"
 #include "market/clearing.h"
+#include "net/transport.h"
 #include "protocol/pem_protocol.h"
 
 namespace pem::core {
@@ -28,6 +29,18 @@ enum class Engine { kPlaintext, kCrypto };
 struct SimulationConfig {
   Engine engine = Engine::kPlaintext;
   protocol::PemConfig pem;
+  // Crypto engine execution model: which Transport backend carries the
+  // frames and how many workers the protocol compute phases use.  The
+  // default is the serial engine; ExecutionPolicy::Parallel(n) selects
+  // the phase-parallel engine on the mutex-guarded bus.  The wire
+  // transcript and market outcomes are policy-invariant (asserted by
+  // test_transcript_parity).
+  net::ExecutionPolicy policy;
+  // Optional tap on every delivered bus message (crypto engine only);
+  // used for transcript comparison and debugging.  The callback may
+  // run under the transport's lock, so it must not call back into the
+  // bus — copy what you need from the Message instead.
+  net::Transport::Observer bus_observer;
   // Run the market only on windows where window >= window_offset and
   // (window - window_offset) % stride == 0.  The offset lets sampled
   // runs skip the inactive early-morning windows.

@@ -37,13 +37,7 @@ PaillierCiphertext PaillierPublicKey::Encrypt(const BigInt& m, Rng& rng) const {
   PEM_CHECK(!m.IsNegative() && m < n_, "Paillier plaintext out of range");
   // With g = n+1:  g^m = 1 + m*n (mod n^2), saving one exponentiation.
   const BigInt gm = (BigInt(1) + m * n_) % n2_;
-  // r uniform in [1, n) with gcd(r, n) = 1; for a valid key a random
-  // r < n is invertible except with negligible probability.
-  BigInt r = BigInt::RandomBelow(n_, rng);
-  while (r.IsZero() || !r.IsInvertibleMod(n_)) {
-    r = BigInt::RandomBelow(n_, rng);
-  }
-  const BigInt rn = r.PowMod(n_, n2_);
+  const BigInt rn = SampleRandomness(rng).PowMod(n_, n2_);
   return PaillierCiphertext{gm.MulMod(rn, n2_)};
 }
 
@@ -58,12 +52,18 @@ PaillierCiphertext PaillierPublicKey::EncryptWithRandomness(
   return EncryptWithFactor(m, r.PowMod(n_, n2_));
 }
 
-BigInt PaillierPublicKey::SampleRandomnessFactor(Rng& rng) const {
+BigInt PaillierPublicKey::SampleRandomness(Rng& rng) const {
+  // r uniform in [1, n) with gcd(r, n) = 1; for a valid key a random
+  // r < n is invertible except with negligible probability.
   BigInt r = BigInt::RandomBelow(n_, rng);
   while (r.IsZero() || !r.IsInvertibleMod(n_)) {
     r = BigInt::RandomBelow(n_, rng);
   }
-  return r.PowMod(n_, n2_);
+  return r;
+}
+
+BigInt PaillierPublicKey::SampleRandomnessFactor(Rng& rng) const {
+  return SampleRandomness(rng).PowMod(n_, n2_);
 }
 
 PaillierCiphertext PaillierPublicKey::EncryptWithFactor(
@@ -257,6 +257,13 @@ PaillierCiphertext PaillierRandomnessPool::Encrypt(const BigInt& m, Rng& rng) {
 
 PaillierCiphertext PaillierRandomnessPool::EncryptSigned(int64_t v, Rng& rng) {
   return Encrypt(pk_.EncodeSigned(v), rng);
+}
+
+std::optional<BigInt> PaillierRandomnessPool::TakeFactor() {
+  if (factors_.empty()) return std::nullopt;
+  BigInt f = std::move(factors_.back());
+  factors_.pop_back();
+  return f;
 }
 
 PaillierRandomnessPool& PaillierPoolRegistry::PoolFor(

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -44,6 +45,11 @@ class PaillierPublicKey {
   // (re-encrypt and compare) and by the randomness pool.
   PaillierCiphertext EncryptWithRandomness(const BigInt& m,
                                            const BigInt& r) const;
+  // Samples encryption randomness r: uniform in [1, n), invertible.
+  // Cheap (no exponentiation) — protocol code draws r sequentially in
+  // its prepare phase and defers the r^n work to EncryptWithRandomness
+  // inside a compute-phase worker.
+  BigInt SampleRandomness(Rng& rng) const;
   // The expensive half of encryption: r^n mod n^2 for fresh random r.
   // Precomputable offline; see PaillierRandomnessPool.
   BigInt SampleRandomnessFactor(Rng& rng) const;
@@ -158,6 +164,12 @@ class PaillierRandomnessPool {
   // randomness when the pool is dry (correct either way).
   PaillierCiphertext Encrypt(const BigInt& m, Rng& rng);
   PaillierCiphertext EncryptSigned(int64_t v, Rng& rng);
+
+  // Pops one precomputed factor, or nullopt when the pool is dry.
+  // Used by the phase-parallel engine to assign factors to ring
+  // members in a deterministic sequential order before the compute
+  // phase fans out.
+  std::optional<BigInt> TakeFactor();
 
  private:
   PaillierPublicKey pk_;

@@ -11,7 +11,7 @@
 namespace pem::crypto {
 namespace {
 
-net::Message MustReceive(net::MessageBus& bus, net::AgentId agent,
+net::Message MustReceive(net::Transport& bus, net::AgentId agent,
                          uint32_t expected_type) {
   std::optional<net::Message> m = bus.Receive(agent);
   PEM_CHECK(m.has_value(), "secure_compare: missing message");
@@ -21,7 +21,7 @@ net::Message MustReceive(net::MessageBus& bus, net::AgentId agent,
 
 }  // namespace
 
-bool SecureCompareLess(net::MessageBus& bus, net::AgentId garbler, uint64_t x,
+bool SecureCompareLess(net::Transport& bus, net::AgentId garbler, uint64_t x,
                        net::AgentId evaluator, uint64_t y,
                        const SecureCompareConfig& cfg, Rng& rng) {
   PEM_CHECK(cfg.bits >= 1 && cfg.bits <= 64, "bits in [1,64]");

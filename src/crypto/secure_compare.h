@@ -16,7 +16,7 @@
 
 #include "crypto/modp_group.h"
 #include "crypto/rng.h"
-#include "net/bus.h"
+#include "net/transport.h"
 
 namespace pem::crypto {
 
@@ -34,7 +34,7 @@ inline constexpr uint32_t kMsgGcResult = 0x4743'0004;
 // Runs the full protocol between `garbler` (holding x) and `evaluator`
 // (holding y).  Both agents' traffic is accounted on the bus.  Returns
 // x < y (unsigned comparison over `cfg.bits` bits).
-bool SecureCompareLess(net::MessageBus& bus, net::AgentId garbler, uint64_t x,
+bool SecureCompareLess(net::Transport& bus, net::AgentId garbler, uint64_t x,
                        net::AgentId evaluator, uint64_t y,
                        const SecureCompareConfig& cfg, Rng& rng);
 

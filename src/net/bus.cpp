@@ -53,7 +53,7 @@ bool MessageBus::HasMessage(AgentId agent) const {
   return !inboxes_[static_cast<size_t>(agent)].empty();
 }
 
-const TrafficStats& MessageBus::stats(AgentId agent) const {
+TrafficStats MessageBus::stats(AgentId agent) const {
   PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
   return stats_[static_cast<size_t>(agent)];
 }

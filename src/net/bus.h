@@ -5,73 +5,44 @@
 // FIFO inboxes reproduces both the message pattern and the bytes on the
 // wire.  Every Send() adds a small frame header (sender, receiver,
 // type) to the accounted size, mirroring a TCP/protobuf-style framing.
+//
+// MessageBus is the serial Transport backend: no locking, so it must
+// only be touched from one thread.  For phase-parallel runs see
+// ConcurrentMessageBus (net/concurrent_bus.h).
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/serialize.h"
+#include "net/transport.h"
 
 namespace pem::net {
 
-using AgentId = int32_t;
-inline constexpr AgentId kBroadcast = -1;
-
-struct Message {
-  AgentId from = 0;
-  AgentId to = 0;
-  uint32_t type = 0;  // protocol-defined tag
-  std::vector<uint8_t> payload;
-};
-
-// Per-agent traffic counters (bytes).
-struct TrafficStats {
-  uint64_t bytes_sent = 0;
-  uint64_t bytes_received = 0;
-  uint64_t messages_sent = 0;
-  uint64_t messages_received = 0;
-};
-
-class MessageBus {
+class MessageBus : public Transport {
  public:
-  // Frame overhead charged per message, approximating the
-  // sender/receiver/type/length header of a real transport.
-  static constexpr uint64_t kFrameOverheadBytes = 20;
-
   explicit MessageBus(int num_agents);
 
-  int num_agents() const { return static_cast<int>(inboxes_.size()); }
+  int num_agents() const override {
+    return static_cast<int>(inboxes_.size());
+  }
 
-  // Queues a message for `msg.to`.  kBroadcast delivers a copy to every
-  // agent except the sender (each copy is accounted separately, as a
-  // real broadcast over unicast links would be).
-  void Send(Message msg);
+  void Send(Message msg) override;
+  std::optional<Message> Receive(AgentId agent) override;
+  bool HasMessage(AgentId agent) const override;
 
-  // Pops the next message for `agent`; nullopt when inbox is empty.
-  std::optional<Message> Receive(AgentId agent);
-  bool HasMessage(AgentId agent) const;
+  TrafficStats stats(AgentId agent) const override;
+  uint64_t total_bytes() const override { return total_bytes_; }
+  uint64_t total_messages() const override { return total_messages_; }
+  double AverageBytesPerAgent() const override;
+  void ResetStats() override;
 
-  const TrafficStats& stats(AgentId agent) const;
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t total_messages() const { return total_messages_; }
-
-  // Average bytes (sent + received) per agent since the last reset.
-  double AverageBytesPerAgent() const;
-
-  // Zeroes the counters (per-window accounting keeps inboxes intact —
-  // they are expected to be empty between windows).
-  void ResetStats();
-
-  // Observer invoked for every delivered message (after broadcast
-  // fan-out).  Used by transcript-inspection tests and debug tracing;
-  // pass nullptr to clear.
-  using Observer = std::function<void(const Message&)>;
-  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+  void SetObserver(Observer observer) override {
+    observer_ = std::move(observer);
+  }
 
  private:
   void Account(AgentId from, AgentId to, size_t payload_size);

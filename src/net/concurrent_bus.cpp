@@ -1,0 +1,50 @@
+#include "net/concurrent_bus.h"
+
+namespace pem::net {
+
+void ConcurrentMessageBus::Send(Message msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bus_.Send(std::move(msg));
+}
+
+std::optional<Message> ConcurrentMessageBus::Receive(AgentId agent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bus_.Receive(agent);
+}
+
+bool ConcurrentMessageBus::HasMessage(AgentId agent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bus_.HasMessage(agent);
+}
+
+TrafficStats ConcurrentMessageBus::stats(AgentId agent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bus_.stats(agent);
+}
+
+uint64_t ConcurrentMessageBus::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bus_.total_bytes();
+}
+
+uint64_t ConcurrentMessageBus::total_messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bus_.total_messages();
+}
+
+double ConcurrentMessageBus::AverageBytesPerAgent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bus_.AverageBytesPerAgent();
+}
+
+void ConcurrentMessageBus::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bus_.ResetStats();
+}
+
+void ConcurrentMessageBus::SetObserver(Observer observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bus_.SetObserver(std::move(observer));
+}
+
+}  // namespace pem::net

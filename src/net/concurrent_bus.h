@@ -1,0 +1,49 @@
+// Mutex-guarded Transport backend.
+//
+// Behaviorally identical to MessageBus — same framing, same accounting,
+// same per-agent FIFO delivery — but every operation takes an internal
+// lock, so ParallelFor workers may Send() concurrently.  Messages from
+// one sender keep that sender's order (its Send() calls happen-before
+// each other); interleaving across senders follows lock acquisition,
+// exactly like packets racing into a switch.  The observer runs under
+// the lock so the recorded transcript is a consistent total order;
+// consequently an observer must never call back into the bus (the
+// lock is not recursive) — it should only read the Message it is
+// handed.
+//
+// The phase-parallel protocol engine keeps all protocol sends in its
+// sequential forward phase, so when driven by the engine this backend
+// produces byte-identical transcripts to the serial bus; the locking
+// is what makes it safe for compute-phase workers (or future async
+// backends) to touch the transport at all.
+#pragma once
+
+#include <mutex>
+
+#include "net/bus.h"
+
+namespace pem::net {
+
+class ConcurrentMessageBus : public Transport {
+ public:
+  explicit ConcurrentMessageBus(int num_agents) : bus_(num_agents) {}
+
+  int num_agents() const override { return bus_.num_agents(); }
+
+  void Send(Message msg) override;
+  std::optional<Message> Receive(AgentId agent) override;
+  bool HasMessage(AgentId agent) const override;
+
+  TrafficStats stats(AgentId agent) const override;
+  uint64_t total_bytes() const override;
+  uint64_t total_messages() const override;
+  double AverageBytesPerAgent() const override;
+  void ResetStats() override;
+  void SetObserver(Observer observer) override;
+
+ private:
+  mutable std::mutex mu_;
+  MessageBus bus_;  // guarded by mu_
+};
+
+}  // namespace pem::net

@@ -1,0 +1,19 @@
+#include "net/transport.h"
+
+#include "net/concurrent_bus.h"
+#include "util/error.h"
+
+namespace pem::net {
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_agents) {
+  switch (kind) {
+    case TransportKind::kSerialBus:
+      return std::make_unique<MessageBus>(num_agents);
+    case TransportKind::kConcurrentBus:
+      return std::make_unique<ConcurrentMessageBus>(num_agents);
+  }
+  PEM_CHECK(false, "unknown transport kind");
+  return nullptr;
+}
+
+}  // namespace pem::net

@@ -1,0 +1,130 @@
+// Transport abstraction for the protocol engine.
+//
+// The paper deploys each agent in its own container, so "the network"
+// is whatever carries frames between them.  Protocol code talks to this
+// interface only; concrete backends decide the threading model:
+//   * MessageBus        — single-threaded FIFO bus (the original
+//                         engine; cheapest, no locking);
+//   * ConcurrentMessageBus — mutex-guarded bus that accepts Send()
+//                         from ParallelFor workers while preserving
+//                         per-agent FIFO order and byte-exact
+//                         TrafficStats accounting.
+// Both backends account identical bytes for identical message
+// sequences, which is what lets test_transcript_parity assert the
+// serial and phase-parallel engines produce the same wire transcript.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace pem::net {
+
+using AgentId = int32_t;
+inline constexpr AgentId kBroadcast = -1;
+
+struct Message {
+  AgentId from = 0;
+  AgentId to = 0;
+  uint32_t type = 0;  // protocol-defined tag
+  std::vector<uint8_t> payload;
+
+  bool operator==(const Message& o) const {
+    return from == o.from && to == o.to && type == o.type &&
+           payload == o.payload;
+  }
+};
+
+// Per-agent traffic counters (bytes).
+struct TrafficStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+};
+
+class Transport {
+ public:
+  // Frame overhead charged per message, approximating the
+  // sender/receiver/type/length header of a real transport.
+  static constexpr uint64_t kFrameOverheadBytes = 20;
+
+  // Observer invoked for every delivered message (after broadcast
+  // fan-out).  Used by transcript-inspection tests and debug tracing;
+  // pass nullptr to clear.  Concurrent backends invoke it under their
+  // internal lock, so one observer sees a consistent total order —
+  // which also means the observer MUST NOT call back into the
+  // transport (self-deadlock on the non-recursive lock); record what
+  // you need from the Message and query the bus between turns.
+  using Observer = std::function<void(const Message&)>;
+
+  virtual ~Transport() = default;
+
+  virtual int num_agents() const = 0;
+
+  // Queues a message for `msg.to`.  kBroadcast delivers a copy to every
+  // agent except the sender (each copy is accounted separately, as a
+  // real broadcast over unicast links would be).
+  virtual void Send(Message msg) = 0;
+
+  // Pops the next message for `agent`; nullopt when inbox is empty.
+  virtual std::optional<Message> Receive(AgentId agent) = 0;
+  virtual bool HasMessage(AgentId agent) const = 0;
+
+  // Snapshot of the agent's counters (by value: concurrent backends
+  // cannot hand out references into state another thread may touch).
+  virtual TrafficStats stats(AgentId agent) const = 0;
+  virtual uint64_t total_bytes() const = 0;
+  virtual uint64_t total_messages() const = 0;
+
+  // Average bytes (sent + received) per agent since the last reset.
+  virtual double AverageBytesPerAgent() const = 0;
+
+  // Zeroes the counters (per-window accounting keeps inboxes intact —
+  // they are expected to be empty between windows).
+  virtual void ResetStats() = 0;
+
+  virtual void SetObserver(Observer observer) = 0;
+};
+
+// Which concrete Transport a run uses.
+enum class TransportKind {
+  kSerialBus,      // MessageBus: single-threaded, no locking
+  kConcurrentBus,  // ConcurrentMessageBus: safe under ParallelFor
+};
+
+inline const char* TransportKindName(TransportKind k) {
+  switch (k) {
+    case TransportKind::kSerialBus: return "serial";
+    case TransportKind::kConcurrentBus: return "concurrent";
+  }
+  return "unknown";
+}
+
+// How a protocol run executes: which transport carries the frames and
+// how many workers the local-compute phases may use.  Threaded through
+// SimulationConfig -> ProtocolContext so RunSimulation can select
+// serial vs. phase-parallel per run.  The wire transcript is invariant
+// under this policy (see RingAggregate's prepare/compute/forward
+// phasing).
+struct ExecutionPolicy {
+  TransportKind transport_kind = TransportKind::kSerialBus;
+  int threads = 1;
+
+  bool parallel() const { return threads > 1; }
+  unsigned worker_count() const {
+    return threads > 1 ? static_cast<unsigned>(threads) : 1u;
+  }
+
+  static ExecutionPolicy Serial() { return {}; }
+  static ExecutionPolicy Parallel(int threads) {
+    return {TransportKind::kConcurrentBus, threads};
+  }
+};
+
+// Constructs the backend selected by `kind`.
+std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_agents);
+
+}  // namespace pem::net

@@ -31,7 +31,9 @@
 #include "grid/trace.h"
 #include "grid/types.h"
 #include "net/bus.h"
+#include "net/concurrent_bus.h"
 #include "net/serialize.h"
+#include "net/transport.h"
 
 // The privacy-preserving protocols and the simulation driver.
 #include "core/simulation.h"

@@ -33,15 +33,41 @@ crypto::PaillierCiphertext ReadCiphertext(net::ByteReader& r) {
   return crypto::PaillierCiphertext{crypto::BigInt::FromBytes(r.Bytes())};
 }
 
-crypto::PaillierCiphertext ContextEncryptSigned(
-    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk, int64_t v) {
+// --- phase primitives -------------------------------------------------
+
+EncryptionSlot PrepareEncryption(ProtocolContext& ctx,
+                                 const crypto::PaillierPublicKey& pk,
+                                 int64_t value) {
+  EncryptionSlot slot;
+  slot.value = value;
   if (ctx.pools != nullptr) {
-    return ctx.pools->PoolFor(pk).EncryptSigned(v, ctx.rng);
+    slot.pooled_factor = ctx.pools->PoolFor(pk).TakeFactor();
+    if (slot.pooled_factor.has_value()) return slot;
   }
-  return pk.EncryptSigned(v, ctx.rng);
+  slot.randomness = pk.SampleRandomness(ctx.rng);
+  return slot;
 }
 
-net::Message ExpectMessage(net::MessageBus& bus, net::AgentId agent,
+crypto::PaillierCiphertext ComputeEncryption(
+    const crypto::PaillierPublicKey& pk, const EncryptionSlot& slot) {
+  const crypto::BigInt m = pk.EncodeSigned(slot.value);
+  return slot.pooled_factor.has_value()
+             ? pk.EncryptWithFactor(m, *slot.pooled_factor)
+             : pk.EncryptWithRandomness(m, slot.randomness);
+}
+
+std::vector<crypto::PaillierCiphertext> ComputeEncryptions(
+    const ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<const EncryptionSlot> slots) {
+  std::vector<crypto::PaillierCiphertext> out(slots.size());
+  ParallelFor(0, slots.size(), ctx.policy.worker_count(),
+              [&](size_t i) { out[i] = ComputeEncryption(pk, slots[i]); });
+  return out;
+}
+
+// --- ring aggregation -------------------------------------------------
+
+net::Message ExpectMessage(net::Transport& bus, net::AgentId agent,
                            uint32_t expected_type) {
   std::optional<net::Message> m = bus.Receive(agent);
   PEM_CHECK(m.has_value(), "protocol: expected a message");
@@ -49,35 +75,15 @@ net::Message ExpectMessage(net::MessageBus& bus, net::AgentId agent,
   return std::move(*m);
 }
 
-crypto::PaillierCiphertext RingAggregate(
+namespace {
+
+// Phase 3: the sequential ring-multiply/forward pass over
+// pre-computed member ciphertexts.
+crypto::PaillierCiphertext ForwardRing(
     ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
     std::span<Party> parties, std::span<const size_t> ring,
-    const std::function<int64_t(const Party&)>& value_of,
+    std::span<const crypto::PaillierCiphertext> shares,
     net::AgentId final_recipient) {
-  PEM_CHECK(!ring.empty(), "ring aggregation needs at least one member");
-
-  // The per-member encryptions are independent of the running product,
-  // so with parallel_threads > 1 we compute them concurrently first —
-  // exactly what the paper's one-container-per-agent deployment does.
-  // Per-member seeds are drawn sequentially so a fixed context seed
-  // still yields a deterministic transcript.
-  std::vector<crypto::PaillierCiphertext> shares(ring.size());
-  if (ctx.config.parallel_threads > 1 && ring.size() > 1) {
-    std::vector<uint64_t> seeds(ring.size());
-    for (uint64_t& s : seeds) s = ctx.rng.NextU64();
-    ParallelFor(0, ring.size(),
-                static_cast<unsigned>(ctx.config.parallel_threads),
-                [&](size_t i) {
-                  crypto::DeterministicRng worker_rng(seeds[i]);
-                  shares[i] = pk.EncryptSigned(value_of(parties[ring[i]]),
-                                               worker_rng);
-                });
-  } else {
-    for (size_t i = 0; i < ring.size(); ++i) {
-      shares[i] = ContextEncryptSigned(ctx, pk, value_of(parties[ring[i]]));
-    }
-  }
-
   crypto::PaillierCiphertext running;
   for (size_t pos = 0; pos < ring.size(); ++pos) {
     Party& member = parties[ring[pos]];
@@ -110,6 +116,55 @@ crypto::PaillierCiphertext RingAggregate(
     running = ReadCiphertext(r);
   }
   return running;
+}
+
+}  // namespace
+
+crypto::PaillierCiphertext RingAggregate(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, std::span<const size_t> ring,
+    const std::function<int64_t(const Party&)>& value_of,
+    net::AgentId final_recipient) {
+  const std::function<int64_t(const Party&)> fns[] = {value_of};
+  std::vector<crypto::PaillierCiphertext> aggs =
+      RingAggregateBatch(ctx, pk, parties, ring, fns, final_recipient);
+  return std::move(aggs.front());
+}
+
+std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, std::span<const size_t> ring,
+    std::span<const std::function<int64_t(const Party&)>> value_fns,
+    net::AgentId final_recipient) {
+  PEM_CHECK(!ring.empty(), "ring aggregation needs at least one member");
+  PEM_CHECK(!value_fns.empty(), "ring aggregation needs a value function");
+
+  // Phase 1 (prepare, sequential): fix every lane x member encryption's
+  // randomness in a deterministic order, so the transcript does not
+  // depend on how phase 2 is scheduled.
+  std::vector<EncryptionSlot> slots;
+  slots.reserve(value_fns.size() * ring.size());
+  for (const auto& value_of : value_fns) {
+    for (size_t member : ring) {
+      slots.push_back(PrepareEncryption(ctx, pk, value_of(parties[member])));
+    }
+  }
+
+  // Phase 2 (compute, policy-driven): the dominant crypto cost — one
+  // r^n exponentiation per slot — fans out across workers.
+  const std::vector<crypto::PaillierCiphertext> shares =
+      ComputeEncryptions(ctx, pk, slots);
+
+  // Phase 3 (forward, sequential): one ring pass per lane.
+  std::vector<crypto::PaillierCiphertext> results;
+  results.reserve(value_fns.size());
+  for (size_t lane = 0; lane < value_fns.size(); ++lane) {
+    const std::span<const crypto::PaillierCiphertext> lane_shares(
+        shares.data() + lane * ring.size(), ring.size());
+    results.push_back(ForwardRing(ctx, pk, parties, ring, lane_shares,
+                                  final_recipient));
+  }
+  return results;
 }
 
 void BroadcastPublicKey(ProtocolContext& ctx, const Party& owner) {

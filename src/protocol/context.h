@@ -1,5 +1,20 @@
 // Shared protocol machinery: execution context, message tags, and the
 // Paillier ring-aggregation pattern that Protocols 2-4 all build on.
+//
+// Execution model.  Every ring aggregation is run in three phases:
+//   1. prepare  (sequential)  — fix each member's encryption
+//      randomness: a pooled r^n factor when a PaillierRandomnessPool
+//      is attached and non-dry, otherwise a fresh r drawn from the
+//      context RNG;
+//   2. compute  (policy-driven) — produce each member's ciphertext
+//      from its fixed randomness; with ExecutionPolicy::threads > 1
+//      the ciphertexts are computed by ParallelFor workers, mirroring
+//      the paper's one-container-per-agent deployment;
+//   3. forward  (sequential)  — the ring-multiply/forward pass over
+//      the transport, hop by hop.
+// Because all randomness is fixed in phase 1 and all sends happen in
+// phase 3, the wire transcript is byte-identical whatever the policy —
+// test_transcript_parity asserts exactly this.
 #pragma once
 
 #include <functional>
@@ -8,7 +23,8 @@
 
 #include "crypto/paillier.h"
 #include "crypto/rng.h"
-#include "net/bus.h"
+#include "net/serialize.h"
+#include "net/transport.h"
 #include "protocol/party.h"
 
 namespace pem::protocol {
@@ -26,18 +42,49 @@ inline constexpr uint32_t kMsgPayment = 0x5045'0009;
 inline constexpr uint32_t kMsgPublicKey = 0x5045'000A;
 
 struct ProtocolContext {
-  net::MessageBus& bus;
+  net::Transport& bus;
   crypto::Rng& rng;
   const PemConfig& config;
   // Optional idle-time encryption-randomness pools (see
   // PaillierRandomnessPool).  When set, ring encryptions draw from the
   // pool; when null or dry, they fall back to fresh randomness.
   crypto::PaillierPoolRegistry* pools = nullptr;
+  // Serial vs. phase-parallel execution (transport choice + compute
+  // workers).  Defaults to the serial engine.
+  net::ExecutionPolicy policy;
 };
 
-// Encrypts through the context's randomness pool when available.
-crypto::PaillierCiphertext ContextEncryptSigned(
-    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk, int64_t v);
+// --- phase primitives -------------------------------------------------
+
+// Phase-1 product: one planned encryption with its randomness fixed.
+struct EncryptionSlot {
+  int64_t value = 0;
+  // Exactly one of the two is set: a pooled r^n factor, or fresh r.
+  std::optional<crypto::BigInt> pooled_factor;
+  crypto::BigInt randomness;
+};
+
+// Sequentially fixes the randomness for one encryption of `value`
+// under `pk` (pool pop, else fresh draw from ctx.rng).
+EncryptionSlot PrepareEncryption(ProtocolContext& ctx,
+                                 const crypto::PaillierPublicKey& pk,
+                                 int64_t value);
+
+// Phase-2 work for a single prepared slot.  Thread-safe for distinct
+// slots; callers embedding extra per-item work in their own fan-out
+// (e.g. Protocol 4's ScalarMul) use this directly.
+crypto::PaillierCiphertext ComputeEncryption(
+    const crypto::PaillierPublicKey& pk, const EncryptionSlot& slot);
+
+// Computes slots[i] -> out[i] under the context policy: ParallelFor
+// across workers when policy.threads > 1, a plain loop otherwise.  The
+// result is independent of the worker count because every slot's
+// randomness was fixed in phase 1.
+std::vector<crypto::PaillierCiphertext> ComputeEncryptions(
+    const ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<const EncryptionSlot> slots);
+
+// --- ring aggregation -------------------------------------------------
 
 // Index lists into the parties span, built once per window
 // (Protocol 1, line 4).
@@ -60,15 +107,29 @@ crypto::PaillierCiphertext ReadCiphertext(net::ByteReader& r);
 // value_of(party) under `pk` and multiplies it into the running
 // ciphertext, forwarding hop-by-hop over the bus; the last party sends
 // the product to `final_recipient`, who is returned the ciphertext of
-// Σ value_of.  Every hop's bytes are accounted.
+// Σ value_of.  Every hop's bytes are accounted.  Runs the three-phase
+// schedule described at the top of this header.
 crypto::PaillierCiphertext RingAggregate(
     ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
     std::span<Party> parties, std::span<const size_t> ring,
     const std::function<int64_t(const Party&)>& value_of,
     net::AgentId final_recipient);
 
+// Batched variant: runs `value_fns.size()` independent aggregations
+// over the same ring and key with ONE fused compute phase (all
+// lanes' ciphertexts are produced by the same ParallelFor fan-out),
+// then one forward pass per lane.  Used by Private Pricing, whose two
+// sums (Σ k_i and Σ supply_i) would otherwise pay the fork/join cost
+// twice.  Transcript-equivalent to calling RingAggregate per lane in
+// order.
+std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, std::span<const size_t> ring,
+    std::span<const std::function<int64_t(const Party&)>> value_fns,
+    net::AgentId final_recipient);
+
 // Pops the next message for `agent`, asserting the expected type.
-net::Message ExpectMessage(net::MessageBus& bus, net::AgentId agent,
+net::Message ExpectMessage(net::Transport& bus, net::AgentId agent,
                            uint32_t expected_type);
 
 // Announces the aggregator's public key to the coalition peers that

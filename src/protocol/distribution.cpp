@@ -5,6 +5,7 @@
 #include "protocol/coin_flip.h"
 #include "util/error.h"
 #include "util/fixed_point.h"
+#include "util/parallel.h"
 
 namespace pem::protocol {
 namespace {
@@ -47,20 +48,42 @@ std::vector<double> ComputeRatios(ProtocolContext& ctx,
   // Lines 6-7: each member sends Enc(total * K / share) to the
   // aggregator.  K/share is rounded to an integer scalar; the scale K
   // keeps the relative rounding error below ~1e-5 (see DESIGN.md §6).
+  // Phased like the ring aggregations: the scalars and rerandomization
+  // randomness are fixed sequentially, the per-member exponentiations
+  // (ScalarMul + rerandomize — each member's dominant cost) fan out
+  // across compute workers, and the sends stay sequential so the
+  // transcript is policy-invariant.
   const int64_t big_k = ctx.config.ratio_scale;
+  std::vector<crypto::BigInt> scalars;
+  std::vector<EncryptionSlot> rerand_slots;
+  scalars.reserve(ratio_members.size());
+  rerand_slots.reserve(ratio_members.size());
   for (size_t m : ratio_members) {
-    Party& member = parties[m];
-    const int64_t share = share_of(member);
+    const int64_t share = share_of(parties[m]);
     PEM_CHECK(share > 0, "coalition member with zero share");
-    const int64_t scalar = RoundDiv(big_k, share);
-    crypto::PaillierCiphertext ct =
-        pk.ScalarMul(enc_total, crypto::BigInt(scalar));
-    ct = pk.Rerandomize(ct, ctx.rng);  // hide the scalar from the wire
+    scalars.emplace_back(RoundDiv(big_k, share));
+    // Rerandomization is an Enc(0) multiplied in; planning it as a
+    // regular encryption slot lets it draw from the idle-time
+    // randomness pool like every ring encryption does.
+    rerand_slots.push_back(PrepareEncryption(ctx, pk, 0));
+  }
+  std::vector<crypto::PaillierCiphertext> ratio_cts(ratio_members.size());
+  ParallelFor(0, ratio_members.size(), ctx.policy.worker_count(),
+              [&](size_t i) {
+                // Enc(0) hides the scalar from the wire; one fused
+                // fan-out covers both exponentiations per member.
+                ratio_cts[i] =
+                    pk.Add(pk.ScalarMul(enc_total, scalars[i]),
+                           ComputeEncryption(pk, rerand_slots[i]));
+              });
+  for (size_t i = 0; i < ratio_members.size(); ++i) {
+    const size_t m = ratio_members[i];
     net::ByteWriter w;
     w.U32(static_cast<uint32_t>(m));
     w.I64(big_k);
-    WriteCiphertext(w, pk, ct);
-    ctx.bus.Send({member.id(), aggregator.id(), kMsgRatioCipher, w.Take()});
+    WriteCiphertext(w, pk, ratio_cts[i]);
+    ctx.bus.Send({parties[m].id(), aggregator.id(), kMsgRatioCipher,
+                  w.Take()});
   }
 
   // Line 8: the aggregator decrypts each total/share ratio.  The

@@ -34,11 +34,9 @@ struct PemConfig {
   // runtime measurement.
   bool precompute_encryption = false;
   size_t encryption_pool_target = 1024;
-  // Emulates the paper's per-container parallelism: ring-aggregation
-  // encryptions are data-independent of the running product, so with
-  // parallel_threads > 1 they are computed concurrently and only the
-  // multiplication pass stays sequential.  1 = fully sequential.
-  int parallel_threads = 1;
+  // NOTE: compute-phase parallelism is no longer configured here; it
+  // moved to net::ExecutionPolicy (transport kind + worker count),
+  // threaded through ProtocolContext/SimulationConfig.
   // §VI collusion resistance: select the decrypting agents (Hr1, Hr2,
   // Hb, Hs) by a jointly-random commit-reveal coin flip within the
   // candidate coalition instead of trusting a single source of

@@ -19,20 +19,20 @@ PricingResult RunPrivatePricing(ProtocolContext& ctx,
   buyer_hb.EnsureKeys(ctx.config.key_bits, ctx.rng);
   BroadcastPublicKey(ctx, buyer_hb);
 
-  // Lines 2-5: ring-aggregate Σ k_i over the seller coalition.
-  const crypto::PaillierCiphertext enc_sum_k =
-      RingAggregate(ctx, buyer_hb.public_key(), parties, coalitions.sellers,
-                    [](const Party& p) { return p.PreferenceRaw(); },
-                    buyer_hb.id());
-  const int64_t sum_k_raw = buyer_hb.private_key().DecryptSigned(enc_sum_k);
-
-  // Lines 6-7: repeat for Σ (g_i + 1 + ε_i b_i − b_i).
-  const crypto::PaillierCiphertext enc_sum_supply =
-      RingAggregate(ctx, buyer_hb.public_key(), parties, coalitions.sellers,
-                    [](const Party& p) { return p.SupplyTermRaw(); },
-                    buyer_hb.id());
+  // Lines 2-7: ring-aggregate Σ k_i and Σ (g_i + 1 + ε_i b_i − b_i)
+  // over the seller coalition.  Both sums run under the same key and
+  // ring, so their 2m encryptions are fused into one compute phase
+  // (one ParallelFor fan-out) before the two sequential forward passes.
+  const std::function<int64_t(const Party&)> lanes[] = {
+      [](const Party& p) { return p.PreferenceRaw(); },
+      [](const Party& p) { return p.SupplyTermRaw(); },
+  };
+  const std::vector<crypto::PaillierCiphertext> sums = RingAggregateBatch(
+      ctx, buyer_hb.public_key(), parties, coalitions.sellers, lanes,
+      buyer_hb.id());
+  const int64_t sum_k_raw = buyer_hb.private_key().DecryptSigned(sums[0]);
   const int64_t sum_supply_raw =
-      buyer_hb.private_key().DecryptSigned(enc_sum_supply);
+      buyer_hb.private_key().DecryptSigned(sums[1]);
 
   // Lines 8-9: Hb derives p̂ and clamps to [pl, ph].
   result.sums.sum_k = FixedPoint::FromRaw(sum_k_raw).ToDouble();

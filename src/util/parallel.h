@@ -6,7 +6,10 @@
 // the simulation the same property without a dependency on TBB/OpenMP.
 #pragma once
 
+#include <atomic>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,6 +18,11 @@ namespace pem {
 // Invokes fn(i) for i in [begin, end) across up to `threads` workers.
 // Blocks until all iterations complete.  fn must be safe to run
 // concurrently for distinct i.  threads <= 1 degrades to a serial loop.
+//
+// If a worker's fn throws, remaining iterations are abandoned (workers
+// stop picking up new indices), the pool is joined, and the first
+// captured exception is rethrown on the calling thread — matching the
+// serial loop's behavior instead of std::terminate-ing the process.
 inline void ParallelFor(size_t begin, size_t end, unsigned threads,
                         const std::function<void(size_t)>& fn) {
   if (end <= begin) return;
@@ -27,14 +35,40 @@ inline void ParallelFor(size_t begin, size_t end, unsigned threads,
       static_cast<unsigned>(std::min<size_t>(threads, count));
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w]() {
-      // Strided assignment: contiguous chunks would serialize when the
-      // per-iteration cost is skewed.
-      for (size_t i = begin + w; i < end; i += workers) fn(i);
-    });
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  try {
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w]() {
+        // Strided assignment: contiguous chunks would serialize when the
+        // per-iteration cost is skewed.
+        for (size_t i = begin + w; i < end; i += workers) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          try {
+            fn(i);
+          } catch (...) {
+            {
+              const std::lock_guard<std::mutex> lock(error_mutex);
+              if (!first_error) first_error = std::current_exception();
+            }
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+  } catch (...) {
+    // std::thread construction can throw (e.g. EAGAIN under resource
+    // exhaustion); letting it unwind past joinable threads would
+    // std::terminate.  Stop the workers already running, join them,
+    // and surface the spawn failure instead.
+    failed.store(true, std::memory_order_relaxed);
+    for (std::thread& t : pool) t.join();
+    throw;
   }
   for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 // Default worker count: the machine's concurrency, at least 1.

@@ -1,5 +1,7 @@
 #include "crypto/secure_compare.h"
 
+#include "net/bus.h"
+
 #include <gtest/gtest.h>
 
 #include "crypto/rng.h"

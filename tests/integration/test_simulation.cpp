@@ -162,7 +162,7 @@ TEST(Simulation, ParallelEncryptionDoesNotChangeOutcomes) {
       grid::GenerateCommunityTrace(SmallTrace(12, 5));
   SimulationConfig serial = FastCrypto();
   SimulationConfig parallel = FastCrypto();
-  parallel.pem.parallel_threads = 4;
+  parallel.policy = net::ExecutionPolicy::Parallel(4);
   const SimulationResult a = RunSimulation(trace, serial);
   const SimulationResult b = RunSimulation(trace, parallel);
   ASSERT_EQ(a.windows.size(), b.windows.size());
@@ -182,7 +182,7 @@ TEST(Simulation, ParallelModeIsDeterministicPerSeed) {
   const grid::CommunityTrace trace =
       grid::GenerateCommunityTrace(SmallTrace(8, 3));
   SimulationConfig cfg = FastCrypto();
-  cfg.pem.parallel_threads = 4;
+  cfg.policy = net::ExecutionPolicy::Parallel(4);
   cfg.crypto_seed = 123;
   const SimulationResult a = RunSimulation(trace, cfg);
   const SimulationResult b = RunSimulation(trace, cfg);

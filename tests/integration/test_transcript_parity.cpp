@@ -1,0 +1,208 @@
+// Serial vs. phase-parallel engine parity.
+//
+// The tentpole claim of the execution-model refactor: the execution
+// policy (transport backend + compute workers) changes WHO computes
+// each ciphertext and WHEN, but never WHAT goes on the wire.  With the
+// same seed, the serial engine and the phase-parallel engine must
+// produce identical prices, trades, bus bytes, and — message by
+// message — an identical transcript.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulation.h"
+#include "net/transport.h"
+#include "protocol/pem_protocol.h"
+
+namespace pem {
+namespace {
+
+// --- window-level parity (RunPemWindow) -------------------------------
+
+struct WindowRun {
+  std::vector<net::Message> messages;
+  protocol::PemWindowResult result;
+  // Pooled r^n factors consumed by the measured window (pooled runs).
+  size_t factors_consumed = 0;
+};
+
+market::AgentWindowInput Agent(double g, double l, double k = 1.0) {
+  market::AgentWindowInput in;
+  in.params.preference_k = k;
+  in.params.battery_epsilon = 0.9;
+  in.state.generation_kwh = g;
+  in.state.load_kwh = l;
+  return in;
+}
+
+const std::vector<market::AgentWindowInput> kMarket = {
+    Agent(1.7, 0.3, 0.83), Agent(0.9, 0.2, 1.21), Agent(0.0, 1.4),
+    Agent(0.1, 0.8),       Agent(0.0, 0.6),       Agent(2.2, 0.4, 1.05),
+};
+
+WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
+                    bool pooled = false) {
+  WindowRun run;
+  std::unique_ptr<net::Transport> bus =
+      net::MakeTransport(policy.transport_kind,
+                         static_cast<int>(kMarket.size()));
+  bus->SetObserver(
+      [&run](const net::Message& m) { run.messages.push_back(m); });
+  crypto::DeterministicRng rng(seed);
+  protocol::PemConfig cfg;
+  cfg.key_bits = 128;
+  cfg.precompute_encryption = pooled;
+  crypto::PaillierPoolRegistry pools;
+  std::vector<protocol::Party> parties;
+  for (size_t i = 0; i < kMarket.size(); ++i) {
+    parties.emplace_back(static_cast<net::AgentId>(i), kMarket[i].params);
+    parties.back().BeginWindow(kMarket[i].state, cfg.nonce_bound, rng);
+  }
+  protocol::ProtocolContext ctx{*bus, rng, cfg, pooled ? &pools : nullptr,
+                                policy};
+  if (pooled) {
+    // Keys (and thus pools, keyed by public key) only come into
+    // existence inside a window, so a fresh registry would leave
+    // TakeFactor() dry and the run would silently take the
+    // fresh-randomness branch.  Mirror RunSimulation: a warm-up window
+    // registers the pools, the between-window RefillAll stocks them,
+    // and only the second window is measured.
+    protocol::RunPemWindow(ctx, parties);
+    pools.RefillAll(/*target=*/64, rng);
+    for (size_t i = 0; i < kMarket.size(); ++i) {
+      parties[i].BeginWindow(kMarket[i].state, cfg.nonce_bound, rng);
+    }
+    run.messages.clear();
+  }
+  const auto count_factors = [&]() {
+    size_t total = 0;
+    if (!pooled) return total;
+    for (const protocol::Party& p : parties) {
+      // Only the window's elected aggregators ever generate keys.
+      if (p.HasKeys()) total += pools.PoolFor(p.public_key()).available();
+    }
+    return total;
+  };
+  const size_t factors_before = count_factors();
+  run.result = protocol::RunPemWindow(ctx, parties);
+  run.factors_consumed = factors_before - count_factors();
+  return run;
+}
+
+void ExpectWindowParity(const WindowRun& serial, const WindowRun& parallel) {
+  // Market outcome.
+  EXPECT_EQ(parallel.result.type, serial.result.type);
+  EXPECT_DOUBLE_EQ(parallel.result.price, serial.result.price);
+  EXPECT_EQ(parallel.result.bus_bytes, serial.result.bus_bytes);
+  ASSERT_EQ(parallel.result.trades.size(), serial.result.trades.size());
+  for (size_t i = 0; i < serial.result.trades.size(); ++i) {
+    const protocol::Trade& a = serial.result.trades[i];
+    const protocol::Trade& b = parallel.result.trades[i];
+    EXPECT_EQ(b.seller_index, a.seller_index) << i;
+    EXPECT_EQ(b.buyer_index, a.buyer_index) << i;
+    EXPECT_DOUBLE_EQ(b.energy_kwh, a.energy_kwh) << i;
+    EXPECT_DOUBLE_EQ(b.payment, a.payment) << i;
+  }
+  // Byte-identical transcript, message by message.
+  ASSERT_EQ(parallel.messages.size(), serial.messages.size());
+  for (size_t i = 0; i < serial.messages.size(); ++i) {
+    EXPECT_TRUE(parallel.messages[i] == serial.messages[i])
+        << "transcript diverges at message " << i << " (serial type 0x"
+        << std::hex << serial.messages[i].type << ", parallel type 0x"
+        << parallel.messages[i].type << ")";
+  }
+  EXPECT_FALSE(serial.messages.empty());
+}
+
+TEST(TranscriptParity, WindowSerialVsPhaseParallel) {
+  const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 42);
+  const WindowRun parallel = RunWindow(net::ExecutionPolicy::Parallel(4), 42);
+  ExpectWindowParity(serial, parallel);
+}
+
+TEST(TranscriptParity, WindowParityHoldsAcrossSeeds) {
+  for (uint64_t seed : {1u, 7u, 2020u}) {
+    const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), seed);
+    const WindowRun parallel =
+        RunWindow(net::ExecutionPolicy::Parallel(8), seed);
+    ExpectWindowParity(serial, parallel);
+  }
+}
+
+TEST(TranscriptParity, WindowParityWithRandomnessPools) {
+  const WindowRun serial =
+      RunWindow(net::ExecutionPolicy::Serial(), 11, /*pooled=*/true);
+  const WindowRun parallel =
+      RunWindow(net::ExecutionPolicy::Parallel(4), 11, /*pooled=*/true);
+  ExpectWindowParity(serial, parallel);
+  // The parity must cover the pooled EncryptWithFactor branch, not just
+  // the fresh-randomness fallback: both engines must actually draw
+  // factors, and the same number of them.
+  EXPECT_GT(serial.factors_consumed, 0u);
+  EXPECT_EQ(parallel.factors_consumed, serial.factors_consumed);
+}
+
+TEST(TranscriptParity, SerialTransportWithWorkersAlsoMatches) {
+  // The phase engine never sends from compute workers, so even the
+  // unlocked serial bus stays correct under threads > 1; the policy's
+  // two axes are independent.
+  const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 3);
+  const WindowRun hybrid =
+      RunWindow({net::TransportKind::kSerialBus, 4}, 3);
+  ExpectWindowParity(serial, hybrid);
+}
+
+// --- full-simulation parity (RunSimulation) ---------------------------
+
+struct SimRun {
+  std::vector<net::Message> messages;
+  core::SimulationResult result;
+};
+
+SimRun RunSim(const net::ExecutionPolicy& policy) {
+  grid::TraceConfig tc;
+  tc.num_homes = 10;
+  tc.windows_per_day = 6;
+  tc.seed = 13;
+  const grid::CommunityTrace trace = grid::GenerateCommunityTrace(tc);
+
+  SimRun run;
+  core::SimulationConfig cfg;
+  cfg.engine = core::Engine::kCrypto;
+  cfg.pem.key_bits = 128;
+  cfg.policy = policy;
+  cfg.bus_observer = [&run](const net::Message& m) {
+    run.messages.push_back(m);
+  };
+  run.result = core::RunSimulation(trace, cfg);
+  return run;
+}
+
+TEST(TranscriptParity, FullTradingDaySerialVsPhaseParallel) {
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
+  const SimRun parallel = RunSim(net::ExecutionPolicy::Parallel(4));
+
+  ASSERT_EQ(parallel.result.windows.size(), serial.result.windows.size());
+  ASSERT_FALSE(serial.result.windows.empty());
+  for (size_t w = 0; w < serial.result.windows.size(); ++w) {
+    const core::WindowRecord& a = serial.result.windows[w];
+    const core::WindowRecord& b = parallel.result.windows[w];
+    EXPECT_EQ(b.type, a.type) << w;
+    EXPECT_DOUBLE_EQ(b.price, a.price) << w;
+    EXPECT_EQ(b.bus_bytes, a.bus_bytes) << w;
+    EXPECT_EQ(b.num_sellers, a.num_sellers) << w;
+    EXPECT_EQ(b.num_buyers, a.num_buyers) << w;
+    EXPECT_DOUBLE_EQ(b.buyer_cost_pem, a.buyer_cost_pem) << w;
+  }
+  EXPECT_EQ(parallel.result.total_bus_bytes, serial.result.total_bus_bytes);
+
+  ASSERT_EQ(parallel.messages.size(), serial.messages.size());
+  for (size_t i = 0; i < serial.messages.size(); ++i) {
+    EXPECT_TRUE(parallel.messages[i] == serial.messages[i])
+        << "transcript diverges at message " << i;
+  }
+  EXPECT_FALSE(serial.messages.empty());
+}
+
+}  // namespace
+}  // namespace pem
