@@ -9,6 +9,7 @@
 // parallelize.  This bench quantifies wall time and the per-agent
 // bandwidth skew.
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "crypto/paillier.h"
@@ -33,6 +34,7 @@ int main() {
 
       // --- ring ---
       net::MessageBus ring_bus(n);
+      std::vector<net::Endpoint> ring_agents = ring_bus.endpoints();
       Stopwatch ring_timer;
       PaillierCiphertext acc = kp.pub.EncryptSigned(0, rng);
       for (int i = 1; i < n; ++i) {
@@ -40,38 +42,39 @@ int main() {
         acc = kp.pub.Add(acc, mine);
         net::ByteWriter w;
         w.Bytes(acc.value.ToBytesPadded(ct_bytes));
-        ring_bus.Send({static_cast<net::AgentId>(i - 1),
-                       static_cast<net::AgentId>(i), 1, w.Take()});
-        (void)ring_bus.Receive(static_cast<net::AgentId>(i));
+        ring_agents[static_cast<size_t>(i - 1)].Send(
+            static_cast<net::AgentId>(i), 1, w.Take());
+        (void)ring_agents[static_cast<size_t>(i)].Receive();
       }
       const double ring_ms = ring_timer.ElapsedMillis();
 
       // --- star ---
       net::MessageBus star_bus(n);
+      std::vector<net::Endpoint> star_agents = star_bus.endpoints();
       Stopwatch star_timer;
       PaillierCiphertext star_acc = kp.pub.EncryptSigned(0, rng);
       for (int i = 1; i < n; ++i) {
         const PaillierCiphertext mine = kp.pub.EncryptSigned(i, rng);
         net::ByteWriter w;
         w.Bytes(mine.value.ToBytesPadded(ct_bytes));
-        star_bus.Send({static_cast<net::AgentId>(i), 0, 1, w.Take()});
-        (void)star_bus.Receive(0);
+        star_agents[static_cast<size_t>(i)].Send(0, 1, w.Take());
+        (void)star_agents[0].Receive();
         star_acc = kp.pub.Add(star_acc, mine);
       }
       const double star_ms = star_timer.ElapsedMillis();
 
-      auto max_bytes = [&](net::MessageBus& bus) {
+      auto max_bytes = [&](std::span<const net::Endpoint> agents) {
         uint64_t mx = 0;
-        for (int a = 0; a < n; ++a) {
-          const auto& s = bus.stats(a);
+        for (const net::Endpoint& ep : agents) {
+          const net::TrafficStats s = ep.stats();
           mx = std::max(mx, s.bytes_sent + s.bytes_received);
         }
         return mx;
       };
       std::printf("%6d %8db %12.1f %12.1f %18llu %18llu\n", n, key_bits,
                   ring_ms, star_ms,
-                  static_cast<unsigned long long>(max_bytes(ring_bus)),
-                  static_cast<unsigned long long>(max_bytes(star_bus)));
+                  static_cast<unsigned long long>(max_bytes(ring_agents)),
+                  static_cast<unsigned long long>(max_bytes(star_agents)));
     }
   }
   std::printf(

@@ -134,8 +134,10 @@ void BM_SecureCompare64(benchmark::State& state) {
                                     : ModpGroupId::kModp2048;
   for (auto _ : state) {
     pem::net::MessageBus bus(2);
+    pem::net::Endpoint garbler = bus.endpoint(0);
+    pem::net::Endpoint evaluator = bus.endpoint(1);
     benchmark::DoNotOptimize(
-        SecureCompareLess(bus, 0, 123456, 1, 654321, cfg, rng));
+        SecureCompareLess(garbler, 123456, evaluator, 654321, cfg, rng));
   }
 }
 BENCHMARK(BM_SecureCompare64)->Arg(768)->Arg(2048)

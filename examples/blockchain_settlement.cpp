@@ -8,6 +8,7 @@
 #include "core/simulation.h"
 #include "crypto/rng.h"
 #include "ledger/settlement.h"
+#include "net/bus.h"
 
 int main() {
   using namespace pem;
@@ -26,6 +27,7 @@ int main() {
   ledger::SettlementContract contract(chain);
 
   net::MessageBus bus(trace.num_homes());
+  std::vector<net::Endpoint> agents = bus.endpoints();
   std::vector<protocol::Party> parties;
   for (int h = 0; h < trace.num_homes(); ++h) {
     parties.emplace_back(h, trace.homes[static_cast<size_t>(h)].params);
@@ -45,7 +47,7 @@ int main() {
       parties[static_cast<size_t>(h)].BeginWindow(
           states[static_cast<size_t>(h)], config.nonce_bound, rng);
     }
-    protocol::ProtocolContext ctx{bus, rng, config};
+    protocol::ProtocolContext ctx{agents, rng, config};
     const protocol::PemWindowResult out = protocol::RunPemWindow(ctx, parties);
     const ledger::SettlementReport report = contract.SettleWindow(w, out);
     std::printf("window %d: price %5.1f c/kWh, %3zu trades -> block %zu %s\n",

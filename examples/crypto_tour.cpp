@@ -68,10 +68,12 @@ int main() {
               "(XOR/NOT are free)\n",
               circuit.gates.size(), circuit.AndGateCount());
   net::MessageBus bus(2);
+  net::Endpoint garbler = bus.endpoint(0);
+  net::Endpoint evaluator = bus.endpoint(1);
   SecureCompareConfig cfg;
   cfg.group = ModpGroupId::kModp768;
   const uint64_t rs = 123'456'789, rb = 987'654'321;
-  const bool less = SecureCompareLess(bus, 0, rs, 1, rb, cfg, rng);
+  const bool less = SecureCompareLess(garbler, rs, evaluator, rb, cfg, rng);
   std::printf("   [R_s < R_b] = %s, using %llu bytes on the wire — this is "
               "Protocol 2's market evaluation step\n",
               less ? "true" : "false",

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "crypto/rng.h"
+#include "net/bus.h"
 #include "protocol/pem_protocol.h"
 
 int main() {
@@ -31,6 +32,9 @@ int main() {
   };
 
   net::MessageBus bus(5);
+  // Each home acts through its own per-agent handle; the bus itself
+  // stays with the driver.
+  std::vector<net::Endpoint> agents = bus.endpoints();
   crypto::SystemRng& rng = crypto::SystemRng::Instance();
   protocol::PemConfig config;
   config.key_bits = 1024;
@@ -49,7 +53,7 @@ int main() {
   }
 
   // --- 2. Run the window ----------------------------------------------
-  protocol::ProtocolContext ctx{bus, rng, config};
+  protocol::ProtocolContext ctx{agents, rng, config};
   const protocol::PemWindowResult out = protocol::RunPemWindow(ctx, parties);
 
   // --- 3. Inspect the public outcome ----------------------------------

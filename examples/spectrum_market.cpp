@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "crypto/rng.h"
+#include "net/transport.h"
 #include "protocol/pem_protocol.h"
 
 int main() {
@@ -44,7 +45,12 @@ int main() {
   config.market.price_floor = 0.90;
   config.market.price_ceiling = 1.10;
 
-  net::MessageBus bus(n);
+  // Run this market over the socket backend: each operator's frames
+  // cross its own Unix-domain channel pair, the way the paper deploys
+  // one container per agent.
+  std::unique_ptr<net::Transport> bus =
+      net::MakeTransport(net::TransportKind::kSocket, n);
+  std::vector<net::Endpoint> agents = bus->endpoints();
   crypto::SystemRng& rng = crypto::SystemRng::Instance();
   std::vector<protocol::Party> parties;
   for (int i = 0; i < n; ++i) {
@@ -58,7 +64,7 @@ int main() {
     parties.back().BeginWindow(st, config.nonce_bound, rng);
   }
 
-  protocol::ProtocolContext ctx{bus, rng, config};
+  protocol::ProtocolContext ctx{agents, rng, config};
   const protocol::PemWindowResult out = protocol::RunPemWindow(ctx, parties);
 
   std::printf("spectrum epoch cleared: %s market, %.2f $/MHz\n",

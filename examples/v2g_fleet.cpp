@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "crypto/rng.h"
+#include "net/bus.h"
 #include "protocol/pem_protocol.h"
 
 namespace {
@@ -66,6 +67,7 @@ int main() {
   for (size_t w = 0; w < evening_windows.size(); ++w) {
     const auto& fleet = evening_windows[w];
     net::MessageBus bus(static_cast<int>(fleet.size()));
+    std::vector<net::Endpoint> agents = bus.endpoints();
     std::vector<protocol::Party> parties;
     for (size_t i = 0; i < fleet.size(); ++i) {
       grid::AgentParams params;
@@ -78,7 +80,7 @@ int main() {
       st.battery_kwh = fleet[i].battery_kwh;
       parties.back().BeginWindow(st, config.nonce_bound, rng);
     }
-    protocol::ProtocolContext ctx{bus, rng, config};
+    protocol::ProtocolContext ctx{agents, rng, config};
     const protocol::PemWindowResult out = protocol::RunPemWindow(ctx, parties);
 
     std::printf("window %zu: %s, price %.1f c/kWh, %zu trades\n", w,

@@ -33,11 +33,15 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
   // from compute-phase workers.
   crypto::DeterministicRng rng(config.crypto_seed);
   std::unique_ptr<net::Transport> bus;
+  std::vector<net::Endpoint> endpoints;
   std::vector<protocol::Party> parties;
   crypto::PaillierPoolRegistry pools;
   if (config.engine == Engine::kCrypto) {
     bus = net::MakeTransport(config.policy.transport_kind, num_homes);
     if (config.bus_observer) bus->SetObserver(config.bus_observer);
+    // Protocol code acts through per-agent handles only; the whole
+    // transport stays here in the driver.
+    endpoints = bus->endpoints();
     parties.reserve(static_cast<size_t>(num_homes));
     for (int h = 0; h < num_homes; ++h) {
       parties.emplace_back(static_cast<net::AgentId>(h),
@@ -87,7 +91,7 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
         parties[static_cast<size_t>(h)].BeginWindow(
             states[static_cast<size_t>(h)], config.pem.nonce_bound, rng);
       }
-      protocol::ProtocolContext ctx{*bus, rng, config.pem,
+      protocol::ProtocolContext ctx{endpoints, rng, config.pem,
                                     config.pem.precompute_encryption
                                         ? &pools
                                         : nullptr,

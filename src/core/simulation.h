@@ -32,9 +32,11 @@ struct SimulationConfig {
   // Crypto engine execution model: which Transport backend carries the
   // frames and how many workers the protocol compute phases use.  The
   // default is the serial engine; ExecutionPolicy::Parallel(n) selects
-  // the phase-parallel engine on the mutex-guarded bus.  The wire
+  // the phase-parallel engine on the mutex-guarded bus, and
+  // ExecutionPolicy::Socket() routes frames over per-agent Unix-domain
+  // socketpairs like the paper's per-container deployment.  The wire
   // transcript and market outcomes are policy-invariant (asserted by
-  // test_transcript_parity).
+  // test_transcript_parity's serial/concurrent/socket matrix).
   net::ExecutionPolicy policy;
   // Optional tap on every delivered bus message (crypto engine only);
   // used for transcript comparison and debugging.  The callback may

@@ -11,9 +11,8 @@
 namespace pem::crypto {
 namespace {
 
-net::Message MustReceive(net::Transport& bus, net::AgentId agent,
-                         uint32_t expected_type) {
-  std::optional<net::Message> m = bus.Receive(agent);
+net::Message MustReceive(net::Endpoint& ep, uint32_t expected_type) {
+  std::optional<net::Message> m = ep.Receive();
   PEM_CHECK(m.has_value(), "secure_compare: missing message");
   PEM_CHECK(m->type == expected_type, "secure_compare: unexpected type");
   return std::move(*m);
@@ -21,9 +20,11 @@ net::Message MustReceive(net::Transport& bus, net::AgentId agent,
 
 }  // namespace
 
-bool SecureCompareLess(net::Transport& bus, net::AgentId garbler, uint64_t x,
-                       net::AgentId evaluator, uint64_t y,
+bool SecureCompareLess(net::Endpoint& garbler, uint64_t x,
+                       net::Endpoint& evaluator, uint64_t y,
                        const SecureCompareConfig& cfg, Rng& rng) {
+  PEM_CHECK(garbler.id() != evaluator.id(),
+            "secure_compare: garbler and evaluator must be distinct agents");
   PEM_CHECK(cfg.bits >= 1 && cfg.bits <= 64, "bits in [1,64]");
   if (cfg.bits < 64) {
     PEM_CHECK((x >> cfg.bits) == 0 && (y >> cfg.bits) == 0,
@@ -51,11 +52,11 @@ bool SecureCompareLess(net::Transport& bus, net::AgentId garbler, uint64_t x,
       w1.Bytes(ot_senders.back().Round1());
     }
   }
-  bus.Send({garbler, evaluator, kMsgGcTablesAndOt1, w1.Take()});
+  garbler.Send(evaluator.id(), kMsgGcTablesAndOt1, w1.Take());
 
   // ---- Evaluator side: OT round-1 responses ---------------------------
   const std::vector<bool> y_bits = ToBits(y, cfg.bits);
-  net::Message msg1 = MustReceive(bus, evaluator, kMsgGcTablesAndOt1);
+  net::Message msg1 = MustReceive(evaluator, kMsgGcTablesAndOt1);
   net::ByteReader r1(msg1.payload);
   GarbledTables tables = GarbledTables::Deserialize(r1.Bytes(), circuit);
   std::vector<WireLabel> garbler_labels(nbits);
@@ -73,10 +74,10 @@ bool SecureCompareLess(net::Transport& bus, net::AgentId garbler, uint64_t x,
     w2.Bytes(ot_receivers.back().Round1(a_elem, y_bits[i]));
   }
   PEM_CHECK(r1.AtEnd(), "trailing bytes in GC message 1");
-  bus.Send({evaluator, garbler, kMsgGcOtResponses, w2.Take()});
+  evaluator.Send(garbler.id(), kMsgGcOtResponses, w2.Take());
 
   // ---- Garbler side: OT round 2 ---------------------------------------
-  net::Message msg2 = MustReceive(bus, garbler, kMsgGcOtResponses);
+  net::Message msg2 = MustReceive(garbler, kMsgGcOtResponses);
   net::ByteReader r2(msg2.payload);
   net::ByteWriter w3;
   for (size_t i = 0; i < nbits; ++i) {
@@ -88,10 +89,10 @@ bool SecureCompareLess(net::Transport& bus, net::AgentId garbler, uint64_t x,
     w3.Bytes(ot_senders[i].Round2(b_elem, m0, m1));
   }
   PEM_CHECK(r2.AtEnd(), "trailing bytes in GC message 2");
-  bus.Send({garbler, evaluator, kMsgGcOtFinal, w3.Take()});
+  garbler.Send(evaluator.id(), kMsgGcOtFinal, w3.Take());
 
   // ---- Evaluator side: decrypt labels, evaluate ------------------------
-  net::Message msg3 = MustReceive(bus, evaluator, kMsgGcOtFinal);
+  net::Message msg3 = MustReceive(evaluator, kMsgGcOtFinal);
   net::ByteReader r3(msg3.payload);
   std::vector<WireLabel> evaluator_labels(nbits);
   for (size_t i = 0; i < nbits; ++i) {
@@ -107,8 +108,8 @@ bool SecureCompareLess(net::Transport& bus, net::AgentId garbler, uint64_t x,
   // ---- Share the result with the garbler ------------------------------
   net::ByteWriter w4;
   w4.U8(out[0] ? 1 : 0);
-  bus.Send({evaluator, garbler, kMsgGcResult, w4.Take()});
-  net::Message msg4 = MustReceive(bus, garbler, kMsgGcResult);
+  evaluator.Send(garbler.id(), kMsgGcResult, w4.Take());
+  net::Message msg4 = MustReceive(garbler, kMsgGcResult);
   net::ByteReader r4(msg4.payload);
   const bool result = r4.U8() != 0;
   PEM_CHECK(result == out[0], "result mismatch");

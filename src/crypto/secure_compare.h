@@ -1,9 +1,11 @@
-// Two-party secure comparison (Yao's millionaires problem) over the
-// message bus: garbler holds x, evaluator holds y, both learn [x < y]
-// and nothing else.  This is the "secure comparison with Fairplay"
-// step of Private Market Evaluation (Protocol 2, line 14).
+// Two-party secure comparison (Yao's millionaires problem) between two
+// transport endpoints: the garbler holds x, the evaluator holds y,
+// both learn [x < y] and nothing else.  This is the "secure comparison
+// with Fairplay" step of Private Market Evaluation (Protocol 2,
+// line 14).
 //
-// Wire protocol (all bytes routed through the bandwidth-accounted bus):
+// Wire protocol (all bytes routed through the bandwidth-accounted
+// transport):
 //   1. G -> E : garbled tables, decode bits, G's active input labels,
 //               one OT round-1 element per evaluator input bit
 //   2. E -> G : one OT round-1 response per bit
@@ -31,11 +33,13 @@ inline constexpr uint32_t kMsgGcOtResponses = 0x4743'0002;
 inline constexpr uint32_t kMsgGcOtFinal = 0x4743'0003;
 inline constexpr uint32_t kMsgGcResult = 0x4743'0004;
 
-// Runs the full protocol between `garbler` (holding x) and `evaluator`
-// (holding y).  Both agents' traffic is accounted on the bus.  Returns
-// x < y (unsigned comparison over `cfg.bits` bits).
-bool SecureCompareLess(net::Transport& bus, net::AgentId garbler, uint64_t x,
-                       net::AgentId evaluator, uint64_t y,
+// Runs the full protocol between the `garbler` endpoint (holding x)
+// and the `evaluator` endpoint (holding y); both must belong to the
+// same transport and to distinct agents.  Both agents' traffic is
+// accounted on their endpoints.  Returns x < y (unsigned comparison
+// over `cfg.bits` bits).
+bool SecureCompareLess(net::Endpoint& garbler, uint64_t x,
+                       net::Endpoint& evaluator, uint64_t y,
                        const SecureCompareConfig& cfg, Rng& rng);
 
 }  // namespace pem::crypto

@@ -6,18 +6,8 @@ namespace pem::net {
 
 MessageBus::MessageBus(int num_agents)
     : inboxes_(static_cast<size_t>(num_agents)),
-      stats_(static_cast<size_t>(num_agents)) {
+      ledger_(static_cast<size_t>(num_agents)) {
   PEM_CHECK(num_agents > 0, "MessageBus needs at least one agent");
-}
-
-void MessageBus::Account(AgentId from, AgentId to, size_t payload_size) {
-  const uint64_t size = payload_size + kFrameOverheadBytes;
-  stats_[static_cast<size_t>(from)].bytes_sent += size;
-  stats_[static_cast<size_t>(from)].messages_sent += 1;
-  stats_[static_cast<size_t>(to)].bytes_received += size;
-  stats_[static_cast<size_t>(to)].messages_received += 1;
-  total_bytes_ += size;
-  total_messages_ += 1;
 }
 
 void MessageBus::Send(Message msg) {
@@ -27,14 +17,14 @@ void MessageBus::Send(Message msg) {
       if (to == msg.from) continue;
       Message copy = msg;
       copy.to = to;
-      Account(msg.from, to, copy.payload.size());
+      ledger_.Account(msg.from, to, copy.payload.size());
       if (observer_) observer_(copy);
       inboxes_[static_cast<size_t>(to)].push_back(std::move(copy));
     }
     return;
   }
   PEM_CHECK(msg.to >= 0 && msg.to < num_agents(), "bad receiver id");
-  Account(msg.from, msg.to, msg.payload.size());
+  ledger_.Account(msg.from, msg.to, msg.payload.size());
   if (observer_) observer_(msg);
   inboxes_[static_cast<size_t>(msg.to)].push_back(std::move(msg));
 }
@@ -55,20 +45,13 @@ bool MessageBus::HasMessage(AgentId agent) const {
 
 TrafficStats MessageBus::stats(AgentId agent) const {
   PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
-  return stats_[static_cast<size_t>(agent)];
+  return ledger_.stats(agent);
 }
 
 double MessageBus::AverageBytesPerAgent() const {
-  if (inboxes_.empty()) return 0.0;
-  uint64_t sum = 0;
-  for (const auto& s : stats_) sum += s.bytes_sent + s.bytes_received;
-  return static_cast<double>(sum) / static_cast<double>(inboxes_.size());
+  return ledger_.AverageBytesPerAgent();
 }
 
-void MessageBus::ResetStats() {
-  for (auto& s : stats_) s = TrafficStats{};
-  total_bytes_ = 0;
-  total_messages_ = 0;
-}
+void MessageBus::ResetStats() { ledger_.Reset(); }
 
 }  // namespace pem::net

@@ -8,7 +8,8 @@
 //
 // MessageBus is the serial Transport backend: no locking, so it must
 // only be touched from one thread.  For phase-parallel runs see
-// ConcurrentMessageBus (net/concurrent_bus.h).
+// ConcurrentMessageBus (net/concurrent_bus.h); for per-agent kernel
+// channels see SocketTransport (net/socket_transport.h).
 #pragma once
 
 #include <cstdint>
@@ -35,8 +36,8 @@ class MessageBus : public Transport {
   bool HasMessage(AgentId agent) const override;
 
   TrafficStats stats(AgentId agent) const override;
-  uint64_t total_bytes() const override { return total_bytes_; }
-  uint64_t total_messages() const override { return total_messages_; }
+  uint64_t total_bytes() const override { return ledger_.total_bytes; }
+  uint64_t total_messages() const override { return ledger_.total_messages; }
   double AverageBytesPerAgent() const override;
   void ResetStats() override;
 
@@ -45,13 +46,9 @@ class MessageBus : public Transport {
   }
 
  private:
-  void Account(AgentId from, AgentId to, size_t payload_size);
-
   std::vector<std::deque<Message>> inboxes_;
-  std::vector<TrafficStats> stats_;
+  TrafficLedger ledger_;
   Observer observer_;
-  uint64_t total_bytes_ = 0;
-  uint64_t total_messages_ = 0;
 };
 
 }  // namespace pem::net

@@ -1,0 +1,37 @@
+// The unit of communication between agents.
+//
+// Split out of transport.h so the wire codec (net/frame.h) can speak
+// about messages without pulling in the Transport interface: the codec
+// is the source of truth for what a framed Message costs on the wire,
+// and the transports depend on it, not the other way around.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pem::net {
+
+using AgentId = int32_t;
+inline constexpr AgentId kBroadcast = -1;
+
+struct Message {
+  AgentId from = 0;
+  AgentId to = 0;
+  uint32_t type = 0;  // protocol-defined tag
+  std::vector<uint8_t> payload;
+
+  bool operator==(const Message& o) const {
+    return from == o.from && to == o.to && type == o.type &&
+           payload == o.payload;
+  }
+};
+
+// Per-agent traffic counters (bytes).
+struct TrafficStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+};
+
+}  // namespace pem::net

@@ -1,0 +1,316 @@
+#include "net/socket_transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/error.h"
+
+namespace pem::net {
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  PEM_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+            "socket transport: fcntl(O_NONBLOCK) failed");
+}
+
+void MakeSocketPair(int* a, int* b) {
+  int fds[2];
+  PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+            "socket transport: socketpair failed");
+  *a = fds[0];
+  *b = fds[1];
+}
+
+// Blocking full write; MSG_NOSIGNAL so a torn-down peer surfaces as an
+// error instead of SIGPIPE.
+void SendAll(int fd, const uint8_t* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      PEM_CHECK(errno == EINTR, "socket transport: send failed");
+      continue;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void CloseIfOpen(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(int num_agents)
+    : ledger_(num_agents > 0 ? static_cast<size_t>(num_agents) : 0) {
+  PEM_CHECK(num_agents > 0, "SocketTransport needs at least one agent");
+  const size_t n = static_cast<size_t>(num_agents);
+  channels_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto ch = std::make_unique<Channel>();
+    MakeSocketPair(&ch->egress_agent, &ch->egress_router);
+    MakeSocketPair(&ch->ingress_router, &ch->ingress_agent);
+    SetNonBlocking(ch->egress_router);
+    SetNonBlocking(ch->ingress_router);
+    channels_.push_back(std::move(ch));
+  }
+  MakeSocketPair(&wake_send_, &wake_router_);
+  SetNonBlocking(wake_send_);
+  SetNonBlocking(wake_router_);
+
+  delivered_.assign(n, 0);
+  popped_.assign(n, 0);
+  router_rx_.resize(n);
+  router_queue_.resize(n);
+  pending_.resize(n);
+  router_ = std::thread([this] { RouterLoop(); });
+}
+
+SocketTransport::~SocketTransport() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  WakeRouter();
+  router_.join();
+  for (auto& ch : channels_) {
+    CloseIfOpen(ch->egress_agent);
+    CloseIfOpen(ch->egress_router);
+    CloseIfOpen(ch->ingress_router);
+    CloseIfOpen(ch->ingress_agent);
+  }
+  CloseIfOpen(wake_send_);
+  CloseIfOpen(wake_router_);
+}
+
+void SocketTransport::WakeRouter() {
+  const uint8_t b = 1;
+  // Non-blocking: a full wakeup pipe already guarantees a pending wake.
+  (void)send(wake_send_, &b, 1, MSG_DONTWAIT | MSG_NOSIGNAL);
+}
+
+void SocketTransport::Send(Message msg) {
+  const int n = num_agents();
+  PEM_CHECK(msg.from >= 0 && msg.from < n, "bad sender id");
+  const bool broadcast = msg.to == kBroadcast;
+  if (!broadcast) {
+    PEM_CHECK(msg.to >= 0 && msg.to < n, "bad receiver id");
+  } else if (n == 1) {
+    return;  // no recipients: nothing is accounted, nothing on the wire
+  }
+
+  Channel& ch = *channels_[static_cast<size_t>(msg.from)];
+  // send_mu keeps this sender's wire frames contiguous and in the same
+  // order as its ledger tickets even if two threads send as one agent.
+  std::lock_guard<std::mutex> send_lock(ch.send_mu);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broadcast) {
+      for (AgentId to = 0; to < n; ++to) {
+        if (to == msg.from) continue;
+        ledger_.Account(msg.from, to, msg.payload.size());
+        delivered_[static_cast<size_t>(to)] += 1;
+        if (observer_) {
+          Message copy = msg;
+          copy.to = to;
+          observer_(copy);
+        }
+      }
+    } else {
+      ledger_.Account(msg.from, msg.to, msg.payload.size());
+      delivered_[static_cast<size_t>(msg.to)] += 1;
+      if (observer_) observer_(msg);
+    }
+    tickets_.push_back(msg.from);
+  }
+  // The wire write happens outside mu_: the router needs mu_ to pop
+  // tickets, and it is the router's reads that free a full egress
+  // buffer — holding mu_ across a blocking send would deadlock.
+  const std::vector<uint8_t> frame = EncodeFrame(msg);
+  SendAll(ch.egress_agent, frame.data(), frame.size());
+  WakeRouter();
+}
+
+std::optional<Message> SocketTransport::Receive(AgentId agent) {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (popped_[static_cast<size_t>(agent)] >=
+        delivered_[static_cast<size_t>(agent)]) {
+      return std::nullopt;
+    }
+  }
+  Channel& ch = *channels_[static_cast<size_t>(agent)];
+  for (;;) {
+    if (std::optional<Message> m = ch.rx.Next()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      popped_[static_cast<size_t>(agent)] += 1;
+      return m;
+    }
+    uint8_t buf[4096];
+    const ssize_t n = recv(ch.ingress_agent, buf, sizeof buf, 0);
+    if (n < 0) {
+      PEM_CHECK(errno == EINTR, "socket transport: recv failed");
+      continue;
+    }
+    PEM_CHECK(n > 0, "socket transport: ingress channel closed mid-receive");
+    ch.rx.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+  }
+}
+
+bool SocketTransport::HasMessage(AgentId agent) const {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  std::lock_guard<std::mutex> lock(mu_);
+  return popped_[static_cast<size_t>(agent)] <
+         delivered_[static_cast<size_t>(agent)];
+}
+
+TrafficStats SocketTransport::stats(AgentId agent) const {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.stats(agent);
+}
+
+uint64_t SocketTransport::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.total_bytes;
+}
+
+uint64_t SocketTransport::total_messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.total_messages;
+}
+
+double SocketTransport::AverageBytesPerAgent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.AverageBytesPerAgent();
+}
+
+void SocketTransport::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_.Reset();
+  // delivered_/popped_ survive: they are inbox state, not counters.
+}
+
+void SocketTransport::SetObserver(Observer observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(observer);
+}
+
+void SocketTransport::RouteFrame(const Message& frame) {
+  if (frame.to == kBroadcast) {
+    for (AgentId to = 0; to < num_agents(); ++to) {
+      if (to == frame.from) continue;
+      Message copy = frame;
+      copy.to = to;
+      AppendFrame(pending_[static_cast<size_t>(to)].bytes, copy);
+    }
+    return;
+  }
+  AppendFrame(pending_[static_cast<size_t>(frame.to)].bytes, frame);
+}
+
+void SocketTransport::FlushPending(AgentId dest) {
+  PendingBuf& p = pending_[static_cast<size_t>(dest)];
+  while (!p.empty()) {
+    const ssize_t n =
+        send(channels_[static_cast<size_t>(dest)]->ingress_router,
+             p.bytes.data() + p.off, p.bytes.size() - p.off,
+             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      PEM_CHECK(errno == EINTR, "socket transport: router send failed");
+      continue;
+    }
+    p.off += static_cast<size_t>(n);
+  }
+  p.bytes.clear();
+  p.off = 0;
+}
+
+void SocketTransport::RouterLoop() {
+  const int n = num_agents();
+  for (;;) {
+    // Forward every decoded frame whose ticket is up, in ledger order.
+    for (;;) {
+      AgentId sender;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (tickets_.empty()) break;
+        sender = tickets_.front();
+        if (router_queue_[static_cast<size_t>(sender)].empty()) break;
+        tickets_.pop_front();
+      }
+      std::deque<Message>& q = router_queue_[static_cast<size_t>(sender)];
+      RouteFrame(q.front());
+      q.pop_front();
+    }
+    for (AgentId d = 0; d < n; ++d) {
+      if (!pending_[static_cast<size_t>(d)].empty()) FlushPending(d);
+    }
+
+    AgentId front = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!tickets_.empty()) {
+        front = tickets_.front();
+      } else if (shutdown_) {
+        // Ledger drained; anything still pending is flushed best-effort
+        // above, and a transport being destroyed has no reader left.
+        return;
+      }
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back({wake_router_, POLLIN, 0});
+    if (front >= 0) {
+      fds.push_back(
+          {channels_[static_cast<size_t>(front)]->egress_router, POLLIN, 0});
+    }
+    for (AgentId d = 0; d < n; ++d) {
+      if (!pending_[static_cast<size_t>(d)].empty()) {
+        fds.push_back(
+            {channels_[static_cast<size_t>(d)]->ingress_router, POLLOUT, 0});
+      }
+    }
+    if (poll(fds.data(), fds.size(), -1) < 0) {
+      PEM_CHECK(errno == EINTR, "socket transport: poll failed");
+      continue;
+    }
+
+    // Drain wakeup bytes.
+    if (fds[0].revents & POLLIN) {
+      uint8_t buf[64];
+      while (recv(wake_router_, buf, sizeof buf, MSG_DONTWAIT) > 0) {
+      }
+    }
+    // Pull whatever the front ticket's sender has written so far.
+    if (front >= 0) {
+      uint8_t buf[4096];
+      for (;;) {
+        const ssize_t r =
+            recv(channels_[static_cast<size_t>(front)]->egress_router, buf,
+                 sizeof buf, MSG_DONTWAIT);
+        if (r < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          PEM_CHECK(errno == EINTR, "socket transport: router recv failed");
+          continue;
+        }
+        PEM_CHECK(r > 0, "socket transport: egress channel closed");
+        router_rx_[static_cast<size_t>(front)].Feed(
+            std::span<const uint8_t>(buf, static_cast<size_t>(r)));
+      }
+      while (std::optional<Message> f =
+                 router_rx_[static_cast<size_t>(front)].Next()) {
+        router_queue_[static_cast<size_t>(front)].push_back(std::move(*f));
+      }
+    }
+  }
+}
+
+}  // namespace pem::net

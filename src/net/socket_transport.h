@@ -1,0 +1,116 @@
+// Transport backend over Unix-domain socketpairs.
+//
+// Models the paper's one-container-per-agent deployment inside one
+// process: every agent owns a pair of SOCK_STREAM channels (egress:
+// agent -> router, ingress: router -> agent), and a single relay
+// thread — the router — moves net/frame.h frames between them.  What
+// an Endpoint::Receive returns is whatever bytes actually crossed the
+// recipient's socket, decoded by the canonical codec; nothing is
+// shared in memory between sender and receiver except the counters.
+//
+// Delivery order.  The router forwards wire frames in Send order: each
+// Send() appends a ticket to a ledger under the transport lock, and
+// the router only reads the fd named by the front ticket.  Per-agent
+// inboxes therefore drain in exactly the order the in-process buses
+// deliver, so the three backends are transcript-identical message by
+// message, not just in aggregate.
+//
+// Accounting and the observer run at Send() time under the transport
+// lock (the same total order the buses use); each delivered copy is
+// charged FramedSize(copy) — exactly the bytes the codec puts on the
+// wire.  A broadcast travels as one frame to the router, which fans it
+// out into n-1 per-recipient frames, and is charged as n-1 copies like
+// a real broadcast over unicast links.
+//
+// Blocking semantics: Receive() blocks until an already-sent message
+// crosses the socket, and returns nullopt only when the agent has
+// popped everything ever sent to it — the same observable behavior as
+// the buses, without pretending sockets have zero latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/transport.h"
+
+namespace pem::net {
+
+class SocketTransport : public Transport {
+ public:
+  explicit SocketTransport(int num_agents);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  int num_agents() const override {
+    return static_cast<int>(channels_.size());
+  }
+
+  void Send(Message msg) override;
+  std::optional<Message> Receive(AgentId agent) override;
+  bool HasMessage(AgentId agent) const override;
+
+  TrafficStats stats(AgentId agent) const override;
+  uint64_t total_bytes() const override;
+  uint64_t total_messages() const override;
+  double AverageBytesPerAgent() const override;
+  void ResetStats() override;
+  void SetObserver(Observer observer) override;
+
+ private:
+  // One agent's pair of channels.  The agent-side fds block; the
+  // router-side fds are non-blocking (the router must never stall on
+  // one slow peer).  rx/send_mu make the channel non-movable, hence
+  // the unique_ptr storage.
+  struct Channel {
+    int egress_agent = -1;   // agent writes frames here (Send)
+    int egress_router = -1;  // router reads them
+    int ingress_router = -1; // router writes routed frames here
+    int ingress_agent = -1;  // agent reads them (Receive)
+    FrameDecoder rx;         // agent-side reassembly; owner thread only
+    std::mutex send_mu;      // keeps one sender's frames contiguous
+  };
+
+  // Frames routed but not yet flushed into a full ingress socket.
+  struct PendingBuf {
+    std::vector<uint8_t> bytes;
+    size_t off = 0;
+    bool empty() const { return off == bytes.size(); }
+  };
+
+  void RouterLoop();
+  void RouteFrame(const Message& frame);  // router thread only
+  void FlushPending(AgentId dest);        // router thread only
+  void WakeRouter();
+
+  std::vector<std::unique_ptr<Channel>> channels_;
+  int wake_router_ = -1;  // router reads wakeup bytes here
+  int wake_send_ = -1;    // Send/destructor write them here
+
+  mutable std::mutex mu_;
+  TrafficLedger ledger_;
+  // Inbox bookkeeping, never reset by ResetStats: messages accounted
+  // for an agent vs. messages it has popped.
+  std::vector<uint64_t> delivered_;
+  std::vector<uint64_t> popped_;
+  // The delivery ledger: one entry (the sender) per wire frame, in
+  // global Send order; the router forwards frames in this order.
+  std::deque<AgentId> tickets_;
+  Observer observer_;
+  bool shutdown_ = false;
+
+  // Router-thread-only state.
+  std::vector<FrameDecoder> router_rx_;          // per egress channel
+  std::vector<std::deque<Message>> router_queue_;  // decoded, unmatched
+  std::vector<PendingBuf> pending_;              // per ingress channel
+
+  std::thread router_;
+};
+
+}  // namespace pem::net

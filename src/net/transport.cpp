@@ -1,16 +1,20 @@
 #include "net/transport.h"
 
 #include "net/concurrent_bus.h"
+#include "net/socket_transport.h"
 #include "util/error.h"
 
 namespace pem::net {
 
 std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_agents) {
+  PEM_CHECK(num_agents > 0, "MakeTransport: agent count must be positive");
   switch (kind) {
     case TransportKind::kSerialBus:
       return std::make_unique<MessageBus>(num_agents);
     case TransportKind::kConcurrentBus:
       return std::make_unique<ConcurrentMessageBus>(num_agents);
+    case TransportKind::kSocket:
+      return std::make_unique<SocketTransport>(num_agents);
   }
   PEM_CHECK(false, "unknown transport kind");
   return nullptr;

@@ -1,55 +1,90 @@
 // Transport abstraction for the protocol engine.
 //
 // The paper deploys each agent in its own container, so "the network"
-// is whatever carries frames between them.  Protocol code talks to this
-// interface only; concrete backends decide the threading model:
+// is whatever carries frames between them.  Protocol code never holds
+// the whole transport: it acts through per-agent Endpoint handles
+// (Transport::endpoint), so a protocol step can only touch the inbox
+// and counters of the agent it is acting for — which is what keeps an
+// out-of-process backend honest.  Concrete backends decide the
+// threading and process model:
 //   * MessageBus        — single-threaded FIFO bus (the original
 //                         engine; cheapest, no locking);
 //   * ConcurrentMessageBus — mutex-guarded bus that accepts Send()
 //                         from ParallelFor workers while preserving
 //                         per-agent FIFO order and byte-exact
-//                         TrafficStats accounting.
-// Both backends account identical bytes for identical message
-// sequences, which is what lets test_transcript_parity assert the
-// serial and phase-parallel engines produce the same wire transcript.
+//                         TrafficStats accounting;
+//   * SocketTransport   — per-agent Unix-domain socketpairs carrying
+//                         net/frame.h frames through one relay-thread
+//                         router, modelling the paper's one-container-
+//                         per-agent deployment inside one process.
+// All backends account identical bytes for identical message
+// sequences — exactly FramedSize(msg) per delivered copy — which is
+// what lets test_transcript_parity assert a serial/concurrent/socket
+// three-way parity of the wire transcript.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
+
+#include "net/frame.h"
+#include "net/message.h"
+#include "util/error.h"
 
 namespace pem::net {
 
-using AgentId = int32_t;
-inline constexpr AgentId kBroadcast = -1;
+class Endpoint;
 
-struct Message {
-  AgentId from = 0;
-  AgentId to = 0;
-  uint32_t type = 0;  // protocol-defined tag
-  std::vector<uint8_t> payload;
+// Shared per-agent traffic accounting.  Every backend charges exactly
+// the codec's framed size per delivered copy through this one
+// implementation, so "all backends account identical bytes" is true
+// by construction rather than by keeping copies in sync.  Backends
+// with internal concurrency guard the ledger with their own lock.
+struct TrafficLedger {
+  std::vector<TrafficStats> per_agent;
+  uint64_t total_bytes = 0;
+  uint64_t total_messages = 0;
 
-  bool operator==(const Message& o) const {
-    return from == o.from && to == o.to && type == o.type &&
-           payload == o.payload;
+  explicit TrafficLedger(size_t num_agents) : per_agent(num_agents) {}
+
+  void Account(AgentId from, AgentId to, size_t payload_size) {
+    const uint64_t size = FramedSize(payload_size);
+    per_agent[static_cast<size_t>(from)].bytes_sent += size;
+    per_agent[static_cast<size_t>(from)].messages_sent += 1;
+    per_agent[static_cast<size_t>(to)].bytes_received += size;
+    per_agent[static_cast<size_t>(to)].messages_received += 1;
+    total_bytes += size;
+    total_messages += 1;
   }
-};
 
-// Per-agent traffic counters (bytes).
-struct TrafficStats {
-  uint64_t bytes_sent = 0;
-  uint64_t bytes_received = 0;
-  uint64_t messages_sent = 0;
-  uint64_t messages_received = 0;
+  TrafficStats stats(AgentId agent) const {
+    return per_agent[static_cast<size_t>(agent)];
+  }
+
+  double AverageBytesPerAgent() const {
+    if (per_agent.empty()) return 0.0;
+    uint64_t sum = 0;
+    for (const TrafficStats& s : per_agent) {
+      sum += s.bytes_sent + s.bytes_received;
+    }
+    return static_cast<double>(sum) / static_cast<double>(per_agent.size());
+  }
+
+  void Reset() {
+    for (TrafficStats& s : per_agent) s = TrafficStats{};
+    total_bytes = 0;
+    total_messages = 0;
+  }
 };
 
 class Transport {
  public:
-  // Frame overhead charged per message, approximating the
-  // sender/receiver/type/length header of a real transport.
-  static constexpr uint64_t kFrameOverheadBytes = 20;
+  // Frame overhead charged per message.  The codec (net/frame.h) is
+  // the source of truth; this alias exists for accounting arithmetic.
+  static constexpr uint64_t kFrameOverheadBytes = kFrameHeaderBytes;
 
   // Observer invoked for every delivered message (after broadcast
   // fan-out).  Used by transcript-inspection tests and debug tracing;
@@ -57,7 +92,7 @@ class Transport {
   // internal lock, so one observer sees a consistent total order —
   // which also means the observer MUST NOT call back into the
   // transport (self-deadlock on the non-recursive lock); record what
-  // you need from the Message and query the bus between turns.
+  // you need from the Message and query the transport between turns.
   using Observer = std::function<void(const Message&)>;
 
   virtual ~Transport() = default;
@@ -69,7 +104,10 @@ class Transport {
   // real broadcast over unicast links would be).
   virtual void Send(Message msg) = 0;
 
-  // Pops the next message for `agent`; nullopt when inbox is empty.
+  // Pops the next message for `agent`; nullopt when nothing has been
+  // sent to it that it has not already popped.  Backends with delivery
+  // latency (SocketTransport) block until an already-sent message
+  // arrives rather than returning a spurious nullopt.
   virtual std::optional<Message> Receive(AgentId agent) = 0;
   virtual bool HasMessage(AgentId agent) const = 0;
 
@@ -87,20 +125,86 @@ class Transport {
   virtual void ResetStats() = 0;
 
   virtual void SetObserver(Observer observer) = 0;
+
+  // The per-agent handle protocol code acts through (defined below).
+  Endpoint endpoint(AgentId id);
+  std::vector<Endpoint> endpoints();
 };
+
+// Per-agent transport handle: the only object per-agent protocol code
+// may touch.  Sending stamps the owner as the sender, receiving pops
+// the owner's inbox only — there is no way to read another agent's
+// messages or counters through it.  Cheap to copy (pointer + id); the
+// Transport must outlive every handle.
+class Endpoint {
+ public:
+  Endpoint() = default;
+
+  AgentId id() const { return id_; }
+  bool valid() const { return transport_ != nullptr; }
+  int num_agents() const { return transport_->num_agents(); }
+
+  // Sends to `to` (or kBroadcast) as this agent.
+  void Send(AgentId to, uint32_t type, std::vector<uint8_t> payload) {
+    transport_->Send(Message{id_, to, type, std::move(payload)});
+  }
+  // Whole-message overload; the sender field must be the owner.
+  void Send(Message msg) {
+    PEM_CHECK(msg.from == id_, "Endpoint::Send: message forges its sender");
+    transport_->Send(std::move(msg));
+  }
+
+  std::optional<Message> Receive() { return transport_->Receive(id_); }
+  bool HasMessage() const { return transport_->HasMessage(id_); }
+  TrafficStats stats() const { return transport_->stats(id_); }
+
+ private:
+  friend class Transport;
+  Endpoint(Transport* transport, AgentId id) : transport_(transport), id_(id) {}
+
+  Transport* transport_ = nullptr;
+  AgentId id_ = -1;
+};
+
+inline Endpoint Transport::endpoint(AgentId id) {
+  PEM_CHECK(id >= 0 && id < num_agents(), "endpoint: agent id out of range");
+  return Endpoint(this, id);
+}
+
+inline std::vector<Endpoint> Transport::endpoints() {
+  std::vector<Endpoint> out;
+  out.reserve(static_cast<size_t>(num_agents()));
+  for (AgentId a = 0; a < num_agents(); ++a) out.push_back(endpoint(a));
+  return out;
+}
+
+// Sum of bytes sent across a community's endpoints.  Every delivered
+// copy is accounted once on its sender, so this equals the transport's
+// total_bytes() — it lets driver code (RunPemWindow) measure a window
+// without holding the whole transport.
+inline uint64_t TotalBytesSent(std::span<const Endpoint> endpoints) {
+  uint64_t sum = 0;
+  for (const Endpoint& ep : endpoints) sum += ep.stats().bytes_sent;
+  return sum;
+}
 
 // Which concrete Transport a run uses.
 enum class TransportKind {
   kSerialBus,      // MessageBus: single-threaded, no locking
   kConcurrentBus,  // ConcurrentMessageBus: safe under ParallelFor
+  kSocket,         // SocketTransport: framed Unix-domain socketpairs
 };
 
 inline const char* TransportKindName(TransportKind k) {
+  // Exhaustive on purpose: adding a TransportKind without naming it is
+  // a compile-time -Wswitch warning here, not a silent "unknown".
   switch (k) {
     case TransportKind::kSerialBus: return "serial";
     case TransportKind::kConcurrentBus: return "concurrent";
+    case TransportKind::kSocket: return "socket";
   }
-  return "unknown";
+  PEM_CHECK(false, "invalid TransportKind value");
+  return nullptr;
 }
 
 // How a protocol run executes: which transport carries the frames and
@@ -122,9 +226,15 @@ struct ExecutionPolicy {
   static ExecutionPolicy Parallel(int threads) {
     return {TransportKind::kConcurrentBus, threads};
   }
+  // Frames over Unix-domain socketpairs (the per-container deployment
+  // model); compute workers are independent of the backend choice.
+  static ExecutionPolicy Socket(int threads = 1) {
+    return {TransportKind::kSocket, threads};
+  }
 };
 
-// Constructs the backend selected by `kind`.
+// Constructs the backend selected by `kind`.  Aborts on a non-positive
+// agent count — a zero-agent transport can only hide bugs.
 std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_agents);
 
 }  // namespace pem::net

@@ -32,7 +32,10 @@
 #include "grid/types.h"
 #include "net/bus.h"
 #include "net/concurrent_bus.h"
+#include "net/frame.h"
+#include "net/message.h"
 #include "net/serialize.h"
+#include "net/socket_transport.h"
 #include "net/transport.h"
 
 // The privacy-preserving protocols and the simulation driver.

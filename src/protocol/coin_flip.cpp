@@ -30,8 +30,8 @@ uint64_t JointRandomU64(ProtocolContext& ctx, std::span<Party> parties,
     const std::vector<uint8_t> payload = w.Take();
     for (size_t j = 0; j < m; ++j) {
       if (j == i) continue;
-      ctx.bus.Send({parties[participants[i]].id(),
-                    parties[participants[j]].id(), kMsgCoinCommit, payload});
+      ctx.ep(parties[participants[i]].id())
+          .Send(parties[participants[j]].id(), kMsgCoinCommit, payload);
     }
   }
   // Receivers record every peer commitment (drain inboxes).
@@ -41,8 +41,7 @@ uint64_t JointRandomU64(ProtocolContext& ctx, std::span<Party> parties,
     seen[j][j] = commitments[j];
     for (size_t k = 0; k + 1 < m; ++k) {
       net::Message msg =
-          ExpectMessage(ctx.bus, parties[participants[j]].id(),
-                        kMsgCoinCommit);
+          ExpectMessage(ctx.ep(parties[participants[j]].id()), kMsgCoinCommit);
       net::ByteReader r(msg.payload);
       const uint32_t from_index = r.U32();
       const std::vector<uint8_t> digest = r.Bytes();
@@ -64,8 +63,8 @@ uint64_t JointRandomU64(ProtocolContext& ctx, std::span<Party> parties,
     const std::vector<uint8_t> payload = w.Take();
     for (size_t j = 0; j < m; ++j) {
       if (j == i) continue;
-      ctx.bus.Send({parties[participants[i]].id(),
-                    parties[participants[j]].id(), kMsgCoinReveal, payload});
+      ctx.ep(parties[participants[i]].id())
+          .Send(parties[participants[j]].id(), kMsgCoinReveal, payload);
     }
   }
   uint64_t combined = 0;
@@ -73,8 +72,7 @@ uint64_t JointRandomU64(ProtocolContext& ctx, std::span<Party> parties,
   for (size_t j = 0; j < m; ++j) {
     for (size_t k = 0; k + 1 < m; ++k) {
       net::Message msg =
-          ExpectMessage(ctx.bus, parties[participants[j]].id(),
-                        kMsgCoinReveal);
+          ExpectMessage(ctx.ep(parties[participants[j]].id()), kMsgCoinReveal);
       net::ByteReader r(msg.payload);
       const uint32_t from_index = r.U32();
       const uint64_t share = r.U64();

@@ -67,9 +67,8 @@ std::vector<crypto::PaillierCiphertext> ComputeEncryptions(
 
 // --- ring aggregation -------------------------------------------------
 
-net::Message ExpectMessage(net::Transport& bus, net::AgentId agent,
-                           uint32_t expected_type) {
-  std::optional<net::Message> m = bus.Receive(agent);
+net::Message ExpectMessage(net::Endpoint& ep, uint32_t expected_type) {
+  std::optional<net::Message> m = ep.Receive();
   PEM_CHECK(m.has_value(), "protocol: expected a message");
   PEM_CHECK(m->type == expected_type, "protocol: unexpected message type");
   return std::move(*m);
@@ -97,12 +96,12 @@ crypto::PaillierCiphertext ForwardRing(
     if (member.id() == next) continue;  // the recipient already holds it
     net::ByteWriter w;
     WriteCiphertext(w, pk, running);
-    ctx.bus.Send({member.id(), next, last ? kMsgRingFinal : kMsgRingHop,
-                  w.Take()});
+    ctx.ep(member.id()).Send(next, last ? kMsgRingFinal : kMsgRingHop,
+                             w.Take());
     if (!last) {
       // The next member pops the hop message before adding its own
       // share (sequential execution of the ring).
-      net::Message m = ExpectMessage(ctx.bus, next, kMsgRingHop);
+      net::Message m = ExpectMessage(ctx.ep(next), kMsgRingHop);
       net::ByteReader r(m.payload);
       running = ReadCiphertext(r);
     }
@@ -111,7 +110,7 @@ crypto::PaillierCiphertext ForwardRing(
   // member itself).
   const net::AgentId last_member = parties[ring.back()].id();
   if (last_member != final_recipient) {
-    net::Message m = ExpectMessage(ctx.bus, final_recipient, kMsgRingFinal);
+    net::Message m = ExpectMessage(ctx.ep(final_recipient), kMsgRingFinal);
     net::ByteReader r(m.payload);
     running = ReadCiphertext(r);
   }
@@ -172,12 +171,12 @@ void BroadcastPublicKey(ProtocolContext& ctx, const Party& owner) {
   const crypto::PaillierPublicKey& pk = owner.public_key();
   w.U32(static_cast<uint32_t>(pk.key_bits()));
   w.Bytes(pk.n().ToBytes());
-  ctx.bus.Send({owner.id(), net::kBroadcast, kMsgPublicKey, w.Take()});
+  ctx.ep(owner.id()).Send(net::kBroadcast, kMsgPublicKey, w.Take());
   // Peers drain the broadcast (content is re-derivable from their own
   // stored copy of the key directory; we model the traffic).
-  for (net::AgentId a = 0; a < ctx.bus.num_agents(); ++a) {
+  for (net::AgentId a = 0; a < ctx.num_agents(); ++a) {
     if (a == owner.id()) continue;
-    ExpectMessage(ctx.bus, a, kMsgPublicKey);
+    ExpectMessage(ctx.ep(a), kMsgPublicKey);
   }
 }
 

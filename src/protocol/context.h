@@ -42,7 +42,13 @@ inline constexpr uint32_t kMsgPayment = 0x5045'0009;
 inline constexpr uint32_t kMsgPublicKey = 0x5045'000A;
 
 struct ProtocolContext {
-  net::Transport& bus;
+  // Per-agent transport handles, indexed by AgentId.  Protocol code
+  // never sees the whole Transport: every Send/Receive goes through
+  // the endpoint of the agent performing it, so a step cannot read
+  // another agent's inbox — the property that keeps the socket
+  // backend's per-agent channels honest.  The driver builds this span
+  // once per community via Transport::endpoints().
+  std::span<net::Endpoint> endpoints;
   crypto::Rng& rng;
   const PemConfig& config;
   // Optional idle-time encryption-randomness pools (see
@@ -52,6 +58,14 @@ struct ProtocolContext {
   // Serial vs. phase-parallel execution (transport choice + compute
   // workers).  Defaults to the serial engine.
   net::ExecutionPolicy policy;
+
+  // The handle of the agent currently acting.
+  net::Endpoint& ep(net::AgentId id) const {
+    PEM_CHECK(id >= 0 && static_cast<size_t>(id) < endpoints.size(),
+              "ProtocolContext: agent id out of range");
+    return endpoints[static_cast<size_t>(id)];
+  }
+  int num_agents() const { return static_cast<int>(endpoints.size()); }
 };
 
 // --- phase primitives -------------------------------------------------
@@ -128,9 +142,8 @@ std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
     std::span<const std::function<int64_t(const Party&)>> value_fns,
     net::AgentId final_recipient);
 
-// Pops the next message for `agent`, asserting the expected type.
-net::Message ExpectMessage(net::Transport& bus, net::AgentId agent,
-                           uint32_t expected_type);
+// Pops the endpoint's next message, asserting the expected type.
+net::Message ExpectMessage(net::Endpoint& ep, uint32_t expected_type);
 
 // Announces the aggregator's public key to the coalition peers that
 // must encrypt under it (Protocol 1, line 2 amortizes this; we send it

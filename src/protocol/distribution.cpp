@@ -39,9 +39,8 @@ std::vector<double> ComputeRatios(ProtocolContext& ctx,
     const std::vector<uint8_t> payload = w.Take();
     for (size_t m : ratio_members) {
       if (m == last) continue;
-      ctx.bus.Send({parties[last].id(), parties[m].id(), kMsgEncTotal,
-                    payload});
-      (void)ExpectMessage(ctx.bus, parties[m].id(), kMsgEncTotal);
+      ctx.ep(parties[last].id()).Send(parties[m].id(), kMsgEncTotal, payload);
+      (void)ExpectMessage(ctx.ep(parties[m].id()), kMsgEncTotal);
     }
   }
 
@@ -82,8 +81,7 @@ std::vector<double> ComputeRatios(ProtocolContext& ctx,
     w.U32(static_cast<uint32_t>(m));
     w.I64(big_k);
     WriteCiphertext(w, pk, ratio_cts[i]);
-    ctx.bus.Send({parties[m].id(), aggregator.id(), kMsgRatioCipher,
-                  w.Take()});
+    ctx.ep(parties[m].id()).Send(aggregator.id(), kMsgRatioCipher, w.Take());
   }
 
   // Line 8: the aggregator decrypts each total/share ratio.  The
@@ -91,7 +89,7 @@ std::vector<double> ComputeRatios(ProtocolContext& ctx,
   // read as a BigInt and converted to double.
   std::vector<double> ratios(ratio_members.size(), 0.0);
   for (size_t i = 0; i < ratio_members.size(); ++i) {
-    net::Message msg = ExpectMessage(ctx.bus, aggregator.id(), kMsgRatioCipher);
+    net::Message msg = ExpectMessage(ctx.ep(aggregator.id()), kMsgRatioCipher);
     net::ByteReader r(msg.payload);
     const uint32_t member_index = r.U32();
     const int64_t k_received = r.I64();
@@ -122,9 +120,9 @@ std::vector<double> ComputeRatios(ProtocolContext& ctx,
   const std::vector<uint8_t> payload = w.Take();
   for (size_t c : counterpart) {
     if (c == aggregator_index) continue;
-    ctx.bus.Send({parties[aggregator_index].id(), parties[c].id(),
-                  kMsgRatioBroadcast, payload});
-    (void)ExpectMessage(ctx.bus, parties[c].id(), kMsgRatioBroadcast);
+    ctx.ep(parties[aggregator_index].id())
+        .Send(parties[c].id(), kMsgRatioBroadcast, payload);
+    (void)ExpectMessage(ctx.ep(parties[c].id()), kMsgRatioBroadcast);
   }
   return ratios;
 }
@@ -157,17 +155,17 @@ DistributionResult RunPrivateDistribution(ProtocolContext& ctx,
         net::ByteWriter we;
         we.U32(static_cast<uint32_t>(si));
         we.F64(e_ij);
-        ctx.bus.Send({parties[si].id(), parties[bj].id(), kMsgEnergyTransfer,
-                      we.Take()});
-        (void)ExpectMessage(ctx.bus, parties[bj].id(), kMsgEnergyTransfer);
+        ctx.ep(parties[si].id())
+            .Send(parties[bj].id(), kMsgEnergyTransfer, we.Take());
+        (void)ExpectMessage(ctx.ep(parties[bj].id()), kMsgEnergyTransfer);
 
         const double m_ji = price * e_ij;
         net::ByteWriter wp;
         wp.U32(static_cast<uint32_t>(bj));
         wp.F64(m_ji);
-        ctx.bus.Send({parties[bj].id(), parties[si].id(), kMsgPayment,
-                      wp.Take()});
-        (void)ExpectMessage(ctx.bus, parties[si].id(), kMsgPayment);
+        ctx.ep(parties[bj].id()).Send(parties[si].id(), kMsgPayment,
+                                      wp.Take());
+        (void)ExpectMessage(ctx.ep(parties[si].id()), kMsgPayment);
 
         result.trades.push_back(Trade{si, bj, e_ij, m_ji});
       }
@@ -189,16 +187,16 @@ DistributionResult RunPrivateDistribution(ProtocolContext& ctx,
         net::ByteWriter wp;
         wp.U32(static_cast<uint32_t>(bj));
         wp.F64(m_ji);
-        ctx.bus.Send({parties[bj].id(), parties[si].id(), kMsgPayment,
-                      wp.Take()});
-        (void)ExpectMessage(ctx.bus, parties[si].id(), kMsgPayment);
+        ctx.ep(parties[bj].id()).Send(parties[si].id(), kMsgPayment,
+                                      wp.Take());
+        (void)ExpectMessage(ctx.ep(parties[si].id()), kMsgPayment);
 
         net::ByteWriter we;
         we.U32(static_cast<uint32_t>(si));
         we.F64(e_ij);
-        ctx.bus.Send({parties[si].id(), parties[bj].id(), kMsgEnergyTransfer,
-                      we.Take()});
-        (void)ExpectMessage(ctx.bus, parties[bj].id(), kMsgEnergyTransfer);
+        ctx.ep(parties[si].id())
+            .Send(parties[bj].id(), kMsgEnergyTransfer, we.Take());
+        (void)ExpectMessage(ctx.ep(parties[bj].id()), kMsgEnergyTransfer);
 
         result.trades.push_back(Trade{si, bj, e_ij, m_ji});
       }

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "crypto/paillier.h"
-#include "net/bus.h"
+#include "net/message.h"
 
 namespace pem::protocol {
 

@@ -67,16 +67,17 @@ MarketEvalResult RunPrivateMarketEvaluation(ProtocolContext& ctx,
 
   // --- Secure comparison (garbled circuit, Protocol 2 line 14) --------
   result.general_market = crypto::SecureCompareLess(
-      ctx.bus, buyer_hr2.id(), static_cast<uint64_t>(rs), seller_hr1.id(),
-      static_cast<uint64_t>(rb), ctx.config.compare, ctx.rng);
+      ctx.ep(buyer_hr2.id()), static_cast<uint64_t>(rs),
+      ctx.ep(seller_hr1.id()), static_cast<uint64_t>(rb), ctx.config.compare,
+      ctx.rng);
 
   // Hr1 announces the market case to everyone (1 bit).
   net::ByteWriter w;
   w.U8(result.general_market ? 1 : 0);
-  ctx.bus.Send({seller_hr1.id(), net::kBroadcast, kMsgMarketCase, w.Take()});
-  for (net::AgentId a = 0; a < ctx.bus.num_agents(); ++a) {
+  ctx.ep(seller_hr1.id()).Send(net::kBroadcast, kMsgMarketCase, w.Take());
+  for (net::AgentId a = 0; a < ctx.num_agents(); ++a) {
     if (a == seller_hr1.id()) continue;
-    net::Message m = ExpectMessage(ctx.bus, a, kMsgMarketCase);
+    net::Message m = ExpectMessage(ctx.ep(a), kMsgMarketCase);
     net::ByteReader r(m.payload);
     PEM_CHECK((r.U8() != 0) == result.general_market, "market case mismatch");
   }

@@ -15,7 +15,7 @@
 #include "crypto/secure_compare.h"
 #include "grid/types.h"
 #include "market/params.h"
-#include "net/bus.h"
+#include "net/message.h"
 #include "util/fixed_point.h"
 
 namespace pem::protocol {

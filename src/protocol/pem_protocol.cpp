@@ -8,7 +8,11 @@ namespace pem::protocol {
 
 PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties) {
   const Stopwatch timer;
-  ctx.bus.ResetStats();
+  // Window traffic is measured as the delta of per-endpoint counters
+  // (every delivered copy is charged once on its sender, so the sum of
+  // bytes_sent equals the transport's total) — the driver never needs
+  // the whole transport, and counters accumulate across windows.
+  const uint64_t bytes_before = net::TotalBytesSent(ctx.endpoints);
 
   PemWindowResult result;
   const size_t n = parties.size();
@@ -77,7 +81,7 @@ PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties) {
   }
 
   result.runtime_seconds = timer.ElapsedSeconds();
-  result.bus_bytes = ctx.bus.total_bytes();
+  result.bus_bytes = net::TotalBytesSent(ctx.endpoints) - bytes_before;
   return result;
 }
 

@@ -40,7 +40,7 @@ struct PemWindowResult {
 };
 
 // Runs one window.  Parties must have BeginWindow() applied for this
-// window already.  Resets and reads the bus stats around the run, so
+// window already.  Reads the per-endpoint counters around the run, so
 // bus_bytes is this window's traffic only.
 PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties);
 

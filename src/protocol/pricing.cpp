@@ -44,10 +44,10 @@ PricingResult RunPrivatePricing(ProtocolContext& ctx,
 
   net::ByteWriter w;
   w.F64(result.price);
-  ctx.bus.Send({buyer_hb.id(), net::kBroadcast, kMsgPrice, w.Take()});
-  for (net::AgentId a = 0; a < ctx.bus.num_agents(); ++a) {
+  ctx.ep(buyer_hb.id()).Send(net::kBroadcast, kMsgPrice, w.Take());
+  for (net::AgentId a = 0; a < ctx.num_agents(); ++a) {
     if (a == buyer_hb.id()) continue;
-    net::Message m = ExpectMessage(ctx.bus, a, kMsgPrice);
+    net::Message m = ExpectMessage(ctx.ep(a), kMsgPrice);
     net::ByteReader r(m.payload);
     PEM_CHECK(r.F64() == result.price, "price broadcast mismatch");
   }

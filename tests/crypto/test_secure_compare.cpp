@@ -16,78 +16,99 @@ SecureCompareConfig FastConfig(int bits = 64) {
   return cfg;
 }
 
+// Two endpoints on a fresh bus — the handles the comparison runs over.
+struct TwoParty {
+  net::MessageBus bus;
+  net::Endpoint garbler;
+  net::Endpoint evaluator;
+
+  explicit TwoParty(int n = 2, net::AgentId g = 0, net::AgentId e = 1)
+      : bus(n), garbler(bus.endpoint(g)), evaluator(bus.endpoint(e)) {}
+
+  bool Less(uint64_t x, uint64_t y, const SecureCompareConfig& cfg, Rng& rng) {
+    return SecureCompareLess(garbler, x, evaluator, y, cfg, rng);
+  }
+};
+
 TEST(SecureCompare, BasicOrdering) {
-  net::MessageBus bus(2);
+  TwoParty p;
   DeterministicRng rng(1);
-  EXPECT_TRUE(SecureCompareLess(bus, 0, 5, 1, 9, FastConfig(), rng));
-  EXPECT_FALSE(SecureCompareLess(bus, 0, 9, 1, 5, FastConfig(), rng));
-  EXPECT_FALSE(SecureCompareLess(bus, 0, 7, 1, 7, FastConfig(), rng));
+  EXPECT_TRUE(p.Less(5, 9, FastConfig(), rng));
+  EXPECT_FALSE(p.Less(9, 5, FastConfig(), rng));
+  EXPECT_FALSE(p.Less(7, 7, FastConfig(), rng));
 }
 
 TEST(SecureCompare, ZeroAndMaxValues) {
-  net::MessageBus bus(2);
+  TwoParty p;
   DeterministicRng rng(2);
   const uint64_t max = ~uint64_t{0};
-  EXPECT_TRUE(SecureCompareLess(bus, 0, 0, 1, max, FastConfig(), rng));
-  EXPECT_FALSE(SecureCompareLess(bus, 0, max, 1, 0, FastConfig(), rng));
-  EXPECT_FALSE(SecureCompareLess(bus, 0, 0, 1, 0, FastConfig(), rng));
+  EXPECT_TRUE(p.Less(0, max, FastConfig(), rng));
+  EXPECT_FALSE(p.Less(max, 0, FastConfig(), rng));
+  EXPECT_FALSE(p.Less(0, 0, FastConfig(), rng));
 }
 
 TEST(SecureCompare, AdjacentValues) {
-  net::MessageBus bus(2);
+  TwoParty p;
   DeterministicRng rng(3);
   for (uint64_t v : {uint64_t{1}, uint64_t{1} << 20, uint64_t{1} << 62}) {
-    EXPECT_TRUE(SecureCompareLess(bus, 0, v - 1, 1, v, FastConfig(), rng));
-    EXPECT_FALSE(SecureCompareLess(bus, 0, v, 1, v - 1, FastConfig(), rng));
+    EXPECT_TRUE(p.Less(v - 1, v, FastConfig(), rng));
+    EXPECT_FALSE(p.Less(v, v - 1, FastConfig(), rng));
   }
 }
 
 TEST(SecureCompare, RandomSweepMatchesNative) {
-  net::MessageBus bus(2);
+  TwoParty p;
   DeterministicRng rng(4);
   DeterministicRng values(5);
   for (int i = 0; i < 8; ++i) {
     const uint64_t x = values.NextU64();
     const uint64_t y = values.NextU64();
-    EXPECT_EQ(SecureCompareLess(bus, 0, x, 1, y, FastConfig(), rng), x < y)
-        << x << " < " << y;
+    EXPECT_EQ(p.Less(x, y, FastConfig(), rng), x < y) << x << " < " << y;
   }
 }
 
 TEST(SecureCompare, NarrowWidthConfig) {
-  net::MessageBus bus(2);
+  TwoParty p;
   DeterministicRng rng(6);
   const SecureCompareConfig cfg = FastConfig(16);
-  EXPECT_TRUE(SecureCompareLess(bus, 0, 1000, 1, 60000, cfg, rng));
-  EXPECT_FALSE(SecureCompareLess(bus, 0, 60000, 1, 1000, cfg, rng));
+  EXPECT_TRUE(p.Less(1000, 60000, cfg, rng));
+  EXPECT_FALSE(p.Less(60000, 1000, cfg, rng));
 }
 
 TEST(SecureCompare, TrafficIsAccounted) {
-  net::MessageBus bus(2);
+  TwoParty p;
   DeterministicRng rng(7);
-  (void)SecureCompareLess(bus, 0, 1, 1, 2, FastConfig(), rng);
+  (void)p.Less(1, 2, FastConfig(), rng);
   // Tables + 64 OTs in each direction: must be substantial.
-  EXPECT_GT(bus.stats(0).bytes_sent, 10'000u);
-  EXPECT_GT(bus.stats(1).bytes_sent, 5'000u);
-  EXPECT_EQ(bus.total_messages(), 4u);
+  EXPECT_GT(p.garbler.stats().bytes_sent, 10'000u);
+  EXPECT_GT(p.evaluator.stats().bytes_sent, 5'000u);
+  EXPECT_EQ(p.bus.total_messages(), 4u);
 }
 
 TEST(SecureCompare, WorksBetweenArbitraryAgentIds) {
-  net::MessageBus bus(10);
+  TwoParty p(10, /*g=*/7, /*e=*/2);
   DeterministicRng rng(8);
-  EXPECT_TRUE(SecureCompareLess(bus, 7, 3, 2, 4, FastConfig(), rng));
+  EXPECT_TRUE(p.Less(3, 4, FastConfig(), rng));
   // Other agents saw no traffic.
-  EXPECT_EQ(bus.stats(0).messages_received, 0u);
-  EXPECT_EQ(bus.stats(5).bytes_sent, 0u);
+  EXPECT_EQ(p.bus.endpoint(0).stats().messages_received, 0u);
+  EXPECT_EQ(p.bus.endpoint(5).stats().bytes_sent, 0u);
 }
 
 TEST(SecureCompareDeath, InputExceedingWidthAborts) {
-  net::MessageBus bus(2);
+  TwoParty p;
   DeterministicRng rng(9);
   const SecureCompareConfig cfg = FastConfig(8);
+  EXPECT_DEATH((void)p.Less(256, 1, cfg, rng), "exceed");
+}
+
+TEST(SecureCompareDeath, SameAgentOnBothSidesAborts) {
+  net::MessageBus bus(2);
+  net::Endpoint a = bus.endpoint(0);
+  net::Endpoint also_a = bus.endpoint(0);
+  DeterministicRng rng(10);
   EXPECT_DEATH(
-      (void)SecureCompareLess(bus, 0, 256, 1, 1, cfg, rng),
-      "exceed");
+      (void)SecureCompareLess(a, 1, also_a, 2, FastConfig(), rng),
+      "distinct");
 }
 
 }  // namespace

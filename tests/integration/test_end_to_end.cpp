@@ -3,6 +3,8 @@
 // outcome, across market types, population sizes, and key sizes.
 #include <gtest/gtest.h>
 
+#include "net/bus.h"
+
 #include <numeric>
 
 #include "grid/trace.h"
@@ -16,6 +18,7 @@ struct Fixture {
   std::vector<Party> parties;
   std::vector<market::AgentWindowInput> inputs;
   net::MessageBus bus;
+  std::vector<net::Endpoint> eps = bus.endpoints();
   crypto::DeterministicRng rng;
   PemConfig cfg;
 
@@ -30,7 +33,7 @@ struct Fixture {
   }
 
   PemWindowResult Run() {
-    ProtocolContext ctx{bus, rng, cfg};
+    ProtocolContext ctx{eps, rng, cfg};
     return RunPemWindow(ctx, parties);
   }
 };

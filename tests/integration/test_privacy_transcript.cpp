@@ -10,6 +10,8 @@
 //     while leaving the public outcome unchanged.
 #include <gtest/gtest.h>
 
+#include "net/bus.h"
+
 #include <cstring>
 #include <set>
 #include <vector>
@@ -42,6 +44,7 @@ RecordedRun RunRecorded(const std::vector<market::AgentWindowInput>& in,
                         uint64_t seed, bool collusion_resistant = false) {
   RecordedRun run;
   net::MessageBus bus(static_cast<int>(in.size()));
+  std::vector<net::Endpoint> eps = bus.endpoints();
   bus.SetObserver([&run](const net::Message& m) { run.messages.push_back(m); });
   crypto::DeterministicRng rng(seed);
   PemConfig cfg;
@@ -58,7 +61,7 @@ RecordedRun RunRecorded(const std::vector<market::AgentWindowInput>& in,
     run.private_ints.push_back(p.PreferenceRaw());
     run.private_ints.push_back(p.SupplyTermRaw());
   }
-  ProtocolContext ctx{bus, rng, cfg};
+  ProtocolContext ctx{eps, rng, cfg};
   run.result = RunPemWindow(ctx, parties);
   return run;
 }

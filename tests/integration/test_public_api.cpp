@@ -37,6 +37,7 @@ TEST(PublicApi, UmbrellaHeaderExposesCoreTypes) {
 
 TEST(PublicApi, FullWindowThroughUmbrellaHeader) {
   pem::net::MessageBus bus(3);
+  std::vector<pem::net::Endpoint> eps = bus.endpoints();
   pem::crypto::DeterministicRng rng(2);
   pem::protocol::PemConfig config;
   config.key_bits = 128;
@@ -49,7 +50,7 @@ TEST(PublicApi, FullWindowThroughUmbrellaHeader) {
     st.load_kwh = nets[i] < 0 ? -nets[i] : 0;
     parties.back().BeginWindow(st, config.nonce_bound, rng);
   }
-  pem::protocol::ProtocolContext ctx{bus, rng, config};
+  pem::protocol::ProtocolContext ctx{eps, rng, config};
   const pem::protocol::PemWindowResult out =
       pem::protocol::RunPemWindow(ctx, parties);
   EXPECT_EQ(out.type, pem::market::MarketType::kGeneral);

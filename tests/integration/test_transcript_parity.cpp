@@ -1,11 +1,13 @@
-// Serial vs. phase-parallel engine parity.
+// Transport-backend / engine parity.
 //
-// The tentpole claim of the execution-model refactor: the execution
-// policy (transport backend + compute workers) changes WHO computes
-// each ciphertext and WHEN, but never WHAT goes on the wire.  With the
-// same seed, the serial engine and the phase-parallel engine must
+// The tentpole claim of the transport redesign: the execution policy
+// (transport backend + compute workers) changes WHO computes each
+// ciphertext, WHEN, and over WHICH medium — in-process FIFO queues,
+// a mutex-guarded bus, or framed Unix-domain socketpairs — but never
+// WHAT goes on the wire.  With the same seed, every backend must
 // produce identical prices, trades, bus bytes, and — message by
-// message — an identical transcript.
+// message — an identical transcript (the serial/concurrent/socket
+// three-way matrix below).
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -22,6 +24,7 @@ namespace {
 struct WindowRun {
   std::vector<net::Message> messages;
   protocol::PemWindowResult result;
+  uint64_t transport_total_bytes = 0;
   // Pooled r^n factors consumed by the measured window (pooled runs).
   size_t factors_consumed = 0;
 };
@@ -46,6 +49,7 @@ WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
   std::unique_ptr<net::Transport> bus =
       net::MakeTransport(policy.transport_kind,
                          static_cast<int>(kMarket.size()));
+  std::vector<net::Endpoint> eps = bus->endpoints();
   bus->SetObserver(
       [&run](const net::Message& m) { run.messages.push_back(m); });
   crypto::DeterministicRng rng(seed);
@@ -58,7 +62,7 @@ WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
     parties.emplace_back(static_cast<net::AgentId>(i), kMarket[i].params);
     parties.back().BeginWindow(kMarket[i].state, cfg.nonce_bound, rng);
   }
-  protocol::ProtocolContext ctx{*bus, rng, cfg, pooled ? &pools : nullptr,
+  protocol::ProtocolContext ctx{eps, rng, cfg, pooled ? &pools : nullptr,
                                 policy};
   if (pooled) {
     // Keys (and thus pools, keyed by public key) only come into
@@ -84,8 +88,10 @@ WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
     return total;
   };
   const size_t factors_before = count_factors();
+  bus->ResetStats();
   run.result = protocol::RunPemWindow(ctx, parties);
   run.factors_consumed = factors_before - count_factors();
+  run.transport_total_bytes = bus->total_bytes();
   return run;
 }
 
@@ -94,6 +100,10 @@ void ExpectWindowParity(const WindowRun& serial, const WindowRun& parallel) {
   EXPECT_EQ(parallel.result.type, serial.result.type);
   EXPECT_DOUBLE_EQ(parallel.result.price, serial.result.price);
   EXPECT_EQ(parallel.result.bus_bytes, serial.result.bus_bytes);
+  // The transport's own total must agree with the per-endpoint delta
+  // accounting on every backend.
+  EXPECT_EQ(parallel.transport_total_bytes, serial.transport_total_bytes);
+  EXPECT_EQ(serial.transport_total_bytes, serial.result.bus_bytes);
   ASSERT_EQ(parallel.result.trades.size(), serial.result.trades.size());
   for (size_t i = 0; i < serial.result.trades.size(); ++i) {
     const protocol::Trade& a = serial.result.trades[i];
@@ -114,10 +124,14 @@ void ExpectWindowParity(const WindowRun& serial, const WindowRun& parallel) {
   EXPECT_FALSE(serial.messages.empty());
 }
 
-TEST(TranscriptParity, WindowSerialVsPhaseParallel) {
+TEST(TranscriptParity, WindowThreeWayMatrix) {
+  // serial / concurrent / socket: same seed, same transcript.
   const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 42);
   const WindowRun parallel = RunWindow(net::ExecutionPolicy::Parallel(4), 42);
+  const WindowRun socket = RunWindow(net::ExecutionPolicy::Socket(), 42);
   ExpectWindowParity(serial, parallel);
+  ExpectWindowParity(serial, socket);
+  ExpectWindowParity(parallel, socket);
 }
 
 TEST(TranscriptParity, WindowParityHoldsAcrossSeeds) {
@@ -129,17 +143,30 @@ TEST(TranscriptParity, WindowParityHoldsAcrossSeeds) {
   }
 }
 
+TEST(TranscriptParity, SocketWithComputeWorkersAlsoMatches) {
+  // The policy axes stay independent on the socket backend too: frames
+  // over socketpairs with a parallel compute phase carry the same
+  // bytes as the serial in-process engine.
+  const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 7);
+  const WindowRun socket = RunWindow(net::ExecutionPolicy::Socket(4), 7);
+  ExpectWindowParity(serial, socket);
+}
+
 TEST(TranscriptParity, WindowParityWithRandomnessPools) {
   const WindowRun serial =
       RunWindow(net::ExecutionPolicy::Serial(), 11, /*pooled=*/true);
   const WindowRun parallel =
       RunWindow(net::ExecutionPolicy::Parallel(4), 11, /*pooled=*/true);
+  const WindowRun socket =
+      RunWindow(net::ExecutionPolicy::Socket(), 11, /*pooled=*/true);
   ExpectWindowParity(serial, parallel);
+  ExpectWindowParity(serial, socket);
   // The parity must cover the pooled EncryptWithFactor branch, not just
-  // the fresh-randomness fallback: both engines must actually draw
+  // the fresh-randomness fallback: all engines must actually draw
   // factors, and the same number of them.
   EXPECT_GT(serial.factors_consumed, 0u);
   EXPECT_EQ(parallel.factors_consumed, serial.factors_consumed);
+  EXPECT_EQ(socket.factors_consumed, serial.factors_consumed);
 }
 
 TEST(TranscriptParity, SerialTransportWithWorkersAlsoMatches) {
@@ -178,15 +205,12 @@ SimRun RunSim(const net::ExecutionPolicy& policy) {
   return run;
 }
 
-TEST(TranscriptParity, FullTradingDaySerialVsPhaseParallel) {
-  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
-  const SimRun parallel = RunSim(net::ExecutionPolicy::Parallel(4));
-
-  ASSERT_EQ(parallel.result.windows.size(), serial.result.windows.size());
+void ExpectSimParity(const SimRun& serial, const SimRun& other) {
+  ASSERT_EQ(other.result.windows.size(), serial.result.windows.size());
   ASSERT_FALSE(serial.result.windows.empty());
   for (size_t w = 0; w < serial.result.windows.size(); ++w) {
     const core::WindowRecord& a = serial.result.windows[w];
-    const core::WindowRecord& b = parallel.result.windows[w];
+    const core::WindowRecord& b = other.result.windows[w];
     EXPECT_EQ(b.type, a.type) << w;
     EXPECT_DOUBLE_EQ(b.price, a.price) << w;
     EXPECT_EQ(b.bus_bytes, a.bus_bytes) << w;
@@ -194,14 +218,26 @@ TEST(TranscriptParity, FullTradingDaySerialVsPhaseParallel) {
     EXPECT_EQ(b.num_buyers, a.num_buyers) << w;
     EXPECT_DOUBLE_EQ(b.buyer_cost_pem, a.buyer_cost_pem) << w;
   }
-  EXPECT_EQ(parallel.result.total_bus_bytes, serial.result.total_bus_bytes);
+  EXPECT_EQ(other.result.total_bus_bytes, serial.result.total_bus_bytes);
 
-  ASSERT_EQ(parallel.messages.size(), serial.messages.size());
+  ASSERT_EQ(other.messages.size(), serial.messages.size());
   for (size_t i = 0; i < serial.messages.size(); ++i) {
-    EXPECT_TRUE(parallel.messages[i] == serial.messages[i])
+    EXPECT_TRUE(other.messages[i] == serial.messages[i])
         << "transcript diverges at message " << i;
   }
   EXPECT_FALSE(serial.messages.empty());
+}
+
+TEST(TranscriptParity, FullTradingDaySerialVsPhaseParallel) {
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
+  const SimRun parallel = RunSim(net::ExecutionPolicy::Parallel(4));
+  ExpectSimParity(serial, parallel);
+}
+
+TEST(TranscriptParity, FullTradingDaySerialVsSocket) {
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
+  const SimRun socket = RunSim(net::ExecutionPolicy::Socket());
+  ExpectSimParity(serial, socket);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include "net/bus.h"
 #include "net/concurrent_bus.h"
+#include "net/frame.h"
+#include "net/socket_transport.h"
 #include "util/parallel.h"
 
 namespace pem::net {
@@ -21,9 +23,12 @@ Message Make(AgentId from, AgentId to, uint32_t type, size_t payload_size) {
   return m;
 }
 
-TEST(MakeTransport, ConstructsBothBackends) {
-  for (TransportKind kind :
-       {TransportKind::kSerialBus, TransportKind::kConcurrentBus}) {
+constexpr TransportKind kAllKinds[] = {
+    TransportKind::kSerialBus, TransportKind::kConcurrentBus,
+    TransportKind::kSocket};
+
+TEST(MakeTransport, ConstructsEveryBackend) {
+  for (TransportKind kind : kAllKinds) {
     std::unique_ptr<Transport> t = MakeTransport(kind, 3);
     ASSERT_NE(t, nullptr);
     EXPECT_EQ(t->num_agents(), 3);
@@ -31,7 +36,88 @@ TEST(MakeTransport, ConstructsBothBackends) {
     auto m = t->Receive(1);
     ASSERT_TRUE(m.has_value());
     EXPECT_EQ(m->type, 7u);
-    EXPECT_EQ(t->total_bytes(), 4 + Transport::kFrameOverheadBytes);
+    EXPECT_EQ(t->total_bytes(), FramedSize(size_t{4}));
+  }
+}
+
+TEST(MakeTransportDeath, NonPositiveAgentCountAborts) {
+  EXPECT_DEATH((void)MakeTransport(TransportKind::kSerialBus, 0), "positive");
+  EXPECT_DEATH((void)MakeTransport(TransportKind::kConcurrentBus, -1),
+               "positive");
+  EXPECT_DEATH((void)MakeTransport(TransportKind::kSocket, 0), "positive");
+}
+
+TEST(TransportKindNames, EveryBackendHasAName) {
+  EXPECT_STREQ(TransportKindName(TransportKind::kSerialBus), "serial");
+  EXPECT_STREQ(TransportKindName(TransportKind::kConcurrentBus), "concurrent");
+  EXPECT_STREQ(TransportKindName(TransportKind::kSocket), "socket");
+}
+
+// --- Endpoint handles -------------------------------------------------
+
+TEST(Endpoint, SendsReceivesAndCountsThroughTheHandle) {
+  for (TransportKind kind : kAllKinds) {
+    std::unique_ptr<Transport> t = MakeTransport(kind, 3);
+    std::vector<Endpoint> eps = t->endpoints();
+    ASSERT_EQ(eps.size(), 3u);
+    EXPECT_EQ(eps[2].id(), 2);
+    EXPECT_EQ(eps[0].num_agents(), 3);
+
+    eps[0].Send(1, 9, {1, 2, 3});
+    EXPECT_TRUE(eps[1].HasMessage());
+    EXPECT_FALSE(eps[2].HasMessage());
+    auto m = eps[1].Receive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->from, 0);
+    EXPECT_EQ(m->to, 1);
+    EXPECT_EQ(m->type, 9u);
+    EXPECT_EQ(m->payload, (std::vector<uint8_t>{1, 2, 3}));
+    EXPECT_FALSE(eps[1].Receive().has_value());
+
+    EXPECT_EQ(eps[0].stats().bytes_sent, FramedSize(size_t{3}));
+    EXPECT_EQ(eps[1].stats().bytes_received, FramedSize(size_t{3}));
+    EXPECT_EQ(eps[2].stats().bytes_received, 0u);
+  }
+}
+
+TEST(EndpointDeath, ForgedSenderAborts) {
+  MessageBus bus(2);
+  Endpoint ep = bus.endpoint(0);
+  EXPECT_DEATH(ep.Send(Make(1, 0, 1, 1)), "forges");
+}
+
+TEST(EndpointDeath, OutOfRangeEndpointAborts) {
+  MessageBus bus(2);
+  EXPECT_DEATH((void)bus.endpoint(2), "out of range");
+  EXPECT_DEATH((void)bus.endpoint(-1), "out of range");
+}
+
+// --- broadcast accounting across the backend matrix -------------------
+
+TEST(BroadcastAccounting, ChargesExactlyNMinus1FramedCopiesEverywhere) {
+  constexpr int kN = 5;
+  constexpr size_t kPayload = 33;
+  for (TransportKind kind : kAllKinds) {
+    std::unique_ptr<Transport> t = MakeTransport(kind, kN);
+    std::vector<Endpoint> eps = t->endpoints();
+    eps[0].Send(kBroadcast, 42, std::vector<uint8_t>(kPayload, 0xAB));
+
+    const uint64_t framed = FramedSize(kPayload);
+    EXPECT_EQ(eps[0].stats().bytes_sent, (kN - 1) * framed)
+        << TransportKindName(kind);
+    EXPECT_EQ(eps[0].stats().messages_sent, uint64_t{kN - 1});
+    EXPECT_EQ(t->total_bytes(), (kN - 1) * framed);
+    EXPECT_EQ(t->total_messages(), uint64_t{kN - 1});
+    EXPECT_FALSE(eps[0].HasMessage());  // no self-delivery
+    for (int a = 1; a < kN; ++a) {
+      EXPECT_EQ(eps[a].stats().bytes_received, framed) << a;
+      auto m = eps[a].Receive();
+      ASSERT_TRUE(m.has_value()) << a;
+      EXPECT_EQ(m->from, 0);
+      EXPECT_EQ(m->to, a);  // fan-out rewrote the recipient
+      EXPECT_EQ(m->payload.size(), kPayload);
+      EXPECT_FALSE(eps[a].Receive().has_value());
+    }
   }
 }
 
@@ -160,6 +246,100 @@ TEST(ConcurrentBus, ConcurrentStatReadsDuringSends) {
     }
   });
   EXPECT_EQ(bus.total_messages(), 200u);
+}
+
+// --- SocketTransport behavior -----------------------------------------
+
+TEST(SocketTransport, DeliversInGlobalSendOrderAcrossSenders) {
+  // The router forwards wire frames in Send order (the ticket ledger),
+  // so one inbox fed by many senders drains exactly like the bus.
+  SocketTransport t(4);
+  std::vector<Endpoint> eps = t.endpoints();
+  eps[1].Send(3, 100, {1});
+  eps[2].Send(3, 200, {2});
+  eps[1].Send(3, 101, {3});
+  eps[0].Send(3, 300, {4});
+  const uint32_t expected[] = {100, 200, 101, 300};
+  for (uint32_t type : expected) {
+    auto m = eps[3].Receive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, type);
+  }
+  EXPECT_FALSE(eps[3].Receive().has_value());
+}
+
+TEST(SocketTransport, LargeFramesCrossTheRouterWithoutDeadlock) {
+  // Several frames larger than a socket buffer, sent before anyone
+  // receives: the router's pending queues must absorb them.
+  SocketTransport t(2);
+  std::vector<Endpoint> eps = t.endpoints();
+  constexpr size_t kBig = 600'000;
+  for (uint8_t i = 0; i < 3; ++i) {
+    eps[0].Send(1, i, std::vector<uint8_t>(kBig, i));
+  }
+  for (uint8_t i = 0; i < 3; ++i) {
+    auto m = eps[1].Receive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->type, i);
+    ASSERT_EQ(m->payload.size(), kBig);
+    EXPECT_EQ(m->payload.front(), i);
+    EXPECT_EQ(m->payload.back(), i);
+  }
+  EXPECT_EQ(t.total_bytes(), 3 * FramedSize(kBig));
+}
+
+TEST(SocketTransport, ResetStatsKeepsInboxes) {
+  SocketTransport t(2);
+  std::vector<Endpoint> eps = t.endpoints();
+  eps[0].Send(1, 1, {9, 9});
+  t.ResetStats();
+  EXPECT_EQ(t.total_bytes(), 0u);
+  EXPECT_EQ(eps[0].stats().bytes_sent, 0u);
+  EXPECT_TRUE(eps[1].HasMessage());
+  auto m = eps[1].Receive();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, (std::vector<uint8_t>{9, 9}));
+  EXPECT_DOUBLE_EQ(t.AverageBytesPerAgent(), 0.0);
+}
+
+TEST(SocketTransport, ObserverSeesSendOrderWithBroadcastFanOut) {
+  SocketTransport t(3);
+  std::vector<Endpoint> eps = t.endpoints();
+  std::vector<std::pair<AgentId, AgentId>> seen;
+  t.SetObserver([&seen](const Message& m) { seen.push_back({m.from, m.to}); });
+  eps[2].Send(kBroadcast, 1, {});
+  eps[0].Send(1, 2, {});
+  const std::vector<std::pair<AgentId, AgentId>> expected = {
+      {2, 0}, {2, 1}, {0, 1}};
+  EXPECT_EQ(seen, expected);
+  // Drain so destruction finds quiesced channels.
+  (void)eps[0].Receive();
+  (void)eps[1].Receive();
+  (void)eps[1].Receive();
+}
+
+TEST(SocketTransport, AcceptsSendsFromParallelForWorkers) {
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 20;
+  SocketTransport t(kSenders + 1);
+  std::vector<Endpoint> eps = t.endpoints();
+  const AgentId sink = kSenders;
+  ParallelFor(0, kSenders, 4, [&](size_t sender) {
+    for (int seq = 0; seq < kPerSender; ++seq) {
+      eps[sender].Send(sink, static_cast<uint32_t>(seq),
+                       std::vector<uint8_t>(8, static_cast<uint8_t>(sender)));
+    }
+  });
+  EXPECT_EQ(t.total_messages(), uint64_t{kSenders} * kPerSender);
+  // Per-sender FIFO survives concurrent senders.
+  std::map<AgentId, uint32_t> next_seq;
+  int received = 0;
+  while (auto m = eps[sink].Receive()) {
+    EXPECT_EQ(m->type, next_seq[m->from]) << "sender " << m->from;
+    next_seq[m->from] = m->type + 1;
+    ++received;
+  }
+  EXPECT_EQ(received, kSenders * kPerSender);
 }
 
 }  // namespace

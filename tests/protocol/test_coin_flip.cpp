@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/bus.h"
+
 #include <set>
 
 #include "market/clearing.h"
@@ -13,6 +15,7 @@ namespace {
 struct Harness {
   std::vector<Party> parties;
   net::MessageBus bus;
+  std::vector<net::Endpoint> eps = bus.endpoints();
   crypto::DeterministicRng rng;
   PemConfig cfg;
 
@@ -27,7 +30,7 @@ struct Harness {
     }
   }
 
-  ProtocolContext Ctx() { return ProtocolContext{bus, rng, cfg}; }
+  ProtocolContext Ctx() { return ProtocolContext{eps, rng, cfg}; }
 };
 
 std::vector<size_t> All(int n) {

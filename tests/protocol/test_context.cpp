@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/bus.h"
+
 #include <set>
 
 namespace pem::protocol {
@@ -70,8 +72,9 @@ TEST(RingAggregate, SumsAllContributions) {
   std::vector<Party> parties = MakeParties({1.0, 2.0, 3.0, 4.0}, rng);
   parties[0].EnsureKeys(128, rng);
   net::MessageBus bus(4);
+  std::vector<net::Endpoint> eps = bus.endpoints();
   const PemConfig cfg = TestConfig();
-  ProtocolContext ctx{bus, rng, cfg};
+  ProtocolContext ctx{eps, rng, cfg};
   const std::vector<size_t> ring = {1, 2, 3};
   const crypto::PaillierCiphertext agg =
       RingAggregate(ctx, parties[0].public_key(), parties, ring,
@@ -85,8 +88,9 @@ TEST(RingAggregate, SingleMemberRing) {
   std::vector<Party> parties = MakeParties({5.0, -1.0}, rng);
   parties[1].EnsureKeys(128, rng);
   net::MessageBus bus(2);
+  std::vector<net::Endpoint> eps = bus.endpoints();
   const PemConfig cfg = TestConfig();
-  ProtocolContext ctx{bus, rng, cfg};
+  ProtocolContext ctx{eps, rng, cfg};
   const std::vector<size_t> ring = {0};
   const crypto::PaillierCiphertext agg =
       RingAggregate(ctx, parties[1].public_key(), parties, ring,
@@ -100,8 +104,9 @@ TEST(RingAggregate, HandlesNegativeContributions) {
   std::vector<Party> parties = MakeParties({-1.5, -2.5, 1.0}, rng);
   parties[2].EnsureKeys(128, rng);
   net::MessageBus bus(3);
+  std::vector<net::Endpoint> eps = bus.endpoints();
   const PemConfig cfg = TestConfig();
-  ProtocolContext ctx{bus, rng, cfg};
+  ProtocolContext ctx{eps, rng, cfg};
   const std::vector<size_t> ring = {0, 1};
   const crypto::PaillierCiphertext agg =
       RingAggregate(ctx, parties[2].public_key(), parties, ring,
@@ -115,8 +120,9 @@ TEST(RingAggregate, EveryHopIsAccounted) {
   std::vector<Party> parties = MakeParties({1.0, 1.0, 1.0, 1.0}, rng);
   parties[0].EnsureKeys(128, rng);
   net::MessageBus bus(4);
+  std::vector<net::Endpoint> eps = bus.endpoints();
   const PemConfig cfg = TestConfig();
-  ProtocolContext ctx{bus, rng, cfg};
+  ProtocolContext ctx{eps, rng, cfg};
   const std::vector<size_t> ring = {1, 2, 3};
   (void)RingAggregate(ctx, parties[0].public_key(), parties, ring,
                       [](const Party& p) { return p.net_raw(); },
@@ -132,8 +138,9 @@ TEST(RingAggregate, FinalRecipientInRingSkipsLastSend) {
   std::vector<Party> parties = MakeParties({1.0, 2.0}, rng);
   parties[1].EnsureKeys(128, rng);
   net::MessageBus bus(2);
+  std::vector<net::Endpoint> eps = bus.endpoints();
   const PemConfig cfg = TestConfig();
-  ProtocolContext ctx{bus, rng, cfg};
+  ProtocolContext ctx{eps, rng, cfg};
   // Ring ends at party 1, which is also the final recipient.
   const std::vector<size_t> ring = {0, 1};
   const crypto::PaillierCiphertext agg =
@@ -149,8 +156,9 @@ TEST(BroadcastPublicKey, ReachesAllPeers) {
   std::vector<Party> parties = MakeParties({1.0, -1.0, -1.0}, rng);
   parties[0].EnsureKeys(128, rng);
   net::MessageBus bus(3);
+  std::vector<net::Endpoint> eps = bus.endpoints();
   const PemConfig cfg = TestConfig();
-  ProtocolContext ctx{bus, rng, cfg};
+  ProtocolContext ctx{eps, rng, cfg};
   BroadcastPublicKey(ctx, parties[0]);
   EXPECT_EQ(bus.total_messages(), 2u);
   EXPECT_FALSE(bus.HasMessage(1));  // drained by the helper
@@ -158,13 +166,16 @@ TEST(BroadcastPublicKey, ReachesAllPeers) {
 
 TEST(ExpectMessageDeath, WrongTypeAborts) {
   net::MessageBus bus(2);
-  bus.Send({0, 1, kMsgPrice, {}});
-  EXPECT_DEATH((void)ExpectMessage(bus, 1, kMsgRingHop), "unexpected");
+  net::Endpoint receiver = bus.endpoint(1);
+  bus.endpoint(0).Send(1, kMsgPrice, {});
+  EXPECT_DEATH((void)ExpectMessage(receiver, kMsgRingHop), "unexpected");
 }
 
 TEST(ExpectMessageDeath, EmptyInboxAborts) {
   net::MessageBus bus(2);
-  EXPECT_DEATH((void)ExpectMessage(bus, 0, kMsgRingHop), "expected a message");
+  net::Endpoint receiver = bus.endpoint(0);
+  EXPECT_DEATH((void)ExpectMessage(receiver, kMsgRingHop),
+               "expected a message");
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/bus.h"
+
 #include <numeric>
 
 namespace pem::protocol {
@@ -16,6 +18,7 @@ PemConfig TestConfig() {
 struct Harness {
   std::vector<Party> parties;
   net::MessageBus bus;
+  std::vector<net::Endpoint> eps = bus.endpoints();
   crypto::DeterministicRng rng;
 
   Harness(const std::vector<double>& nets, uint64_t seed)
@@ -30,7 +33,7 @@ struct Harness {
   }
 
   DistributionResult Run(bool general, double price, const PemConfig& cfg) {
-    ProtocolContext ctx{bus, rng, cfg};
+    ProtocolContext ctx{eps, rng, cfg};
     return RunPrivateDistribution(ctx, parties, FormCoalitions(parties),
                                   general, price);
   }
@@ -137,7 +140,7 @@ TEST(Distribution, QuadraticMessageComplexity) {
 TEST(DistributionDeath, RequiresBothCoalitions) {
   Harness s({1.0, 2.0}, 11);
   PemConfig cfg = TestConfig();
-  ProtocolContext ctx{s.bus, s.rng, cfg};
+  ProtocolContext ctx{s.eps, s.rng, cfg};
   EXPECT_DEATH((void)RunPrivateDistribution(ctx, s.parties,
                                             FormCoalitions(s.parties), true,
                                             1.0),
@@ -147,7 +150,7 @@ TEST(DistributionDeath, RequiresBothCoalitions) {
 TEST(DistributionDeath, NonPositivePriceAborts) {
   Harness s({1.0, -1.5}, 12);
   PemConfig cfg = TestConfig();
-  ProtocolContext ctx{s.bus, s.rng, cfg};
+  ProtocolContext ctx{s.eps, s.rng, cfg};
   EXPECT_DEATH((void)RunPrivateDistribution(ctx, s.parties,
                                             FormCoalitions(s.parties), true,
                                             0.0),

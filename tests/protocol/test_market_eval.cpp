@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/bus.h"
+
 namespace pem::protocol {
 namespace {
 
@@ -15,6 +17,7 @@ PemConfig TestConfig() {
 struct Harness {
   std::vector<Party> parties;
   net::MessageBus bus;
+  std::vector<net::Endpoint> eps = bus.endpoints();
   crypto::DeterministicRng rng;
 
   Harness(const std::vector<double>& nets, uint64_t seed)
@@ -29,7 +32,7 @@ struct Harness {
   }
 
   MarketEvalResult Run(const PemConfig& cfg) {
-    ProtocolContext ctx{bus, rng, cfg};
+    ProtocolContext ctx{eps, rng, cfg};
     return RunPrivateMarketEvaluation(ctx, parties, FormCoalitions(parties));
   }
 };
@@ -92,7 +95,7 @@ TEST(MarketEval, GeneratesSubstantialTraffic) {
 TEST(MarketEvalDeath, EmptyCoalitionAborts) {
   Harness s({1.0, 2.0}, 9);  // no buyers
   PemConfig cfg = TestConfig();
-  ProtocolContext ctx{s.bus, s.rng, cfg};
+  ProtocolContext ctx{s.eps, s.rng, cfg};
   EXPECT_DEATH(
       (void)RunPrivateMarketEvaluation(ctx, s.parties,
                                        FormCoalitions(s.parties)),

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/bus.h"
+
 #include "market/stackelberg.h"
 
 namespace pem::protocol {
@@ -24,6 +26,7 @@ struct AgentSpec {
 struct Harness {
   std::vector<Party> parties;
   net::MessageBus bus;
+  std::vector<net::Endpoint> eps = bus.endpoints();
   crypto::DeterministicRng rng;
 
   Harness(const std::vector<AgentSpec>& specs, uint64_t seed)
@@ -42,7 +45,7 @@ struct Harness {
   }
 
   PricingResult Run(const PemConfig& cfg) {
-    ProtocolContext ctx{bus, rng, cfg};
+    ProtocolContext ctx{eps, rng, cfg};
     return RunPrivatePricing(ctx, parties, FormCoalitions(parties));
   }
 };
@@ -153,7 +156,7 @@ TEST(PricingDeath, NoSellersAborts) {
   const std::vector<AgentSpec> specs = {{0.0, 1.0}, {0.0, 2.0}};
   Harness s(specs, 30);
   PemConfig cfg = TestConfig();
-  ProtocolContext ctx{s.bus, s.rng, cfg};
+  ProtocolContext ctx{s.eps, s.rng, cfg};
   EXPECT_DEATH(
       (void)RunPrivatePricing(ctx, s.parties, FormCoalitions(s.parties)),
       "sellers");
