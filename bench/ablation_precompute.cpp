@@ -10,11 +10,16 @@
 // costs one multiplication and the key-size lines collapse.
 //
 // We time a 100-contribution ring aggregation (the Protocols 2-3
-// pattern) per key size, with fresh vs. pooled randomness.
+// pattern) per key size, with fresh vs. pooled randomness.  A second
+// sweep times the refill itself — the idle-time phase — across worker
+// counts and with/without the key owner's CRT tables, since this PR
+// made both knobs real (the factor sequence is identical in every
+// cell; tests/crypto/test_paillier.cpp asserts it).
 #include <cstdio>
 
 #include "crypto/paillier.h"
 #include "crypto/rng.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 int main() {
@@ -65,5 +70,36 @@ int main() {
       "key-size independent — this is why the paper's Fig. 5(b) lines "
       "coincide while our timed-everything Fig. 5(b) separates by key "
       "size\n");
+
+  // --- the idle-time phase itself: concurrent + owner-CRT refill -----
+  std::printf("\n=== Refill sweep: owner CRT x worker count ===\n");
+  std::printf("(topping one pool up to 64 factors, 1024-bit key;\n");
+  std::printf(" serial full-width row = the pre-PR behavior)\n\n");
+  std::printf("%8s %12s %18s %10s\n", "threads", "factor", "refill (ms)",
+              "speedup");
+  const PaillierKeyPair kp = GeneratePaillierKeyPair(1024, rng);
+  const size_t kTarget = 64;
+  double baseline_ms = 0.0;
+  for (const bool use_crt : {false, true}) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      DeterministicRng refill_rng(11);  // same r stream for every cell
+      PaillierRandomnessPool pool(kp.pub);
+      if (use_crt) pool.AttachCrtEncryptor(PaillierCrtEncryptor(kp.priv));
+      Stopwatch timer;
+      pool.Refill(kTarget, refill_rng, threads);
+      const double ms = timer.ElapsedMillis();
+      if (!use_crt && threads == 1) baseline_ms = ms;
+      std::printf("%8u %12s %18.2f %9.1fx\n", threads,
+                  use_crt ? "owner-crt" : "full-width", ms,
+                  baseline_ms / ms);
+    }
+  }
+  std::printf(
+      "\ntakeaway: the two idle-time levers compound — owner CRT makes\n"
+      "each exponentiation ~2-3x cheaper and the refill fans them out\n"
+      "across cores (this machine reports %u).  On a 1-core CI\n"
+      "container the thread rows collapse to ~1x; run on a multicore\n"
+      "host to see the product of both factors.\n",
+      pem::DefaultThreads());
   return 0;
 }

@@ -44,6 +44,38 @@ void BM_PaillierEncrypt(benchmark::State& state) {
 BENCHMARK(BM_PaillierEncrypt)->Arg(512)->Arg(1024)->Arg(2048)
     ->Unit(benchmark::kMicrosecond);
 
+// Owner-side encryption: the CRT fast path an agent takes under its
+// own key.  Compare with BM_PaillierEncrypt (the public path) at the
+// same key size.
+void BM_PaillierEncryptOwnerCrt(benchmark::State& state) {
+  const PaillierKeyPair& kp = Keys(static_cast<int>(state.range(0)));
+  const PaillierCrtEncryptor crt(kp.priv);
+  DeterministicRng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crt.EncryptSigned(123456, rng));
+  }
+}
+BENCHMARK(BM_PaillierEncryptOwnerCrt)->Arg(512)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+// The idle-time pool refill (r^n factors only), per worker count; this
+// is what RunSimulation executes between windows.
+void BM_PaillierPoolRefill(benchmark::State& state) {
+  const PaillierKeyPair& kp = Keys(static_cast<int>(state.range(0)));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  DeterministicRng rng(13);
+  const PaillierCrtEncryptor crt(kp.priv);  // key material, not refill cost
+  for (auto _ : state) {
+    PaillierRandomnessPool pool(kp.pub);
+    pool.AttachCrtEncryptor(crt);
+    pool.Refill(16, rng, threads);
+    benchmark::DoNotOptimize(pool.available());
+  }
+}
+BENCHMARK(BM_PaillierPoolRefill)
+    ->Args({1024, 1})->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PaillierDecrypt(benchmark::State& state) {
   const PaillierKeyPair& kp = Keys(static_cast<int>(state.range(0)));
   DeterministicRng rng(3);

@@ -101,7 +101,19 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
         // Idle-time phase: top the pools back up between windows, so
         // the next window's encryptions are one multiplication each.
         // Deliberately outside the per-window runtime measurement.
-        pools.RefillAll(config.pem.encryption_pool_target, rng);
+        // The window may have elected new aggregators (and thus minted
+        // new keys/pools); registering the owners first lets the
+        // refill exponentiate mod p^2/q^2 instead of mod n^2.
+        if (config.pem.crt_encryption) {
+          for (const protocol::Party& p : parties) {
+            if (p.HasKeys()) pools.AttachOwner(p.private_key());
+          }
+        }
+        // The refill fans out across the policy's compute workers;
+        // factor order (and every later transcript byte) is invariant
+        // under the worker count.
+        pools.RefillAll(config.pem.encryption_pool_target, rng,
+                        config.policy);
       }
       rec.type = out.type;
       rec.price = out.price;

@@ -36,7 +36,10 @@ struct SimulationConfig {
   // ExecutionPolicy::Socket() routes frames over per-agent Unix-domain
   // socketpairs like the paper's per-container deployment.  The wire
   // transcript and market outcomes are policy-invariant (asserted by
-  // test_transcript_parity's serial/concurrent/socket matrix).
+  // test_transcript_parity's serial/concurrent/socket matrix).  The
+  // between-window randomness-pool refill (pem.precompute_encryption)
+  // fans out across the same worker count — the paper's "executed in
+  // parallel during idle time" — without affecting the factor order.
   net::ExecutionPolicy policy;
   // Optional tap on every delivered bus message (crypto engine only);
   // used for transcript comparison and debugging.  The callback may

@@ -224,7 +224,9 @@ int64_t BigInt::ToInt64() const {
   // Export up to 8 bytes big-endian.
   std::vector<uint8_t> bytes = abs.ToBytes();
   for (uint8_t b : bytes) mag = (mag << 8) | b;
-  return neg ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+  // Negate in unsigned space: mag can be 2^63 (INT64_MIN), whose
+  // two's-complement cast is fine but whose int64 negation overflows.
+  return neg ? static_cast<int64_t>(-mag) : static_cast<int64_t>(mag);
 }
 
 std::string BigInt::ToDecString() const {

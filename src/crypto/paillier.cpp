@@ -1,7 +1,11 @@
 #include "crypto/paillier.h"
 
+#include <iterator>
+
 #include "net/serialize.h"
+#include "net/transport.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace pem::crypto {
 namespace {
@@ -21,15 +25,15 @@ PaillierPublicKey::PaillierPublicKey(BigInt n, int key_bits)
 
 BigInt PaillierPublicKey::EncodeSigned(int64_t v) const {
   if (v >= 0) return BigInt(v);
-  return n_ - BigInt(-v);
+  // n + v (v < 0) rather than n - (-v): negating INT64_MIN overflows.
+  return n_ + BigInt(v);
 }
 
 int64_t PaillierPublicKey::DecodeSigned(const BigInt& m) const {
   const BigInt half = n_ / BigInt(2);
-  if (m > half) {
-    BigInt neg = n_ - m;
-    return -neg.ToInt64();
-  }
+  // m - n is the negative representative; converting it directly (not
+  // via -|n - m|) keeps INT64_MIN decodable.
+  if (m > half) return (m - n_).ToInt64();
   return m.ToInt64();
 }
 
@@ -148,6 +152,74 @@ int64_t PaillierPrivateKey::DecryptSigned(const PaillierCiphertext& c) const {
   return pk_.DecodeSigned(Decrypt(c));
 }
 
+PaillierCrtEncryptor::PaillierCrtEncryptor(const PaillierPrivateKey& sk)
+    : pk_(sk.public_key()), p_(sk.p_), q_(sk.q_) {
+  p2_ = p_ * p_;
+  q2_ = q_ * q_;
+  // (Z/p^2)* has order p(p-1); for r a unit mod n the exponent n
+  // reduces to e_p = n mod p(p-1) (Euler).  Because p divides both n
+  // and p(p-1), p also divides e_p — which unlocks a second reduction
+  // (see RandomnessFactor): we only ever exponentiate by t_p = e_p / p,
+  // a half-width exponent, at quarter-width modulus p.  Symmetric for q.
+  t_p_ = (pk_.n() % (p2_ - p_)) / p_;
+  t_q_ = (pk_.n() % (q2_ - q_)) / q_;
+  q2_inv_mod_p2_ = q2_.InvMod(p2_);
+}
+
+PaillierCrtEncryptor::PaillierCrtEncryptor(const PaillierPublicKey& pk,
+                                           const PaillierPrivateKey& sk)
+    : PaillierCrtEncryptor(sk) {
+  PEM_CHECK(pk == sk.public_key(),
+            "CRT encryptor: public key does not match the private key");
+}
+
+BigInt PaillierCrtEncryptor::RandomnessFactor(const BigInt& r) const {
+  // Range check only: the full gcd unit test would eat a measurable
+  // slice of the CRT saving, and every caller either sampled r via
+  // SampleRandomness (a unit by construction) or went through
+  // EncryptWithRandomness, which performs the gcd check.
+  PEM_CHECK(!r.IsZero() && r < pk_.n(),
+            "encryption randomness must be a unit mod n");
+  // r^n mod p^2 in two short hops instead of one full-length one.
+  // With e_p = n mod p(p-1) (Euler) and e_p = p * t_p (p divides n):
+  //   r^n = (r^{t_p})^p  ≡  ((r^{t_p}) mod p)^p      (mod p^2)
+  // because y^p mod p^2 depends only on y mod p — writing y' = y(1+pu)
+  // gives (1+pu)^p = 1 + p^2*u + ... ≡ 1 (mod p^2).  So one
+  // half-width exponent at modulus p, then one half-width exponent
+  // (p itself) at modulus p^2; symmetric for q; Garner-recombine.
+  const BigInt zp = (r % p_).PowMod(t_p_, p_);
+  const BigInt xp = zp.PowMod(p_, p2_);
+  const BigInt zq = (r % q_).PowMod(t_q_, q_);
+  const BigInt xq = zq.PowMod(q_, q2_);
+  // Garner: x = xq + q^2 * ((xp - xq) * (q^2)^-1 mod p^2), the unique
+  // representative in [0, n^2) — hence bit-identical to r^n mod n^2.
+  const BigInt h = xp.SubMod(xq % p2_, p2_).MulMod(q2_inv_mod_p2_, p2_);
+  return xq + q2_ * h;
+}
+
+BigInt PaillierCrtEncryptor::SampleRandomnessFactor(Rng& rng) const {
+  return RandomnessFactor(pk_.SampleRandomness(rng));
+}
+
+PaillierCiphertext PaillierCrtEncryptor::EncryptWithRandomness(
+    const BigInt& m, const BigInt& r) const {
+  // Mirrors PaillierPublicKey::EncryptWithRandomness: adversarial r is
+  // rejected here, so the factor fast path can skip the gcd.
+  PEM_CHECK(!r.IsZero() && r < pk_.n() && r.IsInvertibleMod(pk_.n()),
+            "encryption randomness must be a unit mod n");
+  return pk_.EncryptWithFactor(m, RandomnessFactor(r));
+}
+
+PaillierCiphertext PaillierCrtEncryptor::Encrypt(const BigInt& m,
+                                                 Rng& rng) const {
+  return EncryptWithRandomness(m, pk_.SampleRandomness(rng));
+}
+
+PaillierCiphertext PaillierCrtEncryptor::EncryptSigned(int64_t v,
+                                                       Rng& rng) const {
+  return Encrypt(pk_.EncodeSigned(v), rng);
+}
+
 PaillierKeyPair GeneratePaillierKeyPair(int key_bits, Rng& rng) {
   PEM_CHECK(key_bits >= 128 && key_bits % 2 == 0,
             "key_bits must be even and >= 128");
@@ -239,13 +311,44 @@ Result<PaillierPrivateKey> PaillierPrivateKey::Deserialize(
     return Error(ErrorCode::kSerialization,
                  "private key: primes inconsistent with modulus");
   }
+  // n = p^2 passes the product/primality checks above but breaks the
+  // CRT tables (q is not invertible mod p); reject it as malformed
+  // input instead of aborting in the constructor.
+  if (p == q) {
+    return Error(ErrorCode::kSerialization,
+                 "private key: primes must be distinct");
+  }
   return PaillierPrivateKey(pk.value(), p, q);
 }
 
-void PaillierRandomnessPool::Refill(size_t target, Rng& rng) {
-  while (factors_.size() < target) {
-    factors_.push_back(pk_.SampleRandomnessFactor(rng));
-  }
+void PaillierRandomnessPool::AttachCrtEncryptor(PaillierCrtEncryptor enc) {
+  PEM_CHECK(enc.public_key().n() == pk_.n(),
+            "CRT encryptor attached to a pool for a different modulus");
+  crt_ = std::move(enc);
+}
+
+void PaillierRandomnessPool::Refill(size_t target, Rng& rng,
+                                    unsigned threads) {
+  if (factors_.size() >= target) return;
+  // Phase 1 (sequential): draw every r — the only RNG consumer — so the
+  // factor sequence does not depend on how phase 2 is scheduled.
+  std::vector<BigInt> rs(target - factors_.size());
+  for (BigInt& r : rs) r = pk_.SampleRandomness(rng);
+  // Phase 2 (fan-out): the r^n exponentiations, via the owner's CRT
+  // tables when attached (same bits, ~2-3x cheaper).  Computed into a
+  // local buffer and appended only on success: if ParallelFor throws
+  // (worker exception, or thread spawn failing under resource
+  // exhaustion), the pool must not be left holding default-constructed
+  // zero "factors" that TakeFactor would hand out as randomness.
+  std::vector<BigInt> computed(rs.size());
+  ParallelFor(0, rs.size(), threads, [&](size_t i) {
+    computed[i] = crt_.has_value()
+                      ? crt_->RandomnessFactor(rs[i])
+                      : rs[i].PowMod(pk_.n(), pk_.n_squared());
+  });
+  factors_.insert(factors_.end(),
+                  std::make_move_iterator(computed.begin()),
+                  std::make_move_iterator(computed.end()));
 }
 
 PaillierCiphertext PaillierRandomnessPool::Encrypt(const BigInt& m, Rng& rng) {
@@ -275,8 +378,24 @@ PaillierRandomnessPool& PaillierPoolRegistry::PoolFor(
   return *pools_.back();
 }
 
-void PaillierPoolRegistry::RefillAll(size_t target, Rng& rng) {
-  for (const auto& pool : pools_) pool->Refill(target, rng);
+void PaillierPoolRegistry::AttachOwner(const PaillierPrivateKey& sk) {
+  PaillierRandomnessPool& pool = PoolFor(sk.public_key());
+  if (!pool.has_crt_encryptor()) {
+    pool.AttachCrtEncryptor(PaillierCrtEncryptor(sk));
+  }
+}
+
+void PaillierPoolRegistry::RefillAll(size_t target, Rng& rng,
+                                     unsigned threads) {
+  // Pools refill in registration order; each pool's r draws are
+  // sequential, so the sequences match the serial overload whatever
+  // `threads` is.
+  for (const auto& pool : pools_) pool->Refill(target, rng, threads);
+}
+
+void PaillierPoolRegistry::RefillAll(size_t target, Rng& rng,
+                                     const net::ExecutionPolicy& policy) {
+  RefillAll(target, rng, policy.worker_count());
 }
 
 }  // namespace pem::crypto

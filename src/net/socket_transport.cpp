@@ -131,6 +131,17 @@ void SocketTransport::Send(Message msg) {
   // The wire write happens outside mu_: the router needs mu_ to pop
   // tickets, and it is the router's reads that free a full egress
   // buffer — holding mu_ across a blocking send would deadlock.
+  //
+  // Wake the router BEFORE the blocking write, not just after: with
+  // the ticket already visible, the wake makes the router add this
+  // sender's egress fd to its poll set and drain it concurrently.  If
+  // the wake only came after SendAll, a frame larger than the socket
+  // buffer could block here while the router sleeps in poll() with
+  // neither the egress fd nor a pending wake byte — a deadlock (this
+  // is exactly SocketTransport.LargeFramesCrossTheRouterWithoutDeadlock
+  // on a single-core host, where the router always wins the race into
+  // poll between two Sends).
+  WakeRouter();
   const std::vector<uint8_t> frame = EncodeFrame(msg);
   SendAll(ch.egress_agent, frame.data(), frame.size());
   WakeRouter();

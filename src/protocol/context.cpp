@@ -37,9 +37,14 @@ crypto::PaillierCiphertext ReadCiphertext(net::ByteReader& r) {
 
 EncryptionSlot PrepareEncryption(ProtocolContext& ctx,
                                  const crypto::PaillierPublicKey& pk,
-                                 int64_t value) {
+                                 int64_t value,
+                                 const Party* encryptor) {
   EncryptionSlot slot;
   slot.value = value;
+  if (ctx.config.crt_encryption && encryptor != nullptr &&
+      encryptor->HasKeys() && encryptor->public_key().n() == pk.n()) {
+    slot.crt = encryptor->crt_encryptor();
+  }
   if (ctx.pools != nullptr) {
     slot.pooled_factor = ctx.pools->PoolFor(pk).TakeFactor();
     if (slot.pooled_factor.has_value()) return slot;
@@ -51,8 +56,12 @@ EncryptionSlot PrepareEncryption(ProtocolContext& ctx,
 crypto::PaillierCiphertext ComputeEncryption(
     const crypto::PaillierPublicKey& pk, const EncryptionSlot& slot) {
   const crypto::BigInt m = pk.EncodeSigned(slot.value);
-  return slot.pooled_factor.has_value()
-             ? pk.EncryptWithFactor(m, *slot.pooled_factor)
+  if (slot.pooled_factor.has_value()) {
+    return pk.EncryptWithFactor(m, *slot.pooled_factor);
+  }
+  // Same bits either way; the owner path is just cheaper.
+  return slot.crt != nullptr
+             ? slot.crt->EncryptWithRandomness(m, slot.randomness)
              : pk.EncryptWithRandomness(m, slot.randomness);
 }
 
@@ -145,7 +154,10 @@ std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
   slots.reserve(value_fns.size() * ring.size());
   for (const auto& value_of : value_fns) {
     for (size_t member : ring) {
-      slots.push_back(PrepareEncryption(ctx, pk, value_of(parties[member])));
+      // Passing the member lets an aggregator that sits in its own ring
+      // (Hr1/Hr2/Hb do) take the owner-side CRT fast path.
+      slots.push_back(PrepareEncryption(ctx, pk, value_of(parties[member]),
+                                        &parties[member]));
     }
   }
 

@@ -76,13 +76,21 @@ struct EncryptionSlot {
   // Exactly one of the two is set: a pooled r^n factor, or fresh r.
   std::optional<crypto::BigInt> pooled_factor;
   crypto::BigInt randomness;
+  // Owner fast path: set when the encrypting agent owns the key (and
+  // config.crt_encryption is on), so the fresh-randomness branch of
+  // phase 2 computes r^n mod p^2/q^2 instead of mod n^2.  Produces the
+  // same ciphertext bits, so the transcript is invariant under it.
+  const crypto::PaillierCrtEncryptor* crt = nullptr;
 };
 
 // Sequentially fixes the randomness for one encryption of `value`
-// under `pk` (pool pop, else fresh draw from ctx.rng).
+// under `pk` (pool pop, else fresh draw from ctx.rng).  When the
+// encrypting party is passed and owns `pk`, the slot routes phase 2
+// through its CRT encryptor.
 EncryptionSlot PrepareEncryption(ProtocolContext& ctx,
                                  const crypto::PaillierPublicKey& pk,
-                                 int64_t value);
+                                 int64_t value,
+                                 const Party* encryptor = nullptr);
 
 // Phase-2 work for a single prepared slot.  Thread-safe for distinct
 // slots; callers embedding extra per-item work in their own fan-out

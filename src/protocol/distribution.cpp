@@ -64,7 +64,7 @@ std::vector<double> ComputeRatios(ProtocolContext& ctx,
     // Rerandomization is an Enc(0) multiplied in; planning it as a
     // regular encryption slot lets it draw from the idle-time
     // randomness pool like every ring encryption does.
-    rerand_slots.push_back(PrepareEncryption(ctx, pk, 0));
+    rerand_slots.push_back(PrepareEncryption(ctx, pk, 0, &parties[m]));
   }
   std::vector<crypto::PaillierCiphertext> ratio_cts(ratio_members.size());
   ParallelFor(0, ratio_members.size(), ctx.policy.worker_count(),

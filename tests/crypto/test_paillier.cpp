@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "crypto/rng.h"
 #include "net/serialize.h"
+#include "net/transport.h"
 
 namespace pem::crypto {
 namespace {
@@ -342,6 +346,307 @@ TEST(PaillierPoolRegistry, RefillAllTopsUpEveryPool) {
   registry.RefillAll(5, rng);
   EXPECT_EQ(registry.PoolFor(a.pub).available(), 5u);
   EXPECT_EQ(registry.PoolFor(b.pub).available(), 5u);
+}
+
+// --- owner-side CRT encryption (known-answer parity) ------------------
+//
+// The tentpole invariant of the CRT encryption fast path: for the SAME
+// (m, r) the owner path must produce ciphertexts that are byte-for-byte
+// identical to the public full-width path, at every key size the
+// protocols use.  If this holds, swapping the fast path in can never
+// change a wire transcript.
+
+class PaillierCrtParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaillierCrtParity, KnownAnswerByteParityAndRoundTrip) {
+  const int bits = GetParam();
+  DeterministicRng rng(1000 + static_cast<uint64_t>(bits));
+  const PaillierKeyPair kp = GeneratePaillierKeyPair(bits, rng);
+  const PaillierCrtEncryptor crt(kp.pub, kp.priv);
+
+  // Fixed (m, r) pairs, deterministic functions of the key.
+  const BigInt n = kp.pub.n();
+  const std::vector<BigInt> plaintexts = {BigInt(0), BigInt(1),
+                                          n - BigInt(1), n / BigInt(3)};
+  BigInt r = n / BigInt(7);
+  for (const BigInt& m : plaintexts) {
+    while (r.IsZero() || !r.IsInvertibleMod(n)) r = r + BigInt(1);
+    // The r^n factor itself must be bit-identical...
+    EXPECT_EQ(crt.RandomnessFactor(r), r.PowMod(n, kp.pub.n_squared()));
+    // ...and so must the assembled ciphertext.
+    const PaillierCiphertext pub_ct = kp.pub.EncryptWithRandomness(m, r);
+    const PaillierCiphertext crt_ct = crt.EncryptWithRandomness(m, r);
+    EXPECT_EQ(crt_ct.value, pub_ct.value);
+    const std::vector<uint8_t> pub_bytes =
+        pub_ct.value.ToBytesPadded(kp.pub.ciphertext_bytes());
+    const std::vector<uint8_t> crt_bytes =
+        crt_ct.value.ToBytesPadded(kp.pub.ciphertext_bytes());
+    EXPECT_EQ(crt_bytes, pub_bytes);
+    // Serialized form round-trips to the same ciphertext and plaintext.
+    const PaillierCiphertext back{BigInt::FromBytes(crt_bytes)};
+    EXPECT_EQ(back.value, pub_ct.value);
+    EXPECT_EQ(kp.priv.Decrypt(back), m);
+    r = r + BigInt(1);  // a different unit for the next pair
+  }
+}
+
+TEST_P(PaillierCrtParity, SampledFactorsMatchFullWidthPath) {
+  const int bits = GetParam();
+  DeterministicRng rng(2000 + static_cast<uint64_t>(bits));
+  const PaillierKeyPair kp = GeneratePaillierKeyPair(bits, rng);
+  const PaillierCrtEncryptor crt(kp.priv);
+  // Both entry points consume the RNG identically (one r draw), so the
+  // same seed must yield the same factor stream.
+  DeterministicRng rng_pub(9);
+  DeterministicRng rng_crt(9);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(crt.SampleRandomnessFactor(rng_crt),
+              kp.pub.SampleRandomnessFactor(rng_pub));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, PaillierCrtParity,
+                         ::testing::Values(128, 256, 512, 1024));
+
+TEST(PaillierCrt, EncryptionsDecryptAndStayProbabilistic) {
+  const PaillierKeyPair kp = TestKeys();
+  const PaillierCrtEncryptor crt(kp.priv);
+  DeterministicRng rng(60);
+  for (int64_t v : {int64_t{0}, int64_t{7}, int64_t{-7}, int64_t{1} << 40,
+                    -(int64_t{1} << 40)}) {
+    EXPECT_EQ(kp.priv.DecryptSigned(crt.EncryptSigned(v, rng)), v) << v;
+  }
+  const PaillierCiphertext a = crt.Encrypt(BigInt(5), rng);
+  const PaillierCiphertext b = crt.Encrypt(BigInt(5), rng);
+  EXPECT_NE(a.value, b.value);
+  EXPECT_EQ(kp.priv.Decrypt(a), kp.priv.Decrypt(b));
+}
+
+TEST(PaillierCrt, InteroperatesWithHomomorphicOps) {
+  const PaillierKeyPair kp = TestKeys();
+  const PaillierCrtEncryptor crt(kp.priv);
+  DeterministicRng rng(61);
+  // Owner-encrypted and publicly-encrypted ciphertexts mix freely.
+  const PaillierCiphertext sum = kp.pub.Add(crt.EncryptSigned(-200, rng),
+                                            kp.pub.EncryptSigned(1200, rng));
+  EXPECT_EQ(kp.priv.DecryptSigned(sum), 1000);
+}
+
+TEST(PaillierCrtDeath, MismatchedPublicKeyAborts) {
+  const PaillierKeyPair a = TestKeys(128, 81);
+  const PaillierKeyPair b = TestKeys(128, 82);
+  EXPECT_DEATH((void)PaillierCrtEncryptor(a.pub, b.priv), "does not match");
+}
+
+TEST(PaillierCrtDeath, NonUnitRandomnessAborts) {
+  const PaillierKeyPair kp = TestKeys();
+  const PaillierCrtEncryptor crt(kp.priv);
+  EXPECT_DEATH((void)crt.EncryptWithRandomness(BigInt(1), BigInt(0)), "unit");
+  EXPECT_DEATH((void)crt.EncryptWithRandomness(BigInt(1), kp.pub.n()), "unit");
+}
+
+// --- refill determinism -----------------------------------------------
+//
+// The concurrent-refill invariant: the pooled factor sequence — and so
+// every transcript downstream of the pool — is identical whatever the
+// worker count, and whether or not the owner CRT path computes it.
+
+std::vector<BigInt> DrainFactors(PaillierRandomnessPool& pool) {
+  std::vector<BigInt> out;
+  while (std::optional<BigInt> f = pool.TakeFactor()) {
+    out.push_back(std::move(*f));
+  }
+  return out;
+}
+
+TEST(PaillierPool, RefillThreadCountInvariant) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng serial_rng(90);
+  PaillierRandomnessPool serial_pool(kp.pub);
+  serial_pool.Refill(24, serial_rng);
+  const std::vector<BigInt> expected = DrainFactors(serial_pool);
+  ASSERT_EQ(expected.size(), 24u);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    DeterministicRng rng(90);
+    PaillierRandomnessPool pool(kp.pub);
+    pool.Refill(24, rng, threads);
+    EXPECT_EQ(DrainFactors(pool), expected) << threads << " threads";
+  }
+}
+
+TEST(PaillierPool, CrtRefillProducesIdenticalFactors) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng full_rng(91);
+  PaillierRandomnessPool full_pool(kp.pub);
+  full_pool.Refill(12, full_rng);
+
+  DeterministicRng crt_rng(91);
+  PaillierRandomnessPool crt_pool(kp.pub);
+  crt_pool.AttachCrtEncryptor(PaillierCrtEncryptor(kp.priv));
+  EXPECT_TRUE(crt_pool.has_crt_encryptor());
+  crt_pool.Refill(12, crt_rng, /*threads=*/4);
+
+  EXPECT_EQ(DrainFactors(crt_pool), DrainFactors(full_pool));
+}
+
+TEST(PaillierPool, IncrementalRefillKeepsEarlierFactors) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(92);
+  PaillierRandomnessPool pool(kp.pub);
+  pool.Refill(4, rng, 2);
+  EXPECT_EQ(pool.available(), 4u);
+  pool.Refill(10, rng, 2);  // tops up, never recomputes
+  EXPECT_EQ(pool.available(), 10u);
+  // The first refill's factors must survive verbatim — a same-seed pool
+  // stopped at 4 pins down their values.  DrainFactors pops from the
+  // back, so the earliest-inserted factors are the drain's tail.
+  DeterministicRng pinned_rng(92);
+  PaillierRandomnessPool pinned(kp.pub);
+  pinned.Refill(4, pinned_rng, 2);
+  const std::vector<BigInt> first_four = DrainFactors(pinned);
+  const std::vector<BigInt> all = DrainFactors(pool);
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(std::vector<BigInt>(all.end() - 4, all.end()), first_four);
+}
+
+TEST(PaillierPoolRegistry, RefillAllThreadAndPolicyInvariant) {
+  // Two pools so the sequential cross-pool draw order is exercised.
+  const PaillierKeyPair a = TestKeys(128, 93);
+  const PaillierKeyPair b = TestKeys(128, 94);
+
+  const auto run = [&](auto refill) {
+    PaillierPoolRegistry reg;
+    (void)reg.PoolFor(a.pub);
+    (void)reg.PoolFor(b.pub);
+    reg.AttachOwner(a.priv);  // mixed: one CRT pool, one full-width
+    DeterministicRng rng(95);
+    refill(reg, rng);
+    std::vector<BigInt> all = DrainFactors(reg.PoolFor(a.pub));
+    std::vector<BigInt> bs = DrainFactors(reg.PoolFor(b.pub));
+    all.insert(all.end(), bs.begin(), bs.end());
+    return all;
+  };
+
+  const std::vector<BigInt> serial = run(
+      [](PaillierPoolRegistry& reg, Rng& rng) { reg.RefillAll(8, rng); });
+  ASSERT_EQ(serial.size(), 16u);
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(run([threads](PaillierPoolRegistry& reg, Rng& rng) {
+                reg.RefillAll(8, rng, threads);
+              }),
+              serial)
+        << threads << " threads";
+  }
+  // The ExecutionPolicy overload is the same computation.
+  EXPECT_EQ(run([](PaillierPoolRegistry& reg, Rng& rng) {
+              reg.RefillAll(8, rng, net::ExecutionPolicy::Parallel(8));
+            }),
+            serial);
+}
+
+TEST(PaillierPoolRegistry, AttachOwnerIsIdempotentAndCreatesPool) {
+  const PaillierKeyPair kp = TestKeys(128, 96);
+  PaillierPoolRegistry reg;
+  reg.AttachOwner(kp.priv);  // creates the pool
+  EXPECT_EQ(reg.pool_count(), 1u);
+  EXPECT_TRUE(reg.PoolFor(kp.pub).has_crt_encryptor());
+  reg.AttachOwner(kp.priv);  // no duplicate pool, no re-attach churn
+  EXPECT_EQ(reg.pool_count(), 1u);
+}
+
+TEST(PaillierPoolDeath, MismatchedCrtEncryptorAborts) {
+  const PaillierKeyPair a = TestKeys(128, 97);
+  const PaillierKeyPair b = TestKeys(128, 98);
+  PaillierRandomnessPool pool(a.pub);
+  EXPECT_DEATH(pool.AttachCrtEncryptor(PaillierCrtEncryptor(b.priv)),
+               "different modulus");
+}
+
+// --- signed-encoding edges --------------------------------------------
+
+TEST(Paillier, SignedEncodingHalfRangeBoundary) {
+  // EncodeSigned/DecodeSigned are pure modular-arithmetic maps, so a
+  // tiny (cryptographically useless) modulus makes the ±n/2 boundary
+  // reachable: n = 101, half = 50.
+  const PaillierPublicKey pk(BigInt(101), 8);
+  EXPECT_EQ(pk.EncodeSigned(50), BigInt(50));
+  EXPECT_EQ(pk.DecodeSigned(BigInt(50)), 50);  // m == half is positive
+  EXPECT_EQ(pk.EncodeSigned(-50), BigInt(51));
+  EXPECT_EQ(pk.DecodeSigned(BigInt(51)), -50);  // m == half+1 wraps negative
+  EXPECT_EQ(pk.EncodeSigned(-1), BigInt(100));
+  EXPECT_EQ(pk.DecodeSigned(BigInt(100)), -1);
+  for (int64_t v = -50; v <= 50; ++v) {
+    EXPECT_EQ(pk.DecodeSigned(pk.EncodeSigned(v)), v) << v;
+  }
+}
+
+TEST(Paillier, SignedEncodingInt64Extremes) {
+  const PaillierKeyPair kp = TestKeys();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  // Raw mapping round-trips (INT64_MIN's magnitude is not a valid
+  // int64, so both directions need the unsigned-space handling).
+  for (int64_t v : {kMax, kMax - 1, kMin, kMin + 1}) {
+    EXPECT_EQ(kp.pub.DecodeSigned(kp.pub.EncodeSigned(v)), v) << v;
+  }
+  EXPECT_EQ(kp.pub.EncodeSigned(kMin), kp.pub.n() - (BigInt(kMax) + BigInt(1)));
+  // And so does the full encrypt/decrypt pipeline, on both the public
+  // and the owner-CRT path.
+  DeterministicRng rng(99);
+  const PaillierCrtEncryptor crt(kp.priv);
+  for (int64_t v : {kMax, kMin}) {
+    EXPECT_EQ(kp.priv.DecryptSigned(kp.pub.EncryptSigned(v, rng)), v) << v;
+    EXPECT_EQ(kp.priv.DecryptSigned(crt.EncryptSigned(v, rng)), v) << v;
+  }
+}
+
+// --- dry-pool behavior ------------------------------------------------
+
+TEST(PaillierPool, TakeFactorDrainsThenReportsDry) {
+  const PaillierKeyPair kp = TestKeys();
+  DeterministicRng rng(36);
+  PaillierRandomnessPool pool(kp.pub);
+  EXPECT_EQ(pool.TakeFactor(), std::nullopt);  // never refilled
+  pool.Refill(2, rng);
+  EXPECT_TRUE(pool.TakeFactor().has_value());
+  EXPECT_TRUE(pool.TakeFactor().has_value());
+  EXPECT_EQ(pool.TakeFactor(), std::nullopt);  // dry again
+  // Encrypt*() on the drained pool falls back to fresh randomness and
+  // still produces valid ciphertexts.
+  EXPECT_EQ(kp.priv.DecryptSigned(pool.EncryptSigned(-42, rng)), -42);
+  EXPECT_EQ(kp.priv.Decrypt(pool.Encrypt(BigInt(7), rng)).ToInt64(), 7);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+// --- private-key deserialization hardening ----------------------------
+
+TEST(PaillierSerialization, RejectsRepeatedPrime) {
+  // n = p^2 passes the p*q == n product and primality checks; it must
+  // still be rejected (q == p is not invertible mod p, so the CRT
+  // tables would abort during construction).
+  DeterministicRng rng(70);
+  const BigInt p = BigInt::RandomPrime(128, rng);
+  const BigInt n = p * p;
+  const PaillierPublicKey pk(n, static_cast<int>(n.BitLength()));
+  net::ByteWriter w;
+  w.Bytes(pk.Serialize());
+  w.Bytes(p.ToBytes());
+  w.Bytes(p.ToBytes());
+  const Result<PaillierPrivateKey> forged =
+      PaillierPrivateKey::Deserialize(w.data());
+  ASSERT_FALSE(forged.ok());
+  EXPECT_NE(forged.error().message().find("distinct"), std::string::npos);
+}
+
+TEST(PaillierSerialization, RejectsCompositeFactors) {
+  // p' = p*q with a tiny cofactor that keeps p'*q' == n fails the
+  // primality check even though the product matches.
+  const PaillierKeyPair kp = TestKeys();
+  net::ByteWriter w;
+  w.Bytes(kp.pub.Serialize());
+  w.Bytes(kp.pub.n().ToBytes());  // "p" = n (composite)
+  w.Bytes(BigInt(1).ToBytes());   // "q" = 1
+  EXPECT_FALSE(PaillierPrivateKey::Deserialize(w.data()).ok());
 }
 
 }  // namespace

@@ -44,7 +44,7 @@ const std::vector<market::AgentWindowInput> kMarket = {
 };
 
 WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
-                    bool pooled = false) {
+                    bool pooled = false, bool crt = true) {
   WindowRun run;
   std::unique_ptr<net::Transport> bus =
       net::MakeTransport(policy.transport_kind,
@@ -56,6 +56,7 @@ WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
   protocol::PemConfig cfg;
   cfg.key_bits = 128;
   cfg.precompute_encryption = pooled;
+  cfg.crt_encryption = crt;
   crypto::PaillierPoolRegistry pools;
   std::vector<protocol::Party> parties;
   for (size_t i = 0; i < kMarket.size(); ++i) {
@@ -72,7 +73,14 @@ WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
     // registers the pools, the between-window RefillAll stocks them,
     // and only the second window is measured.
     protocol::RunPemWindow(ctx, parties);
-    pools.RefillAll(/*target=*/64, rng);
+    if (crt) {
+      // Mirror RunSimulation's owner registration: refills for keys
+      // whose owner is known take the CRT fast path.
+      for (const protocol::Party& p : parties) {
+        if (p.HasKeys()) pools.AttachOwner(p.private_key());
+      }
+    }
+    pools.RefillAll(/*target=*/64, rng, policy);
     for (size_t i = 0; i < kMarket.size(); ++i) {
       parties[i].BeginWindow(kMarket[i].state, cfg.nonce_bound, rng);
     }
@@ -167,6 +175,47 @@ TEST(TranscriptParity, WindowParityWithRandomnessPools) {
   EXPECT_GT(serial.factors_consumed, 0u);
   EXPECT_EQ(parallel.factors_consumed, serial.factors_consumed);
   EXPECT_EQ(socket.factors_consumed, serial.factors_consumed);
+}
+
+// --- CRT encryption + concurrent refill parity ------------------------
+//
+// The two Fig. 5(b) idle-time optimizations of this PR change WHERE the
+// r^n exponentiations run (mod p^2/q^2 instead of mod n^2) and HOW MANY
+// workers compute them (pool refill fans out per the policy) — but not
+// one wire byte.  Baseline: CRT off, serial refill.
+
+TEST(TranscriptParity, CrtEncryptionChangesNoWireByte) {
+  // Non-pooled: the owner fast path covers the aggregators' own ring
+  // contributions (fresh-randomness branch).
+  const WindowRun off =
+      RunWindow(net::ExecutionPolicy::Serial(), 42, /*pooled=*/false,
+                /*crt=*/false);
+  const WindowRun on =
+      RunWindow(net::ExecutionPolicy::Serial(), 42, /*pooled=*/false,
+                /*crt=*/true);
+  ExpectWindowParity(off, on);
+}
+
+TEST(TranscriptParity, CrtAndConcurrentRefillMatrix) {
+  // Pooled: refills run the owner-CRT path and fan out across the
+  // policy's workers on every backend; the transcript must match the
+  // all-optimizations-off serial baseline byte for byte.
+  const WindowRun base = RunWindow(net::ExecutionPolicy::Serial(), 11,
+                                   /*pooled=*/true, /*crt=*/false);
+  const WindowRun crt_serial = RunWindow(net::ExecutionPolicy::Serial(), 11,
+                                         /*pooled=*/true, /*crt=*/true);
+  const WindowRun crt_parallel = RunWindow(net::ExecutionPolicy::Parallel(8),
+                                           11, /*pooled=*/true, /*crt=*/true);
+  const WindowRun crt_socket = RunWindow(net::ExecutionPolicy::Socket(4), 11,
+                                         /*pooled=*/true, /*crt=*/true);
+  ExpectWindowParity(base, crt_serial);
+  ExpectWindowParity(base, crt_parallel);
+  ExpectWindowParity(base, crt_socket);
+  // All four runs must exercise the pooled branch, equally.
+  EXPECT_GT(base.factors_consumed, 0u);
+  EXPECT_EQ(crt_serial.factors_consumed, base.factors_consumed);
+  EXPECT_EQ(crt_parallel.factors_consumed, base.factors_consumed);
+  EXPECT_EQ(crt_socket.factors_consumed, base.factors_consumed);
 }
 
 TEST(TranscriptParity, SerialTransportWithWorkersAlsoMatches) {
