@@ -1,7 +1,11 @@
 #include "core/simulation.h"
 
 #include "crypto/rng.h"
+#include "net/process_transport.h"
+#include "net/serialize.h"
+#include "protocol/agent_driver.h"
 #include "util/error.h"
+#include "util/stopwatch.h"
 
 namespace pem::core {
 
@@ -16,11 +20,184 @@ double SimulationResult::AverageBusBytes() const {
          static_cast<double>(windows.size());
 }
 
+namespace {
+
+// Resolves window `w` for every home, advancing the battery dynamics.
+// Shared by the main loop, the process-mode parent, and the forked
+// children, so all three evolve bit-identical window state.
+std::vector<grid::WindowState> ResolveCommunityWindow(
+    const grid::CommunityTrace& trace, int w,
+    std::vector<grid::Battery>& batteries) {
+  const int num_homes = trace.num_homes();
+  std::vector<grid::WindowState> states(static_cast<size_t>(num_homes));
+  for (int h = 0; h < num_homes; ++h) {
+    states[static_cast<size_t>(h)] = trace.ResolveWindow(h, w, batteries);
+  }
+  return states;
+}
+
+bool WindowSampled(const SimulationConfig& config, int w) {
+  return w >= config.window_offset &&
+         (w - config.window_offset) % config.window_stride == 0;
+}
+
+// The public per-window bookkeeping both engine drivers share.
+std::vector<market::AgentWindowInput> BuildWindowInputs(
+    const grid::CommunityTrace& trace,
+    std::span<const grid::WindowState> states) {
+  const int num_homes = trace.num_homes();
+  std::vector<market::AgentWindowInput> inputs(static_cast<size_t>(num_homes));
+  for (int h = 0; h < num_homes; ++h) {
+    inputs[static_cast<size_t>(h)] = market::AgentWindowInput{
+        trace.homes[static_cast<size_t>(h)].params,
+        states[static_cast<size_t>(h)]};
+  }
+  return inputs;
+}
+
+// A WindowRecord pre-filled with the window's baseline outcome.
+WindowRecord BaselineRecord(int w,
+                            std::span<const market::AgentWindowInput> inputs,
+                            const SimulationConfig& config) {
+  const market::BaselineOutcome baseline =
+      market::ComputeBaseline(inputs, config.pem.market);
+  WindowRecord rec;
+  rec.window = w;
+  rec.buyer_cost_baseline = baseline.buyer_total_cost;
+  rec.grid_interaction_baseline = baseline.GridInteraction();
+  return rec;
+}
+
+// One forked OS process per agent (ExecutionPolicy::Process()).  The
+// parent never runs protocol code: it schedules windows over the
+// control channels, routes the children's frames, and merges their
+// reports; each child executes its own agent's side of every phase
+// against the state snapshot it inherited at fork time (see
+// protocol/agent_driver.h for the execution model).
+SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
+                                      const SimulationConfig& config) {
+  const int num_homes = trace.num_homes();
+  SimulationResult result;
+
+  std::vector<grid::Battery> batteries = trace.MakeBatteries();
+
+  // Template protocol state.  Created before the fork so every child
+  // inherits the same snapshot: the shared seed is what lets n
+  // independent processes re-derive one deterministic schedule.
+  crypto::DeterministicRng rng(config.crypto_seed);
+  std::vector<protocol::Party> parties;
+  parties.reserve(static_cast<size_t>(num_homes));
+  for (int h = 0; h < num_homes; ++h) {
+    parties.emplace_back(static_cast<net::AgentId>(h),
+                         trace.homes[static_cast<size_t>(h)].params);
+  }
+  crypto::PaillierPoolRegistry pools;
+
+  net::ProcessTransport::ChildMain child_main =
+      [&trace, &config, &rng, &parties, &pools, &batteries](
+          net::AgentId self, net::Transport& wire,
+          net::ControlChannel& ctl) -> int {
+    // Everything captured by reference is this child's fork copy; the
+    // parent's own copies diverge freely after the fork.
+    std::vector<net::Endpoint> endpoints = wire.endpoints();
+    protocol::ProtocolContext ctx{
+        endpoints, rng, config.pem,
+        config.pem.precompute_encryption ? &pools : nullptr, config.policy};
+    int next_window = 0;
+    std::vector<grid::WindowState> states;
+    protocol::AgentDriver::Callbacks callbacks;
+    callbacks.begin_window = [&](int w) {
+      PEM_CHECK(w >= next_window,
+                "process child: windows scheduled out of order");
+      // Battery dynamics advance through the skipped windows too,
+      // mirroring the parent loop exactly.
+      for (; next_window <= w; ++next_window) {
+        states = ResolveCommunityWindow(trace, next_window, batteries);
+      }
+      for (size_t h = 0; h < parties.size(); ++h) {
+        parties[h].BeginWindow(states[h], config.pem.nonce_bound, rng);
+      }
+    };
+    callbacks.after_window = [&](int) {
+      if (!config.pem.precompute_encryption) return;
+      // Idle-time pool refill, same as the in-process engine (outside
+      // the reported per-window runtime).
+      if (config.pem.crt_encryption) {
+        for (const protocol::Party& p : parties) {
+          if (p.HasKeys()) pools.AttachOwner(p.private_key());
+        }
+      }
+      pools.RefillAll(config.pem.encryption_pool_target, rng, config.policy);
+    };
+    protocol::AgentDriver driver(self, ctx, parties, callbacks);
+    driver.Serve(ctl);
+    return 0;
+  };
+
+  net::ProcessTransport::Options opts;
+  opts.watchdog_ms = config.process_watchdog_ms;
+  net::ProcessTransport transport(num_homes, child_main, opts);
+  if (config.bus_observer) transport.SetObserver(config.bus_observer);
+
+  for (int w = 0; w < trace.windows_per_day; ++w) {
+    std::vector<grid::WindowState> states =
+        ResolveCommunityWindow(trace, w, batteries);
+    if (!WindowSampled(config, w)) continue;
+
+    const std::vector<market::AgentWindowInput> inputs =
+        BuildWindowInputs(trace, states);
+    WindowRecord rec = BaselineRecord(w, inputs, config);
+
+    std::vector<net::TrafficStats> stats_before;
+    stats_before.reserve(static_cast<size_t>(num_homes));
+    for (net::AgentId a = 0; a < num_homes; ++a) {
+      stats_before.push_back(transport.stats(a));
+    }
+    const Stopwatch timer;
+    net::ByteWriter cmd;
+    cmd.U32(static_cast<uint32_t>(w));
+    const std::vector<uint8_t> payload = cmd.Take();
+    transport.CommandAll(net::kCtlCmdRun, payload);
+    const protocol::WindowReport report =
+        protocol::CollectWindowReports(transport, stats_before);
+
+    rec.type = report.type;
+    rec.price = report.price;
+    rec.num_sellers = report.num_sellers;
+    rec.num_buyers = report.num_buyers;
+    rec.supply_total = report.supply_total;
+    rec.demand_total = report.demand_total;
+    rec.buyer_cost_pem = report.buyer_total_cost;
+    rec.grid_interaction_pem =
+        report.grid_import_kwh + report.grid_export_kwh;
+    // End-to-end wall clock in the parent: the window is done when its
+    // slowest child has reported, IPC included.
+    rec.runtime_seconds = timer.ElapsedSeconds();
+    rec.bus_bytes = report.bus_bytes;
+    result.total_runtime_seconds += rec.runtime_seconds;
+    result.total_bus_bytes += rec.bus_bytes;
+
+    result.windows.push_back(rec);
+    if (config.record_states) {
+      result.resolved_states.push_back(std::move(states));
+    }
+  }
+  transport.Shutdown();
+  return result;
+}
+
+}  // namespace
+
 SimulationResult RunSimulation(const grid::CommunityTrace& trace,
                                const SimulationConfig& config) {
   PEM_CHECK(config.window_stride >= 1, "window stride must be >= 1");
   PEM_CHECK(config.window_offset >= 0, "window offset must be >= 0");
   config.pem.market.Validate();
+
+  if (config.engine == Engine::kCrypto &&
+      config.policy.transport_kind == net::TransportKind::kProcess) {
+    return RunSimulationProcess(trace, config);
+  }
 
   const int num_homes = trace.num_homes();
   SimulationResult result;
@@ -51,29 +228,13 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
 
   for (int w = 0; w < trace.windows_per_day; ++w) {
     // Battery dynamics advance every window regardless of sampling.
-    std::vector<grid::WindowState> states(static_cast<size_t>(num_homes));
-    for (int h = 0; h < num_homes; ++h) {
-      states[static_cast<size_t>(h)] = trace.ResolveWindow(h, w, batteries);
-    }
-    if (w < config.window_offset ||
-        (w - config.window_offset) % config.window_stride != 0) {
-      continue;
-    }
+    std::vector<grid::WindowState> states =
+        ResolveCommunityWindow(trace, w, batteries);
+    if (!WindowSampled(config, w)) continue;
 
-    std::vector<market::AgentWindowInput> inputs(
-        static_cast<size_t>(num_homes));
-    for (int h = 0; h < num_homes; ++h) {
-      inputs[static_cast<size_t>(h)] = market::AgentWindowInput{
-          trace.homes[static_cast<size_t>(h)].params,
-          states[static_cast<size_t>(h)]};
-    }
-    const market::BaselineOutcome baseline =
-        market::ComputeBaseline(inputs, config.pem.market);
-
-    WindowRecord rec;
-    rec.window = w;
-    rec.buyer_cost_baseline = baseline.buyer_total_cost;
-    rec.grid_interaction_baseline = baseline.GridInteraction();
+    const std::vector<market::AgentWindowInput> inputs =
+        BuildWindowInputs(trace, states);
+    WindowRecord rec = BaselineRecord(w, inputs, config);
 
     if (config.engine == Engine::kPlaintext) {
       const market::MarketOutcome outcome =

@@ -32,15 +32,25 @@ struct SimulationConfig {
   // Crypto engine execution model: which Transport backend carries the
   // frames and how many workers the protocol compute phases use.  The
   // default is the serial engine; ExecutionPolicy::Parallel(n) selects
-  // the phase-parallel engine on the mutex-guarded bus, and
+  // the phase-parallel engine on the mutex-guarded bus,
   // ExecutionPolicy::Socket() routes frames over per-agent Unix-domain
-  // socketpairs like the paper's per-container deployment.  The wire
+  // socketpairs like the paper's per-container deployment, and
+  // ExecutionPolicy::Process() forks one OS process per agent — each
+  // child runs its own agent's side of every phase over its inherited
+  // socketpair end, the parent routes frames and collects results, and
+  // bus_bytes are literal cross-process socket bytes.  The wire
   // transcript and market outcomes are policy-invariant (asserted by
-  // test_transcript_parity's serial/concurrent/socket matrix).  The
-  // between-window randomness-pool refill (pem.precompute_encryption)
-  // fans out across the same worker count — the paper's "executed in
-  // parallel during idle time" — without affecting the factor order.
+  // test_transcript_parity's serial/concurrent/socket/process matrix).
+  // The between-window randomness-pool refill
+  // (pem.precompute_encryption) fans out across the same worker count —
+  // the paper's "executed in parallel during idle time" — without
+  // affecting the factor order.
   net::ExecutionPolicy policy;
+  // Process backend only: upper bound on any wait for a child (a window
+  // report, an exit).  A crashed or deadlocked agent process fails the
+  // run with a structured error naming the child after this long,
+  // instead of hanging until a ctest TIMEOUT or CI runner kill.
+  int process_watchdog_ms = 120'000;
   // Optional tap on every delivered bus message (crypto engine only);
   // used for transcript comparison and debugging.  The callback may
   // run under the transport's lock, so it must not call back into the

@@ -32,6 +32,8 @@ struct TrafficStats {
   uint64_t bytes_received = 0;
   uint64_t messages_sent = 0;
   uint64_t messages_received = 0;
+
+  bool operator==(const TrafficStats&) const = default;
 };
 
 }  // namespace pem::net

@@ -1,0 +1,699 @@
+#include "net/process_transport.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace pem::net {
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  PEM_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+            "process transport: fcntl(O_NONBLOCK) failed");
+}
+
+void MakeSocketPair(int* a, int* b) {
+  int fds[2];
+  PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+            "process transport: socketpair failed");
+  *a = fds[0];
+  *b = fds[1];
+}
+
+void CloseIfOpen(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+// Blocking full write that surfaces a dead peer as a structured error
+// (MSG_NOSIGNAL keeps EPIPE an errno, not a SIGPIPE).
+void SendAllOrThrow(int fd, const uint8_t* data, size_t len, AgentId agent,
+                    const char* what) {
+  while (len > 0) {
+    const ssize_t n = send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(TransportFault{
+          agent, ErrorCode::kProtocolViolation,
+          std::string("process transport: ") + what + " write failed (" +
+              std::strerror(errno) + ")"});
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+std::string HexU32(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+std::string DescribeWaitStatus(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended with raw wait status " + std::to_string(status);
+}
+
+// Sanity bound on control payloads (window reports are kilobytes).
+constexpr uint32_t kMaxControlPayload = uint32_t{1} << 26;
+// Divergence guard: if this many frames arrive without the script's
+// expected one among them, the wire and the deterministic replica have
+// parted ways and blocking further would only hide it.
+constexpr size_t kMaxStashedFrames = size_t{1} << 16;
+
+}  // namespace
+
+// --- ControlChannel ---------------------------------------------------
+
+ControlChannel::ControlChannel(int fd, AgentId peer) : fd_(fd), peer_(peer) {
+  PEM_CHECK(fd >= 0, "control channel: bad descriptor");
+}
+
+ControlChannel::~ControlChannel() { CloseIfOpen(fd_); }
+
+void ControlChannel::Write(uint32_t tag, std::span<const uint8_t> payload) {
+  PEM_CHECK(payload.size() < kMaxControlPayload, "control record too large");
+  uint8_t header[8];
+  StoreU32(header, tag);
+  StoreU32(header + 4, static_cast<uint32_t>(payload.size()));
+  SendAllOrThrow(fd_, header, sizeof header, peer_, "control channel");
+  if (!payload.empty()) {
+    SendAllOrThrow(fd_, payload.data(), payload.size(), peer_,
+                   "control channel");
+  }
+}
+
+ControlRecord ControlChannel::Read(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  ControlRecord rec;
+  for (;;) {
+    if (rxbuf_.size() >= 8) {
+      rec.tag = LoadU32(rxbuf_.data());
+      const uint32_t len = LoadU32(rxbuf_.data() + 4);
+      if (len >= kMaxControlPayload) {
+        throw TransportError(TransportFault{
+            peer_, ErrorCode::kSerialization,
+            "control channel: insane record length from agent " +
+                std::to_string(peer_)});
+      }
+      const size_t need = 8 + len;
+      if (rxbuf_.size() >= need) {
+        rec.payload.assign(rxbuf_.begin() + 8,
+                           rxbuf_.begin() + static_cast<ptrdiff_t>(need));
+        // One recv may have coalesced several records; keep the rest
+        // buffered for the next Read.
+        rxbuf_.erase(rxbuf_.begin(),
+                     rxbuf_.begin() + static_cast<ptrdiff_t>(need));
+        return rec;
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      throw TransportError(TransportFault{
+          peer_, ErrorCode::kProtocolViolation,
+          "control channel: watchdog timeout after " +
+              std::to_string(timeout_ms) + "ms waiting on agent " +
+              std::to_string(peer_)});
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int pr = poll(&pfd, 1, wait_ms > 0 ? wait_ms : 1);
+    if (pr < 0) {
+      PEM_CHECK(errno == EINTR, "control channel: poll failed");
+      continue;
+    }
+    if (pr == 0) continue;  // deadline check above fires next pass
+    uint8_t chunk[4096];
+    const ssize_t n = recv(fd_, chunk, sizeof chunk, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      throw TransportError(TransportFault{
+          peer_, ErrorCode::kProtocolViolation,
+          std::string("control channel: recv failed (") +
+              std::strerror(errno) + ")"});
+    }
+    if (n == 0) {
+      throw TransportError(TransportFault{
+          peer_, ErrorCode::kProtocolViolation,
+          "control channel: peer hung up (agent " + std::to_string(peer_) +
+              " closed its end)"});
+    }
+    rxbuf_.insert(rxbuf_.end(), chunk, chunk + n);
+  }
+}
+
+// --- ProcessChildTransport --------------------------------------------
+
+ProcessChildTransport::ProcessChildTransport(int num_agents, AgentId self,
+                                             int wire_fd)
+    : shadow_(num_agents), self_(self), wire_fd_(wire_fd) {
+  PEM_CHECK(self >= 0 && self < num_agents,
+            "process child transport: self id out of range");
+  PEM_CHECK(wire_fd >= 0, "process child transport: bad wire descriptor");
+}
+
+ProcessChildTransport::~ProcessChildTransport() { CloseIfOpen(wire_fd_); }
+
+void ProcessChildTransport::Send(Message msg) {
+  if (msg.from == self_) {
+    // Own traffic is real: one canonical frame to the parent router
+    // (broadcasts fan out there, as they would at a switch).  Encode
+    // before the shadow consumes the message.
+    const std::vector<uint8_t> frame = EncodeFrame(msg);
+    shadow_.Send(std::move(msg));
+    SendAllOrThrow(wire_fd_, frame.data(), frame.size(), self_, "wire");
+    return;
+  }
+  // Another agent's send: shadow only, to keep the script advancing.
+  shadow_.Send(std::move(msg));
+}
+
+Message ProcessChildTransport::ReadWireFrame() {
+  for (;;) {
+    if (std::optional<Message> m = rx_.Next()) return std::move(*m);
+    uint8_t buf[4096];
+    const ssize_t n = recv(wire_fd_, buf, sizeof buf, 0);
+    if (n < 0) {
+      PEM_CHECK(errno == EINTR, "process child transport: recv failed");
+      continue;
+    }
+    if (n == 0) {
+      throw TransportError(TransportFault{
+          self_, ErrorCode::kProtocolViolation,
+          "process child transport: agent " + std::to_string(self_) +
+              " wire closed by the parent router mid-protocol"});
+    }
+    rx_.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+  }
+}
+
+std::optional<Message> ProcessChildTransport::Receive(AgentId agent) {
+  std::optional<Message> expected = shadow_.Receive(agent);
+  if (agent != self_ || !expected.has_value()) return expected;
+  // Own receive: the deterministic script names the exact frame this
+  // agent must consume next; insist a byte-identical frame physically
+  // arrives.  Frames from concurrent senders may arrive early relative
+  // to the script (the processes really run in parallel) — stash them
+  // until their turn.
+  for (size_t i = 0; i < stash_.size(); ++i) {
+    if (stash_[i] == *expected) {
+      stash_.erase(stash_.begin() + static_cast<ptrdiff_t>(i));
+      return expected;
+    }
+  }
+  for (;;) {
+    Message m = ReadWireFrame();
+    if (m == *expected) return expected;
+    stash_.push_back(std::move(m));
+    if (stash_.size() >= kMaxStashedFrames) {
+      throw TransportError(TransportFault{
+          self_, ErrorCode::kProtocolViolation,
+          "process child transport: agent " + std::to_string(self_) +
+              " stashed " + std::to_string(stash_.size()) +
+              " frames without seeing the expected one (type " +
+              HexU32(expected->type) + " from " +
+              std::to_string(expected->from) +
+              ") — wire and deterministic script diverged"});
+    }
+  }
+}
+
+bool ProcessChildTransport::HasMessage(AgentId agent) const {
+  return shadow_.HasMessage(agent);
+}
+
+TrafficStats ProcessChildTransport::stats(AgentId agent) const {
+  return shadow_.stats(agent);
+}
+
+double ProcessChildTransport::AverageBytesPerAgent() const {
+  return shadow_.AverageBytesPerAgent();
+}
+
+void ProcessChildTransport::SetObserver(Observer observer) {
+  shadow_.SetObserver(std::move(observer));
+}
+
+void ProcessChildTransport::VerifyQuiescent() const {
+  PEM_CHECK(stash_.empty(),
+            "process child transport: unconsumed stashed frames at teardown");
+  PEM_CHECK(rx_.buffered_bytes() == 0,
+            "process child transport: partial frame buffered at teardown");
+  uint8_t probe;
+  const ssize_t n = recv(wire_fd_, &probe, 1, MSG_DONTWAIT | MSG_PEEK);
+  PEM_CHECK(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK),
+            "process child transport: unread wire bytes at teardown");
+}
+
+// --- ProcessTransport -------------------------------------------------
+
+namespace {
+
+struct ChildFds {
+  int wire_parent = -1;
+  int wire_child = -1;
+  int ctl_parent = -1;
+  int ctl_child = -1;
+};
+
+[[noreturn]] void RunChildProcess(AgentId self, int num_agents,
+                                  const std::vector<ChildFds>& fds,
+                                  const ProcessTransport::ChildMain& main) {
+  // Die with the parent: a crashed/killed orchestrator must never leave
+  // agent processes behind.
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+  // Inherit EXACTLY this agent's ends; every other descriptor in the
+  // table belongs to the parent or a sibling.
+  for (int j = 0; j < num_agents; ++j) {
+    CloseIfOpen(fds[static_cast<size_t>(j)].wire_parent);
+    CloseIfOpen(fds[static_cast<size_t>(j)].ctl_parent);
+    if (j != self) {
+      CloseIfOpen(fds[static_cast<size_t>(j)].wire_child);
+      CloseIfOpen(fds[static_cast<size_t>(j)].ctl_child);
+    }
+  }
+  ControlChannel ctl(fds[static_cast<size_t>(self)].ctl_child, self);
+  int code = 127;
+  try {
+    ProcessChildTransport wire(num_agents, self,
+                               fds[static_cast<size_t>(self)].wire_child);
+    code = main(self, wire, ctl);
+    wire.VerifyQuiescent();
+  } catch (const std::exception& e) {
+    try {
+      const char* what = e.what();
+      ctl.Write(kCtlRepError,
+                std::span<const uint8_t>(
+                    reinterpret_cast<const uint8_t*>(what),
+                    std::strlen(what)));
+    } catch (...) {
+      // Parent gone too; the wait status is all that is left to say.
+    }
+    _exit(1);
+  } catch (...) {
+    _exit(2);
+  }
+  // _exit, not exit: the child shares the parent's stdio buffers and
+  // must not flush them (or run the parent's atexit hooks) twice.
+  _exit(code);
+}
+
+}  // namespace
+
+ProcessTransport::ProcessTransport(int num_agents, ChildMain child_main,
+                                   Options opts)
+    : opts_(opts),
+      ledger_(num_agents > 0 ? static_cast<size_t>(num_agents) : 0) {
+  PEM_CHECK(num_agents > 0, "ProcessTransport needs at least one agent");
+  PEM_CHECK(child_main != nullptr, "ProcessTransport needs a child entry point");
+  const size_t n = static_cast<size_t>(num_agents);
+
+  std::vector<ChildFds> fds(n);
+  for (size_t i = 0; i < n; ++i) {
+    MakeSocketPair(&fds[i].wire_parent, &fds[i].wire_child);
+    MakeSocketPair(&fds[i].ctl_parent, &fds[i].ctl_child);
+  }
+
+  children_.resize(n);
+  rx_.resize(n);
+  pending_.resize(n);
+  closed_.assign(n, false);
+
+  // Fork every child BEFORE starting the router thread: fork only
+  // clones the calling thread, and forking a process that holds live
+  // mutex-owning threads is how post-fork deadlocks are made.
+  for (size_t i = 0; i < n; ++i) {
+    const pid_t pid = fork();
+    PEM_CHECK(pid >= 0, "process transport: fork failed");
+    if (pid == 0) {
+      RunChildProcess(static_cast<AgentId>(i), num_agents, fds, child_main);
+    }
+    children_[i].pid = pid;
+    children_[i].wire_fd = fds[i].wire_parent;
+    children_[i].ctl = std::make_unique<ControlChannel>(
+        fds[i].ctl_parent, static_cast<AgentId>(i));
+    close(fds[i].wire_child);
+    close(fds[i].ctl_child);
+    fds[i].wire_child = fds[i].ctl_child = -1;
+  }
+
+  // Created after the forks so no child inherits it.
+  wake_.Open();
+  for (Child& c : children_) SetNonBlocking(c.wire_fd);
+
+  router_ = std::thread([this] { RouterLoop(); });
+}
+
+ProcessTransport::~ProcessTransport() {
+  KillAndReapAll();
+  StopRouter();
+  for (Child& c : children_) {
+    CloseIfOpen(c.wire_fd);
+    c.wire_fd = -1;
+    c.ctl.reset();
+  }
+  wake_.Close();
+}
+
+void ProcessTransport::WakeRouter() { wake_.Wake(); }
+
+void ProcessTransport::RecordFault(AgentId agent, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fault_.has_value()) return;  // first fault wins
+  fault_ = TransportFault{agent, ErrorCode::kProtocolViolation,
+                          std::move(detail)};
+}
+
+void ProcessTransport::RouteFrame(const Message& frame) {
+  const int n = num_agents();
+  PEM_CHECK(frame.from >= 0 && frame.from < n,
+            "process transport: routed frame forges its sender");
+  if (frame.to == kBroadcast) {
+    for (AgentId to = 0; to < n; ++to) {
+      if (to == frame.from) continue;
+      Message copy = frame;
+      copy.to = to;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ledger_.Account(frame.from, to, copy.payload.size());
+        if (observer_) observer_(copy);
+      }
+      AppendFrame(pending_[static_cast<size_t>(to)].bytes, copy);
+    }
+    return;
+  }
+  PEM_CHECK(frame.to >= 0 && frame.to < n,
+            "process transport: routed frame has a bad recipient");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ledger_.Account(frame.from, frame.to, frame.payload.size());
+    if (observer_) observer_(frame);
+  }
+  AppendFrame(pending_[static_cast<size_t>(frame.to)].bytes, frame);
+}
+
+void ProcessTransport::FlushPending(AgentId dest) {
+  PendingBuf& p = pending_[static_cast<size_t>(dest)];
+  if (closed_[static_cast<size_t>(dest)]) {
+    p.Clear();
+    return;
+  }
+  if (FlushPendingBuf(children_[static_cast<size_t>(dest)].wire_fd, p) ==
+      FlushResult::kPeerClosed) {
+    // Routed frames with nowhere to go: a child that exited cleanly
+    // has consumed everything addressed to it, so an EPIPE with data
+    // pending is a crash unless Done already arrived.
+    bool clean;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      clean = children_[static_cast<size_t>(dest)].done;
+      children_[static_cast<size_t>(dest)].wire_eof = true;
+    }
+    if (!clean) {
+      RecordFault(dest, "process transport: agent " + std::to_string(dest) +
+                            " wire write failed with frames pending — "
+                            "child gone?");
+    }
+    closed_[static_cast<size_t>(dest)] = true;
+  }
+}
+
+void ProcessTransport::RouterLoop() {
+  const int n = num_agents();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+    }
+    std::vector<pollfd> pfds;
+    std::vector<AgentId> who;
+    pfds.push_back({wake_.recv_fd, POLLIN, 0});
+    for (AgentId a = 0; a < n; ++a) {
+      if (closed_[static_cast<size_t>(a)]) continue;
+      short events = POLLIN;
+      if (!pending_[static_cast<size_t>(a)].empty()) events |= POLLOUT;
+      pfds.push_back({children_[static_cast<size_t>(a)].wire_fd, events, 0});
+      who.push_back(a);
+    }
+    if (poll(pfds.data(), pfds.size(), -1) < 0) {
+      PEM_CHECK(errno == EINTR, "process transport: poll failed");
+      continue;
+    }
+    if (pfds[0].revents & POLLIN) wake_.Drain();
+    for (size_t k = 1; k < pfds.size(); ++k) {
+      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const AgentId a = who[k - 1];
+      uint8_t buf[16384];
+      for (;;) {
+        const ssize_t r = recv(children_[static_cast<size_t>(a)].wire_fd, buf,
+                               sizeof buf, MSG_DONTWAIT);
+        if (r < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          RecordFault(a, "process transport: agent " + std::to_string(a) +
+                             " wire read failed (" + std::strerror(errno) +
+                             ")");
+          closed_[static_cast<size_t>(a)] = true;
+          break;
+        }
+        if (r == 0) {
+          // Hangup.  The router cannot judge crash vs. clean exit here:
+          // a child closes its wire the instant it _exits after writing
+          // Done, usually before the main thread's ReadRecord loop has
+          // marked it done.  Record the bare fact; fault() and the
+          // control plane judge it against `done` when asked.
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            children_[static_cast<size_t>(a)].wire_eof = true;
+          }
+          closed_[static_cast<size_t>(a)] = true;
+          break;
+        }
+        rx_[static_cast<size_t>(a)].Feed(
+            std::span<const uint8_t>(buf, static_cast<size_t>(r)));
+        while (std::optional<Message> f = rx_[static_cast<size_t>(a)].Next()) {
+          PEM_CHECK(f->from == a,
+                    "process transport: child framed another agent's id");
+          RouteFrame(*f);
+        }
+      }
+    }
+    for (AgentId d = 0; d < n; ++d) {
+      if (!pending_[static_cast<size_t>(d)].empty()) FlushPending(d);
+    }
+  }
+}
+
+void ProcessTransport::Command(AgentId agent, uint32_t tag,
+                               std::span<const uint8_t> payload) {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  children_[static_cast<size_t>(agent)].ctl->Write(tag, payload);
+}
+
+void ProcessTransport::CommandAll(uint32_t tag,
+                                  std::span<const uint8_t> payload) {
+  for (AgentId a = 0; a < num_agents(); ++a) Command(a, tag, payload);
+}
+
+void ProcessTransport::ThrowChildFailure(AgentId agent,
+                                         const std::string& why) {
+  TransportFault fault{agent, ErrorCode::kProtocolViolation,
+                       "process transport: agent " + std::to_string(agent) +
+                           " child process " + why};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!fault_.has_value()) fault_ = fault;
+  }
+  throw TransportError(std::move(fault));
+}
+
+ControlRecord ProcessTransport::ReadRecord(AgentId agent) {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  Child& c = children_[static_cast<size_t>(agent)];
+  ControlRecord rec;
+  try {
+    rec = c.ctl->Read(opts_.watchdog_ms);
+  } catch (const TransportError&) {
+    // Hangup or watchdog expiry.  If the child is dead, say exactly how
+    // it died; if it is alive but silent, rethrow the timeout (the
+    // destructor will kill and reap it).
+    if (ReapChild(agent, /*timeout_ms=*/2000)) {
+      ThrowChildFailure(agent, DescribeWaitStatus(c.wait_status) +
+                                   " before reporting");
+    }
+    throw;
+  }
+  if (rec.tag == kCtlRepError) {
+    (void)ReapChild(agent, /*timeout_ms=*/2000);
+    ThrowChildFailure(
+        agent, "reported: " + std::string(rec.payload.begin(),
+                                          rec.payload.end()));
+  }
+  if (rec.tag == kCtlRepDone) {
+    std::lock_guard<std::mutex> lock(mu_);
+    c.done = true;
+  }
+  return rec;
+}
+
+bool ProcessTransport::ReapChild(AgentId agent, int timeout_ms) {
+  Child& c = children_[static_cast<size_t>(agent)];
+  if (c.reaped) return true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int status = 0;
+    const pid_t r = waitpid(c.pid, &status, WNOHANG);
+    if (r == c.pid) {
+      c.reaped = true;
+      c.wait_status = status;
+      return true;
+    }
+    if (r < 0) {
+      // ECHILD: someone else collected it; treat as reaped-clean.
+      c.reaped = true;
+      c.wait_status = 0;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    usleep(2000);
+  }
+}
+
+void ProcessTransport::KillAndReapAll() {
+  for (AgentId a = 0; a < num_agents(); ++a) {
+    Child& c = children_[static_cast<size_t>(a)];
+    if (c.reaped || c.pid <= 0) continue;
+    kill(c.pid, SIGKILL);
+  }
+  for (AgentId a = 0; a < num_agents(); ++a) {
+    Child& c = children_[static_cast<size_t>(a)];
+    if (c.reaped || c.pid <= 0) continue;
+    int status = 0;
+    // SIGKILL cannot be caught; the blocking wait returns promptly.
+    if (waitpid(c.pid, &status, 0) == c.pid) c.wait_status = status;
+    c.reaped = true;
+  }
+}
+
+void ProcessTransport::StopRouter() {
+  if (router_stopped_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  WakeRouter();
+  if (router_.joinable()) router_.join();
+  router_stopped_ = true;
+}
+
+void ProcessTransport::Shutdown() {
+  if (finished_) return;
+  CommandAll(kCtlCmdShutdown);
+  for (AgentId a = 0; a < num_agents(); ++a) {
+    const ControlRecord rec = ReadRecord(a);
+    if (rec.tag != kCtlRepDone) {
+      ThrowChildFailure(a, "sent record tag " + std::to_string(rec.tag) +
+                               " where Done was expected");
+    }
+  }
+  for (AgentId a = 0; a < num_agents(); ++a) {
+    Child& c = children_[static_cast<size_t>(a)];
+    if (!ReapChild(a, opts_.watchdog_ms)) {
+      ThrowChildFailure(a, "did not exit within the watchdog after Done");
+    }
+    if (!WIFEXITED(c.wait_status) || WEXITSTATUS(c.wait_status) != 0) {
+      ThrowChildFailure(a, DescribeWaitStatus(c.wait_status));
+    }
+  }
+  StopRouter();
+  finished_ = true;
+}
+
+TrafficStats ProcessTransport::stats(AgentId agent) const {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.stats(agent);
+}
+
+uint64_t ProcessTransport::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.total_bytes;
+}
+
+uint64_t ProcessTransport::total_messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.total_messages;
+}
+
+double ProcessTransport::AverageBytesPerAgent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledger_.AverageBytesPerAgent();
+}
+
+void ProcessTransport::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_.Reset();
+}
+
+void ProcessTransport::SetObserver(Transport::Observer observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(observer);
+}
+
+std::optional<TransportFault> ProcessTransport::fault() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fault_.has_value()) return fault_;
+  // A wire hangup is judged lazily against `done`: the router sees EOF
+  // even on a clean exit (the child closes its fds the instant it
+  // _exits after writing Done, typically before the main thread has
+  // read the Done record), so only an EOF with no Done is a crash.
+  for (size_t a = 0; a < children_.size(); ++a) {
+    const Child& c = children_[a];
+    if (c.wire_eof && !c.done) {
+      return TransportFault{
+          static_cast<AgentId>(a), ErrorCode::kProtocolViolation,
+          "process transport: agent " + std::to_string(a) +
+              " hung up its wire before reporting Done (child crashed?)"};
+    }
+  }
+  return std::nullopt;
+}
+
+bool ProcessTransport::reaped(AgentId agent) const {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  return children_[static_cast<size_t>(agent)].reaped;
+}
+
+}  // namespace pem::net

@@ -1,0 +1,256 @@
+// Transport backend with one forked OS process per agent.
+//
+// This is the deployment model the paper actually evaluates — every
+// agent an independent party that exchanges nothing but wire messages —
+// realized with fork(2): the parent creates one full-duplex Unix-domain
+// socketpair per agent plus a control socketpair, forks one child per
+// agent that inherits EXACTLY its own ends, and keeps the relay router
+// in the parent.  Table-I bandwidth measured here is literal
+// cross-process socket traffic, accounted by the parent as the frames
+// cross its router.
+//
+// Execution model (see protocol/agent_driver.h for the protocol side).
+// The PEM protocols are a deterministic script over one seeded RNG:
+// coalition formation, ring orders, aggregator elections, nonces and
+// encryption randomness all derive from state every child inherited at
+// fork time.  Each child therefore re-derives the public schedule by
+// running the canonical script against an in-memory shadow bus
+// (MessageBus), while the wire operations of ITS OWN agent are real:
+//   * Send(from == self)  writes the canonical frame to the inherited
+//     socketpair (and to the shadow, which keeps the script advancing);
+//   * Receive(self)       blocks on the socketpair and byte-matches the
+//     arriving frame against the shadow's expectation — every message
+//     this agent consumes provably crossed the kernel, byte-identical
+//     to what the deterministic protocol demands;
+//   * Send/Receive(other) touch only the shadow: another agent's
+//     traffic is that agent's own process's business.
+// Frames from concurrent senders may physically arrive out of script
+// order (the processes really do run in parallel); a small stash holds
+// early arrivals until the script asks for them, so per-sender FIFO
+// order — the only order two independent parties can observe — is what
+// the parity tests compare.
+//
+// Child lifecycle.  Children are commanded over the control channel
+// (length-prefixed records) and report results the same way.  A child
+// that exits cleanly writes a Done record first; one that throws writes
+// an Error record; one that crashes is detected by control-channel
+// hangup, reaped with waitpid, and surfaced as a structured
+// TransportError naming the agent and its exit status or signal —
+// within the watchdog timeout, never as a silent hang.  The destructor
+// SIGKILLs and reaps whatever is still running, so no orphans or
+// zombies survive a failed run, and every inherited descriptor is
+// closed (asserted by the fd-stability lifecycle test).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/bus.h"
+#include "net/frame.h"
+#include "net/relay_util.h"
+#include "net/transport.h"
+
+namespace pem::net {
+
+// --- control plane ----------------------------------------------------
+
+// Record tags on the per-child control channel.  Commands flow parent
+// -> child, reports child -> parent.
+inline constexpr uint32_t kCtlCmdRun = 1;       // payload: command-defined
+inline constexpr uint32_t kCtlCmdShutdown = 2;  // child replies Done + exits
+inline constexpr uint32_t kCtlRepWindow = 3;    // payload: a window report
+inline constexpr uint32_t kCtlRepDone = 4;      // clean goodbye
+inline constexpr uint32_t kCtlRepError = 5;     // payload: utf-8 what()
+
+struct ControlRecord {
+  uint32_t tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Length-prefixed records ([u32 tag | u32 len | bytes]) over one end of
+// a socketpair.  Owns the descriptor.  Reads are deadline-bounded and
+// surface hangup / timeout as structured TransportError (never a silent
+// nullopt) — this is how a crashed child becomes a report instead of a
+// 6-hour CI hang.
+class ControlChannel {
+ public:
+  // `peer` names the agent on the other end (for error messages).
+  ControlChannel(int fd, AgentId peer);
+  ~ControlChannel();
+  ControlChannel(const ControlChannel&) = delete;
+  ControlChannel& operator=(const ControlChannel&) = delete;
+
+  void Write(uint32_t tag, std::span<const uint8_t> payload = {});
+  ControlRecord Read(int timeout_ms);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  AgentId peer_ = -1;
+  // Receive accumulator: one recv may coalesce several records (e.g. a
+  // child's Done immediately followed by an Error); bytes beyond the
+  // record being returned stay buffered for the next Read.
+  std::vector<uint8_t> rxbuf_;
+};
+
+// --- child side -------------------------------------------------------
+
+// The Transport a forked child hands its protocol driver: canonical
+// shadow bus for the script, real socketpair for this agent's own
+// traffic (see the file comment).  Accounting, HasMessage and the
+// observer run on the shadow, so stats() reports exactly the canonical
+// per-agent ledger every in-process backend reports — while the parent
+// router independently accounts the literal socket bytes, and the two
+// are asserted equal per window.
+class ProcessChildTransport : public Transport {
+ public:
+  // Takes ownership of `wire_fd` (this agent's socketpair end).
+  ProcessChildTransport(int num_agents, AgentId self, int wire_fd);
+  ~ProcessChildTransport() override;
+  ProcessChildTransport(const ProcessChildTransport&) = delete;
+  ProcessChildTransport& operator=(const ProcessChildTransport&) = delete;
+
+  AgentId self() const { return self_; }
+
+  int num_agents() const override { return shadow_.num_agents(); }
+  void Send(Message msg) override;
+  std::optional<Message> Receive(AgentId agent) override;
+  bool HasMessage(AgentId agent) const override;
+  TrafficStats stats(AgentId agent) const override;
+  uint64_t total_bytes() const override { return shadow_.total_bytes(); }
+  uint64_t total_messages() const override { return shadow_.total_messages(); }
+  double AverageBytesPerAgent() const override;
+  void ResetStats() override { shadow_.ResetStats(); }
+  void SetObserver(Observer observer) override;
+
+  // Asserts nothing unconsumed remains: no stashed early arrivals, no
+  // partial frame in the decoder, no unread bytes in the kernel buffer.
+  // Called after the protocol script completes; anything left means the
+  // wire and the deterministic script diverged.
+  void VerifyQuiescent() const;
+
+ private:
+  Message ReadWireFrame();  // blocking; throws TransportError on hangup
+
+  MessageBus shadow_;
+  AgentId self_;
+  int wire_fd_ = -1;
+  FrameDecoder rx_;
+  // Frames that physically arrived before the script asked for them.
+  std::vector<Message> stash_;
+};
+
+// --- parent side ------------------------------------------------------
+
+// Forks and supervises the per-agent children; routes their frames and
+// keeps the literal-socket-bytes ledger.  Not a Transport: the parent
+// is an operator, not an agent — it cannot Send or Receive, only
+// command children, collect their reports, and read the wire ledger.
+class ProcessTransport {
+ public:
+  // Runs inside the forked child.  Return value becomes the child's
+  // exit code.  Everything the callable captures is fork-copied, so
+  // capturing the parent's protocol state by reference is the intended
+  // way to hand each child its private snapshot.  On kCtlCmdShutdown
+  // the child must Write(kCtlRepDone) and return 0 (AgentDriver::Serve
+  // implements this contract).
+  using ChildMain =
+      std::function<int(AgentId self, Transport& wire, ControlChannel& ctl)>;
+
+  struct Options {
+    // Upper bound on any single control-plane wait (a child record, an
+    // exit).  A deadlocked or runaway child fails the run with a
+    // structured error after this long, instead of hanging until an
+    // outer ctest TIMEOUT / CI runner kill.
+    int watchdog_ms = 120'000;
+  };
+
+  ProcessTransport(int num_agents, ChildMain child_main, Options opts);
+  ProcessTransport(int num_agents, ChildMain child_main)
+      : ProcessTransport(num_agents, std::move(child_main), Options{}) {}
+  // SIGKILLs and reaps any child still running; closes every fd.
+  ~ProcessTransport();
+  ProcessTransport(const ProcessTransport&) = delete;
+  ProcessTransport& operator=(const ProcessTransport&) = delete;
+
+  int num_agents() const { return static_cast<int>(children_.size()); }
+
+  // Control plane (main thread only).
+  void Command(AgentId agent, uint32_t tag,
+               std::span<const uint8_t> payload = {});
+  void CommandAll(uint32_t tag, std::span<const uint8_t> payload = {});
+  // Next record from `agent`, watchdog-bounded.  A kCtlRepError record,
+  // a hangup, or a timeout is thrown as TransportError; if the child
+  // already died, the message names its exit status or fatal signal.
+  ControlRecord ReadRecord(AgentId agent);
+  // Clean teardown: Shutdown command to every child, Done record from
+  // each, then reap; throws on a nonzero exit.  Idempotent.
+  void Shutdown();
+
+  // Wire ledger: literal bytes the router moved between processes.
+  TrafficStats stats(AgentId agent) const;
+  uint64_t total_bytes() const;
+  uint64_t total_messages() const;
+  double AverageBytesPerAgent() const;
+  void ResetStats();
+  // Observer runs on the router thread in arrival order (concurrent
+  // senders interleave nondeterministically; per-sender order is FIFO).
+  void SetObserver(Transport::Observer observer);
+  std::optional<TransportFault> fault() const;
+
+  // Whether `agent`'s child has been reaped (test introspection).
+  bool reaped(AgentId agent) const;
+
+ private:
+  struct Child {
+    pid_t pid = -1;
+    int wire_fd = -1;  // parent end; nonblocking, router thread reads
+    std::unique_ptr<ControlChannel> ctl;
+    bool done = false;      // clean Done record received (mu_)
+    bool wire_eof = false;  // router saw the wire hang up (mu_)
+    bool reaped = false;    // waitpid collected
+    int wait_status = 0;
+  };
+
+  void RouterLoop();
+  void RouteFrame(const Message& frame);  // router thread only
+  void FlushPending(AgentId dest);        // router thread only
+  void WakeRouter();
+  void RecordFault(AgentId agent, std::string detail);
+  // waitpid with deadline; marks reaped.  Returns false on timeout.
+  bool ReapChild(AgentId agent, int timeout_ms);
+  void KillAndReapAll();  // SIGKILL stragglers; never throws
+  void StopRouter();
+  [[noreturn]] void ThrowChildFailure(AgentId agent, const std::string& why);
+
+  std::vector<Child> children_;
+  Options opts_;
+  WakePipe wake_;
+  bool finished_ = false;       // Shutdown() completed cleanly
+  bool router_stopped_ = false;
+
+  mutable std::mutex mu_;
+  TrafficLedger ledger_;
+  Transport::Observer observer_;
+  std::optional<TransportFault> fault_;
+  bool shutdown_ = false;  // router exit flag
+
+  // Router-thread-only state.
+  std::vector<FrameDecoder> rx_;
+  std::vector<PendingBuf> pending_;
+  std::vector<bool> closed_;  // wire hangup seen
+
+  std::thread router_;
+};
+
+}  // namespace pem::net

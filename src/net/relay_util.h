@@ -1,0 +1,101 @@
+// Shared scaffolding for the relay-thread routers.
+//
+// SocketTransport (in-process socketpairs) and ProcessTransport
+// (fork-per-agent) both run a single router thread that must never
+// block on one slow peer: routed frames queue in a per-destination
+// PendingBuf and are flushed with nonblocking writes, and senders
+// unpark a router sleeping in poll() through a wake socketpair.  This
+// header is the one copy of that machinery — the PR-3 deadlock fix
+// (wake-before-blocking-write) taught us that two hand-synced copies
+// of relay plumbing is how such bugs survive.
+#pragma once
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pem::net {
+
+// Bytes routed to a destination but not yet flushed into its (full)
+// socket.  Router-thread-only.
+struct PendingBuf {
+  std::vector<uint8_t> bytes;
+  size_t off = 0;
+
+  bool empty() const { return off == bytes.size(); }
+  void Clear() {
+    bytes.clear();
+    off = 0;
+  }
+};
+
+enum class FlushResult {
+  kDrained,     // everything written; buffer cleared
+  kWouldBlock,  // socket full; try again on POLLOUT
+  kPeerClosed,  // EPIPE/hard error; buffer cleared, caller latches fault
+};
+
+// Nonblocking flush of `p` into `fd` (MSG_NOSIGNAL keeps a dead peer
+// an errno, not a SIGPIPE).
+inline FlushResult FlushPendingBuf(int fd, PendingBuf& p) {
+  while (!p.empty()) {
+    const ssize_t n = send(fd, p.bytes.data() + p.off, p.bytes.size() - p.off,
+                           MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushResult::kWouldBlock;
+      if (errno == EINTR) continue;
+      p.Clear();
+      return FlushResult::kPeerClosed;
+    }
+    p.off += static_cast<size_t>(n);
+  }
+  p.Clear();
+  return FlushResult::kDrained;
+}
+
+// The wakeup channel: anyone may Wake() (nonblocking, coalescing), the
+// router polls recv_fd and Drain()s.
+struct WakePipe {
+  int send_fd = -1;
+  int recv_fd = -1;
+
+  void Open() {
+    int fds[2];
+    PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+              "wake pipe: socketpair failed");
+    send_fd = fds[0];
+    recv_fd = fds[1];
+    for (const int fd : {send_fd, recv_fd}) {
+      const int flags = fcntl(fd, F_GETFL, 0);
+      PEM_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "wake pipe: fcntl(O_NONBLOCK) failed");
+    }
+  }
+
+  void Close() {
+    if (send_fd >= 0) close(send_fd);
+    if (recv_fd >= 0) close(recv_fd);
+    send_fd = recv_fd = -1;
+  }
+
+  void Wake() const {
+    const uint8_t b = 1;
+    // A full pipe already guarantees a pending wake.
+    (void)send(send_fd, &b, 1, MSG_DONTWAIT | MSG_NOSIGNAL);
+  }
+
+  void Drain() const {
+    uint8_t buf[64];
+    while (recv(recv_fd, buf, sizeof buf, MSG_DONTWAIT) > 0) {
+    }
+  }
+};
+
+}  // namespace pem::net

@@ -59,9 +59,7 @@ SocketTransport::SocketTransport(int num_agents)
     SetNonBlocking(ch->ingress_router);
     channels_.push_back(std::move(ch));
   }
-  MakeSocketPair(&wake_send_, &wake_router_);
-  SetNonBlocking(wake_send_);
-  SetNonBlocking(wake_router_);
+  wake_.Open();
 
   delivered_.assign(n, 0);
   popped_.assign(n, 0);
@@ -84,15 +82,10 @@ SocketTransport::~SocketTransport() {
     CloseIfOpen(ch->ingress_router);
     CloseIfOpen(ch->ingress_agent);
   }
-  CloseIfOpen(wake_send_);
-  CloseIfOpen(wake_router_);
+  wake_.Close();
 }
 
-void SocketTransport::WakeRouter() {
-  const uint8_t b = 1;
-  // Non-blocking: a full wakeup pipe already guarantees a pending wake.
-  (void)send(wake_send_, &b, 1, MSG_DONTWAIT | MSG_NOSIGNAL);
-}
+void SocketTransport::WakeRouter() { wake_.Wake(); }
 
 void SocketTransport::Send(Message msg) {
   const int n = num_agents();
@@ -169,7 +162,17 @@ std::optional<Message> SocketTransport::Receive(AgentId agent) {
       PEM_CHECK(errno == EINTR, "socket transport: recv failed");
       continue;
     }
-    PEM_CHECK(n > 0, "socket transport: ingress channel closed mid-receive");
+    if (n == 0) {
+      // Hangup with a message still owed: the peer (router, or in
+      // ProcessTransport the parent) died.  Surface WHO and WHY as a
+      // structured error instead of aborting or faking an empty inbox.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fault_.has_value()) throw TransportError(*fault_);
+      throw TransportError(TransportFault{
+          agent, ErrorCode::kProtocolViolation,
+          "socket transport: agent " + std::to_string(agent) +
+              " ingress channel closed with a delivered message pending"});
+    }
     ch.rx.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
   }
 }
@@ -213,6 +216,26 @@ void SocketTransport::SetObserver(Observer observer) {
   observer_ = std::move(observer);
 }
 
+std::optional<TransportFault> SocketTransport::fault() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_;
+}
+
+void SocketTransport::RecordFault(AgentId agent, const char* what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fault_.has_value()) return;  // first fault wins; later ones cascade
+  fault_ = TransportFault{agent, ErrorCode::kProtocolViolation,
+                          "socket transport: agent " + std::to_string(agent) +
+                              ": " + what};
+}
+
+void SocketTransport::SimulatePeerHangupForTest(AgentId agent) {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  // shutdown(2), not close(2): the fd number stays allocated, so the
+  // router thread racing a write sees EPIPE rather than a recycled fd.
+  shutdown(channels_[static_cast<size_t>(agent)]->ingress_router, SHUT_RDWR);
+}
+
 void SocketTransport::RouteFrame(const Message& frame) {
   if (frame.to == kBroadcast) {
     for (AgentId to = 0; to < num_agents(); ++to) {
@@ -228,20 +251,19 @@ void SocketTransport::RouteFrame(const Message& frame) {
 
 void SocketTransport::FlushPending(AgentId dest) {
   PendingBuf& p = pending_[static_cast<size_t>(dest)];
-  while (!p.empty()) {
-    const ssize_t n =
-        send(channels_[static_cast<size_t>(dest)]->ingress_router,
-             p.bytes.data() + p.off, p.bytes.size() - p.off,
-             MSG_DONTWAIT | MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      PEM_CHECK(errno == EINTR, "socket transport: router send failed");
-      continue;
-    }
-    p.off += static_cast<size_t>(n);
+  Channel& ch = *channels_[static_cast<size_t>(dest)];
+  if (ch.ingress_closed) {
+    // Peer already gone: drop, the fault explains the loss.
+    p.Clear();
+    return;
   }
-  p.bytes.clear();
-  p.off = 0;
+  if (FlushPendingBuf(ch.ingress_router, p) == FlushResult::kPeerClosed) {
+    // EPIPE/ECONNRESET: the recipient's channel is gone.  Latch the
+    // fault and stop routing to it; the router must keep serving the
+    // other agents rather than aborting the whole transport.
+    RecordFault(dest, "router write failed, recipient channel closed (EPIPE)");
+    ch.ingress_closed = true;
+  }
 }
 
 void SocketTransport::RouterLoop() {
@@ -249,14 +271,24 @@ void SocketTransport::RouterLoop() {
   for (;;) {
     // Forward every decoded frame whose ticket is up, in ledger order.
     for (;;) {
-      AgentId sender;
+      AgentId sender = -1;
+      bool dropped = false;
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (tickets_.empty()) break;
         sender = tickets_.front();
-        if (router_queue_[static_cast<size_t>(sender)].empty()) break;
-        tickets_.pop_front();
+        if (router_queue_[static_cast<size_t>(sender)].empty()) {
+          if (!channels_[static_cast<size_t>(sender)]->egress_closed) break;
+          // The sender hung up before its frame crossed: the ticket can
+          // never be served.  Drop it (the fault explains the loss) so
+          // the router keeps forwarding the surviving agents' frames.
+          tickets_.pop_front();
+          dropped = true;
+        } else {
+          tickets_.pop_front();
+        }
       }
+      if (dropped) continue;
       std::deque<Message>& q = router_queue_[static_cast<size_t>(sender)];
       RouteFrame(q.front());
       q.pop_front();
@@ -278,13 +310,20 @@ void SocketTransport::RouterLoop() {
     }
 
     std::vector<pollfd> fds;
-    fds.push_back({wake_router_, POLLIN, 0});
+    fds.push_back({wake_.recv_fd, POLLIN, 0});
+    if (front >= 0 && channels_[static_cast<size_t>(front)]->egress_closed) {
+      // Ticket from a hung-up sender: the drop branch above handles it
+      // on the next pass; don't poll a dead fd.
+      front = -1;
+      continue;
+    }
     if (front >= 0) {
       fds.push_back(
           {channels_[static_cast<size_t>(front)]->egress_router, POLLIN, 0});
     }
     for (AgentId d = 0; d < n; ++d) {
-      if (!pending_[static_cast<size_t>(d)].empty()) {
+      if (!pending_[static_cast<size_t>(d)].empty() &&
+          !channels_[static_cast<size_t>(d)]->ingress_closed) {
         fds.push_back(
             {channels_[static_cast<size_t>(d)]->ingress_router, POLLOUT, 0});
       }
@@ -295,11 +334,7 @@ void SocketTransport::RouterLoop() {
     }
 
     // Drain wakeup bytes.
-    if (fds[0].revents & POLLIN) {
-      uint8_t buf[64];
-      while (recv(wake_router_, buf, sizeof buf, MSG_DONTWAIT) > 0) {
-      }
-    }
+    if (fds[0].revents & POLLIN) wake_.Drain();
     // Pull whatever the front ticket's sender has written so far.
     if (front >= 0) {
       uint8_t buf[4096];
@@ -312,7 +347,13 @@ void SocketTransport::RouterLoop() {
           PEM_CHECK(errno == EINTR, "socket transport: router recv failed");
           continue;
         }
-        PEM_CHECK(r > 0, "socket transport: egress channel closed");
+        if (r == 0) {
+          // Hangup mid-stream: latch the structured fault and stop
+          // reading this sender instead of wedging or aborting.
+          RecordFault(front, "egress channel closed (peer hung up)");
+          channels_[static_cast<size_t>(front)]->egress_closed = true;
+          break;
+        }
         router_rx_[static_cast<size_t>(front)].Feed(
             std::span<const uint8_t>(buf, static_cast<size_t>(r)));
       }

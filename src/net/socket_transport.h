@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/relay_util.h"
 #include "net/transport.h"
 
 namespace pem::net {
@@ -62,6 +63,15 @@ class SocketTransport : public Transport {
   double AverageBytesPerAgent() const override;
   void ResetStats() override;
   void SetObserver(Observer observer) override;
+  std::optional<TransportFault> fault() const override;
+
+  // Test hook: severs the router->agent ingress channel of `agent` as a
+  // crashed peer would (shutdown(2), so no fd-reuse race with the
+  // router thread).  The next router write surfaces EPIPE and the
+  // agent's next blocked Receive() throws a structured TransportError —
+  // exactly the closed-peer path ProcessTransport hits when a child
+  // dies.  Never called outside tests.
+  void SimulatePeerHangupForTest(AgentId agent);
 
  private:
   // One agent's pair of channels.  The agent-side fds block; the
@@ -75,23 +85,21 @@ class SocketTransport : public Transport {
     int ingress_agent = -1;  // agent reads them (Receive)
     FrameDecoder rx;         // agent-side reassembly; owner thread only
     std::mutex send_mu;      // keeps one sender's frames contiguous
-  };
-
-  // Frames routed but not yet flushed into a full ingress socket.
-  struct PendingBuf {
-    std::vector<uint8_t> bytes;
-    size_t off = 0;
-    bool empty() const { return off == bytes.size(); }
+    // Router-thread-only hangup latches: a closed direction is skipped
+    // by the poll set and its tickets are dropped (frames are lost, the
+    // fault records why) instead of wedging the router.
+    bool egress_closed = false;
+    bool ingress_closed = false;
   };
 
   void RouterLoop();
   void RouteFrame(const Message& frame);  // router thread only
   void FlushPending(AgentId dest);        // router thread only
   void WakeRouter();
+  void RecordFault(AgentId agent, const char* what);  // keeps the first
 
   std::vector<std::unique_ptr<Channel>> channels_;
-  int wake_router_ = -1;  // router reads wakeup bytes here
-  int wake_send_ = -1;    // Send/destructor write them here
+  WakePipe wake_;  // Send/destructor wake the router parked in poll()
 
   mutable std::mutex mu_;
   TrafficLedger ledger_;
@@ -104,6 +112,7 @@ class SocketTransport : public Transport {
   std::deque<AgentId> tickets_;
   Observer observer_;
   bool shutdown_ = false;
+  std::optional<TransportFault> fault_;  // first hangup observed
 
   // Router-thread-only state.
   std::vector<FrameDecoder> router_rx_;          // per egress channel

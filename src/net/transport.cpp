@@ -15,6 +15,12 @@ std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_agents) {
       return std::make_unique<ConcurrentMessageBus>(num_agents);
     case TransportKind::kSocket:
       return std::make_unique<SocketTransport>(num_agents);
+    case TransportKind::kProcess:
+      PEM_CHECK(false,
+                "MakeTransport: kProcess forks one child per agent and needs "
+                "a child entry point; construct net::ProcessTransport "
+                "directly (RunSimulation does for ExecutionPolicy::Process())");
+      return nullptr;
   }
   PEM_CHECK(false, "unknown transport kind");
   return nullptr;

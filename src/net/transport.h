@@ -28,6 +28,8 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "net/frame.h"
@@ -37,6 +39,35 @@
 namespace pem::net {
 
 class Endpoint;
+
+// Structured description of a channel whose peer went away (EPIPE /
+// hangup / EOF).  A closed peer is a runtime failure of the deployment,
+// not a programming error, so it must reach the caller as data —
+// ProcessTransport needs it to report WHICH child died and HOW —
+// instead of a bare abort in the relay thread or a silent nullopt from
+// Receive().
+struct TransportFault {
+  AgentId agent = -1;   // whose channel closed (-1: the transport itself)
+  ErrorCode code = ErrorCode::kProtocolViolation;
+  std::string detail;   // human-readable: syscall, errno, exit status
+};
+
+// Thrown by Receive()/control-plane reads when the underlying channel
+// is gone.  Transports record the first fault they observe (see
+// Transport::fault()) and throw it from every blocked or subsequent
+// read, so protocol code unwinds with a report instead of hanging.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(TransportFault fault)
+      : std::runtime_error(std::string(ErrorCodeName(fault.code)) + ": " +
+                           fault.detail),
+        fault_(std::move(fault)) {}
+
+  const TransportFault& fault() const { return fault_; }
+
+ private:
+  TransportFault fault_;
+};
 
 // Shared per-agent traffic accounting.  Every backend charges exactly
 // the codec's framed size per delivered copy through this one
@@ -126,6 +157,11 @@ class Transport {
 
   virtual void SetObserver(Observer observer) = 0;
 
+  // First channel fault observed (closed peer, dead router), if any.
+  // Backends without kernel channels can never fault.  Receive() on a
+  // faulted transport throws TransportError carrying this description.
+  virtual std::optional<TransportFault> fault() const { return std::nullopt; }
+
   // The per-agent handle protocol code acts through (defined below).
   Endpoint endpoint(AgentId id);
   std::vector<Endpoint> endpoints();
@@ -193,6 +229,7 @@ enum class TransportKind {
   kSerialBus,      // MessageBus: single-threaded, no locking
   kConcurrentBus,  // ConcurrentMessageBus: safe under ParallelFor
   kSocket,         // SocketTransport: framed Unix-domain socketpairs
+  kProcess,        // ProcessTransport: one forked OS process per agent
 };
 
 inline const char* TransportKindName(TransportKind k) {
@@ -202,6 +239,7 @@ inline const char* TransportKindName(TransportKind k) {
     case TransportKind::kSerialBus: return "serial";
     case TransportKind::kConcurrentBus: return "concurrent";
     case TransportKind::kSocket: return "socket";
+    case TransportKind::kProcess: return "process";
   }
   PEM_CHECK(false, "invalid TransportKind value");
   return nullptr;
@@ -231,10 +269,20 @@ struct ExecutionPolicy {
   static ExecutionPolicy Socket(int threads = 1) {
     return {TransportKind::kSocket, threads};
   }
+  // One forked OS process per agent: each child inherits exactly its
+  // own socketpair end and runs a single agent's side of every phase
+  // (protocol/agent_driver.h); the relay router and result collection
+  // stay in the parent.  `threads` sets each child's compute fan-out.
+  static ExecutionPolicy Process(int threads = 1) {
+    return {TransportKind::kProcess, threads};
+  }
 };
 
 // Constructs the backend selected by `kind`.  Aborts on a non-positive
-// agent count — a zero-agent transport can only hide bugs.
+// agent count — a zero-agent transport can only hide bugs.  kProcess is
+// not constructible here: forking children requires a child entry
+// point, so the driver must build net::ProcessTransport directly (as
+// core::RunSimulation does for ExecutionPolicy::Process()).
 std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_agents);
 
 }  // namespace pem::net

@@ -1,0 +1,228 @@
+#include "protocol/agent_driver.h"
+
+#include <cmath>
+#include <limits>
+
+#include "net/serialize.h"
+#include "util/error.h"
+
+namespace pem::protocol {
+namespace {
+
+void WriteStats(net::ByteWriter& w, const net::TrafficStats& s) {
+  w.U64(s.bytes_sent);
+  w.U64(s.bytes_received);
+  w.U64(s.messages_sent);
+  w.U64(s.messages_received);
+}
+
+net::TrafficStats ReadStats(net::ByteReader& r) {
+  net::TrafficStats s;
+  s.bytes_sent = r.U64();
+  s.bytes_received = r.U64();
+  s.messages_sent = r.U64();
+  s.messages_received = r.U64();
+  return s;
+}
+
+net::TrafficStats Delta(const net::TrafficStats& now,
+                        const net::TrafficStats& before) {
+  net::TrafficStats d;
+  d.bytes_sent = now.bytes_sent - before.bytes_sent;
+  d.bytes_received = now.bytes_received - before.bytes_received;
+  d.messages_sent = now.messages_sent - before.messages_sent;
+  d.messages_received = now.messages_received - before.messages_received;
+  return d;
+}
+
+bool SameDouble(double a, double b) {
+  // Exact bit-level agreement is the claim: every child computed the
+  // identical arithmetic from identical inputs.
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+bool SameReport(const WindowReport& a, const WindowReport& b) {
+  if (a.type != b.type || !SameDouble(a.price, b.price) ||
+      !SameDouble(a.supply_total, b.supply_total) ||
+      !SameDouble(a.demand_total, b.demand_total) ||
+      !SameDouble(a.buyer_total_cost, b.buyer_total_cost) ||
+      !SameDouble(a.grid_import_kwh, b.grid_import_kwh) ||
+      !SameDouble(a.grid_export_kwh, b.grid_export_kwh) ||
+      a.num_sellers != b.num_sellers || a.num_buyers != b.num_buyers ||
+      a.bus_bytes != b.bus_bytes || a.trades.size() != b.trades.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.trades.size(); ++i) {
+    const Trade& x = a.trades[i];
+    const Trade& y = b.trades[i];
+    if (x.seller_index != y.seller_index || x.buyer_index != y.buyer_index ||
+        !SameDouble(x.energy_kwh, y.energy_kwh) ||
+        !SameDouble(x.payment, y.payment)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWindowReport(const WindowReport& report) {
+  net::ByteWriter w;
+  w.U32(static_cast<uint32_t>(report.type));
+  w.F64(report.price);
+  w.F64(report.supply_total);
+  w.F64(report.demand_total);
+  w.F64(report.buyer_total_cost);
+  w.F64(report.grid_import_kwh);
+  w.F64(report.grid_export_kwh);
+  w.U32(static_cast<uint32_t>(report.num_sellers));
+  w.U32(static_cast<uint32_t>(report.num_buyers));
+  w.U32(static_cast<uint32_t>(report.trades.size()));
+  for (const Trade& t : report.trades) {
+    w.U64(static_cast<uint64_t>(t.seller_index));
+    w.U64(static_cast<uint64_t>(t.buyer_index));
+    w.F64(t.energy_kwh);
+    w.F64(t.payment);
+  }
+  w.F64(report.runtime_seconds);
+  w.U64(report.bus_bytes);
+  WriteStats(w, report.self_stats);
+  return w.Take();
+}
+
+WindowReport DecodeWindowReport(std::span<const uint8_t> bytes) {
+  net::ByteReader r(bytes);
+  WindowReport report;
+  report.type = static_cast<market::MarketType>(r.U32());
+  report.price = r.F64();
+  report.supply_total = r.F64();
+  report.demand_total = r.F64();
+  report.buyer_total_cost = r.F64();
+  report.grid_import_kwh = r.F64();
+  report.grid_export_kwh = r.F64();
+  report.num_sellers = static_cast<int>(r.U32());
+  report.num_buyers = static_cast<int>(r.U32());
+  const uint32_t trades = r.U32();
+  report.trades.reserve(trades);
+  for (uint32_t i = 0; i < trades; ++i) {
+    Trade t;
+    t.seller_index = static_cast<size_t>(r.U64());
+    t.buyer_index = static_cast<size_t>(r.U64());
+    t.energy_kwh = r.F64();
+    t.payment = r.F64();
+    report.trades.push_back(t);
+  }
+  report.runtime_seconds = r.F64();
+  report.bus_bytes = r.U64();
+  report.self_stats = ReadStats(r);
+  PEM_CHECK(r.AtEnd(), "window report: trailing bytes");
+  return report;
+}
+
+AgentDriver::AgentDriver(net::AgentId self, ProtocolContext& ctx,
+                         std::span<Party> parties, Callbacks callbacks)
+    : self_(self), ctx_(ctx), parties_(parties),
+      callbacks_(std::move(callbacks)) {
+  PEM_CHECK(self >= 0 && self < ctx.num_agents(),
+            "agent driver: self id out of range");
+  PEM_CHECK(parties_.size() == static_cast<size_t>(ctx.num_agents()),
+            "agent driver: parties/endpoints size mismatch");
+  PEM_CHECK(callbacks_.begin_window != nullptr,
+            "agent driver: begin_window callback is required");
+}
+
+WindowReport AgentDriver::RunWindow(int window) {
+  callbacks_.begin_window(window);
+  const net::TrafficStats before = ctx_.ep(self_).stats();
+  const PemWindowResult result = RunPemWindow(ctx_, parties_);
+
+  WindowReport report;
+  report.type = result.type;
+  report.price = result.price;
+  report.supply_total = result.supply_total;
+  report.demand_total = result.demand_total;
+  report.buyer_total_cost = result.buyer_total_cost;
+  report.grid_import_kwh = result.grid_import_kwh;
+  report.grid_export_kwh = result.grid_export_kwh;
+  for (const Party& p : parties_) {
+    if (p.role() == grid::Role::kSeller) ++report.num_sellers;
+    if (p.role() == grid::Role::kBuyer) ++report.num_buyers;
+  }
+  report.trades = result.trades;
+  report.runtime_seconds = result.runtime_seconds;
+  report.bus_bytes = result.bus_bytes;
+  report.self_stats = Delta(ctx_.ep(self_).stats(), before);
+  return report;
+}
+
+int AgentDriver::Serve(net::ControlChannel& ctl) {
+  // The parent's watchdog bounds ITS waits on us; our wait for the next
+  // command is idle time with no natural upper bound (a day-long
+  // simulation schedules windows as it reaches them), so wait
+  // effectively forever — if the parent dies, the control read throws
+  // on hangup (and PDEATHSIG reaps us outright anyway).
+  constexpr int kIdleMs = std::numeric_limits<int>::max();
+  int windows_run = 0;
+  for (;;) {
+    const net::ControlRecord cmd = ctl.Read(kIdleMs);
+    if (cmd.tag == net::kCtlCmdShutdown) {
+      ctl.Write(net::kCtlRepDone);
+      return windows_run;
+    }
+    PEM_CHECK(cmd.tag == net::kCtlCmdRun,
+              "agent driver: unexpected control command");
+    net::ByteReader r(cmd.payload);
+    const int window = static_cast<int>(r.U32());
+    PEM_CHECK(r.AtEnd(), "agent driver: trailing bytes in run command");
+    const WindowReport report = RunWindow(window);
+    ctl.Write(net::kCtlRepWindow, EncodeWindowReport(report));
+    if (callbacks_.after_window) callbacks_.after_window(window);
+    ++windows_run;
+  }
+}
+
+WindowReport CollectWindowReports(
+    net::ProcessTransport& transport,
+    std::span<const net::TrafficStats> stats_before) {
+  const int n = transport.num_agents();
+  PEM_CHECK(stats_before.size() == static_cast<size_t>(n),
+            "collect: stats snapshot size mismatch");
+  std::vector<WindowReport> reports;
+  reports.reserve(static_cast<size_t>(n));
+  for (net::AgentId a = 0; a < n; ++a) {
+    const net::ControlRecord rec = transport.ReadRecord(a);
+    PEM_CHECK(rec.tag == net::kCtlRepWindow,
+              "collect: child sent a non-report record");
+    reports.push_back(DecodeWindowReport(rec.payload));
+  }
+  // (a) Every independent process derived the same public outcome.
+  for (net::AgentId a = 1; a < n; ++a) {
+    PEM_CHECK(SameReport(reports[0], reports[static_cast<size_t>(a)]),
+              "collect: children disagree on the window outcome");
+  }
+  // (b) Canonical accounting == literal socket traffic.  All children
+  // have reported, so every frame of the window has been consumed and
+  // the router ledger is complete.
+  uint64_t wire_total = 0;
+  for (net::AgentId a = 0; a < n; ++a) {
+    const net::TrafficStats wire =
+        Delta(transport.stats(a), stats_before[static_cast<size_t>(a)]);
+    PEM_CHECK(wire == reports[static_cast<size_t>(a)].self_stats,
+              "collect: router's literal socket bytes diverge from the "
+              "canonical ledger");
+    wire_total += wire.bytes_sent;
+  }
+  PEM_CHECK(wire_total == reports[0].bus_bytes,
+            "collect: window wire total diverges from the canonical ledger");
+
+  WindowReport merged = reports[0];
+  // The window is done when its slowest agent is: report the max.
+  for (const WindowReport& rep : reports) {
+    if (rep.runtime_seconds > merged.runtime_seconds) {
+      merged.runtime_seconds = rep.runtime_seconds;
+    }
+  }
+  return merged;
+}
+
+}  // namespace pem::protocol

@@ -1,0 +1,106 @@
+// Per-process protocol driver: ONE agent's side of a trading window.
+//
+// In the in-process backends a single thread simulates every agent.
+// Under net::ProcessTransport each forked child owns exactly one agent:
+// it replays the deterministic protocol script (everything public —
+// coalition formation, ring orders, elections — plus the shadow of the
+// other agents' steps, all derived from the fork-time state snapshot
+// and the shared seeded RNG), while its own agent's sends and receives
+// are real kernel socketpair I/O, byte-verified against the script (see
+// net/process_transport.h).  The SAME RunPemWindow code path therefore
+// drives all four backends; what AgentDriver adds is the per-child
+// command loop, the per-window report, and the parent-side collector
+// that cross-checks every child's view of the window.
+//
+// Determinism contract: the context RNG must be a seeded deterministic
+// generator (RunSimulation uses DeterministicRng) — with a system RNG
+// the children's scripts would diverge at the first random draw, and
+// the byte-verification in the child transport would fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/process_transport.h"
+#include "protocol/pem_protocol.h"
+
+namespace pem::protocol {
+
+// One agent's view of a finished window, shipped to the parent over the
+// control channel.  The protocol makes every field public knowledge by
+// its last step (prices and cases are broadcast, trades are pairwise
+// messages the script derives for everyone), so all children must
+// report identical values — CollectWindowReports asserts exactly that.
+struct WindowReport {
+  market::MarketType type = market::MarketType::kNoMarket;
+  double price = 0.0;
+  double supply_total = 0.0;
+  double demand_total = 0.0;
+  double buyer_total_cost = 0.0;
+  double grid_import_kwh = 0.0;
+  double grid_export_kwh = 0.0;
+  int num_sellers = 0;
+  int num_buyers = 0;
+  std::vector<Trade> trades;
+  double runtime_seconds = 0.0;  // this child's wall clock for the window
+  uint64_t bus_bytes = 0;        // canonical ledger delta for the window
+  // This agent's own per-window counter delta (canonical shadow ledger);
+  // the parent asserts it equals the literal socket bytes its router
+  // moved for this agent.
+  net::TrafficStats self_stats;
+};
+
+std::vector<uint8_t> EncodeWindowReport(const WindowReport& report);
+WindowReport DecodeWindowReport(std::span<const uint8_t> bytes);
+
+// Runs inside a forked child: executes this agent's side of each window
+// the parent schedules, reports the result, and says goodbye on
+// Shutdown (the ProcessTransport::ChildMain contract).
+class AgentDriver {
+ public:
+  struct Callbacks {
+    // Loads window `w`'s inputs into the parties (trace resolution,
+    // BeginWindow); must mirror the parent's own per-window evolution
+    // exactly, including the windows the sampling skips.
+    std::function<void(int window)> begin_window;
+    // Idle-time work after a window (randomness-pool refill); runs
+    // outside the reported runtime, like RunSimulation's refill.
+    std::function<void(int window)> after_window;
+  };
+
+  // `parties` is this child's fork-copied snapshot; `self` names the
+  // one agent whose wire I/O is real.
+  AgentDriver(net::AgentId self, ProtocolContext& ctx,
+              std::span<Party> parties, Callbacks callbacks);
+
+  net::AgentId self() const { return self_; }
+
+  // One window of this agent's side; also usable in-process (tests).
+  WindowReport RunWindow(int window);
+
+  // Command loop: kCtlCmdRun (payload: i32 window) runs a window and
+  // writes its report; kCtlCmdShutdown writes Done and returns the
+  // number of windows executed.
+  int Serve(net::ControlChannel& ctl);
+
+ private:
+  net::AgentId self_;
+  ProtocolContext& ctx_;
+  std::span<Party> parties_;
+  Callbacks callbacks_;
+};
+
+// Parent side: reads one window report from every child and merges
+// them, asserting (a) all children agree on every public field and
+// (b) each child's canonical self-byte delta equals the literal socket
+// bytes the router relayed for that agent since `stats_before` — the
+// process-backend parity wall that runs on every window, not just in
+// tests.  `stats_before` is the router's per-agent snapshot taken when
+// the window was scheduled.
+WindowReport CollectWindowReports(
+    net::ProcessTransport& transport,
+    std::span<const net::TrafficStats> stats_before);
+
+}  // namespace pem::protocol

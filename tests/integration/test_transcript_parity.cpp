@@ -3,17 +3,29 @@
 // The tentpole claim of the transport redesign: the execution policy
 // (transport backend + compute workers) changes WHO computes each
 // ciphertext, WHEN, and over WHICH medium — in-process FIFO queues,
-// a mutex-guarded bus, or framed Unix-domain socketpairs — but never
-// WHAT goes on the wire.  With the same seed, every backend must
-// produce identical prices, trades, bus bytes, and — message by
-// message — an identical transcript (the serial/concurrent/socket
-// three-way matrix below).
+// a mutex-guarded bus, framed Unix-domain socketpairs, or one forked
+// OS process per agent — but never WHAT goes on the wire.  With the
+// same seed, every backend must produce identical prices, trades, bus
+// bytes, and an identical transcript (the serial/concurrent/socket/
+// process four-way matrix below).
+//
+// Transcript ordering caveat for the process backend: its agents really
+// run concurrently, so the parent router observes frames in physical
+// arrival order — only per-sender FIFO order is defined, exactly as on
+// a real network.  The process rows therefore compare per-sender
+// message sequences (plus total counts); the message-level byte
+// equality itself is additionally enforced INSIDE every child, which
+// byte-matches each frame it consumes against the deterministic
+// schedule (net/process_transport.h).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <vector>
 
 #include "core/simulation.h"
+#include "net/process_transport.h"
 #include "net/transport.h"
+#include "protocol/agent_driver.h"
 #include "protocol/pem_protocol.h"
 
 namespace pem {
@@ -103,7 +115,42 @@ WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
   return run;
 }
 
-void ExpectWindowParity(const WindowRun& serial, const WindowRun& parallel) {
+// Byte-identical transcript in the single total order every in-process
+// backend defines.
+void ExpectSameTranscript(const std::vector<net::Message>& serial,
+                          const std::vector<net::Message>& other) {
+  ASSERT_EQ(other.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(other[i] == serial[i])
+        << "transcript diverges at message " << i << " (serial type 0x"
+        << std::hex << serial[i].type << ", other type 0x" << other[i].type
+        << ")";
+  }
+}
+
+// Byte-identical transcript up to cross-sender interleaving: equal
+// totals and, per sender, the identical message sequence — the
+// strongest order a set of genuinely concurrent processes defines.
+void ExpectSameTranscriptPerSender(const std::vector<net::Message>& serial,
+                                   const std::vector<net::Message>& other) {
+  ASSERT_EQ(other.size(), serial.size());
+  std::map<net::AgentId, std::vector<const net::Message*>> a, b;
+  for (const net::Message& m : serial) a[m.from].push_back(&m);
+  for (const net::Message& m : other) b[m.from].push_back(&m);
+  ASSERT_EQ(b.size(), a.size());
+  for (const auto& [sender, seq] : a) {
+    const auto it = b.find(sender);
+    ASSERT_NE(it, b.end()) << "sender " << sender << " missing";
+    ASSERT_EQ(it->second.size(), seq.size()) << "sender " << sender;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_TRUE(*it->second[i] == *seq[i])
+          << "sender " << sender << " diverges at its message " << i;
+    }
+  }
+}
+
+void ExpectWindowParity(const WindowRun& serial, const WindowRun& parallel,
+                        bool strict_order = true) {
   // Market outcome.
   EXPECT_EQ(parallel.result.type, serial.result.type);
   EXPECT_DOUBLE_EQ(parallel.result.price, serial.result.price);
@@ -121,25 +168,121 @@ void ExpectWindowParity(const WindowRun& serial, const WindowRun& parallel) {
     EXPECT_DOUBLE_EQ(b.energy_kwh, a.energy_kwh) << i;
     EXPECT_DOUBLE_EQ(b.payment, a.payment) << i;
   }
-  // Byte-identical transcript, message by message.
-  ASSERT_EQ(parallel.messages.size(), serial.messages.size());
-  for (size_t i = 0; i < serial.messages.size(); ++i) {
-    EXPECT_TRUE(parallel.messages[i] == serial.messages[i])
-        << "transcript diverges at message " << i << " (serial type 0x"
-        << std::hex << serial.messages[i].type << ", parallel type 0x"
-        << parallel.messages[i].type << ")";
+  if (strict_order) {
+    ExpectSameTranscript(serial.messages, parallel.messages);
+  } else {
+    ExpectSameTranscriptPerSender(serial.messages, parallel.messages);
   }
   EXPECT_FALSE(serial.messages.empty());
 }
 
-TEST(TranscriptParity, WindowThreeWayMatrix) {
-  // serial / concurrent / socket: same seed, same transcript.
+// Process-backend window run: the same market and seed as RunWindow,
+// but with one forked OS process per agent.  The transcript is what the
+// parent router physically relayed between the children's socketpairs;
+// bytes are the router ledger's literal socket bytes.
+WindowRun RunWindowProcess(uint64_t seed, bool pooled = false,
+                           bool crt = true, int threads = 1) {
+  WindowRun run;
+  protocol::PemConfig cfg;
+  cfg.key_bits = 128;
+  cfg.precompute_encryption = pooled;
+  cfg.crt_encryption = crt;
+  const net::ExecutionPolicy policy = net::ExecutionPolicy::Process(threads);
+
+  crypto::DeterministicRng rng(seed);
+  crypto::PaillierPoolRegistry pools;
+  std::vector<protocol::Party> parties;
+  for (size_t i = 0; i < kMarket.size(); ++i) {
+    parties.emplace_back(static_cast<net::AgentId>(i), kMarket[i].params);
+  }
+
+  net::ProcessTransport::ChildMain child_main =
+      [&cfg, &policy, &rng, &pools, &parties](
+          net::AgentId self, net::Transport& wire,
+          net::ControlChannel& ctl) -> int {
+    std::vector<net::Endpoint> eps = wire.endpoints();
+    protocol::ProtocolContext ctx{eps, rng, cfg,
+                                  cfg.precompute_encryption ? &pools : nullptr,
+                                  policy};
+    protocol::AgentDriver::Callbacks callbacks;
+    callbacks.begin_window = [&](int) {
+      // Same RNG draw order as RunWindow's party setup / re-begin.
+      for (size_t i = 0; i < kMarket.size(); ++i) {
+        parties[i].BeginWindow(kMarket[i].state, cfg.nonce_bound, rng);
+      }
+    };
+    callbacks.after_window = [&](int) {
+      if (!cfg.precompute_encryption) return;
+      if (cfg.crt_encryption) {
+        for (const protocol::Party& p : parties) {
+          if (p.HasKeys()) pools.AttachOwner(p.private_key());
+        }
+      }
+      pools.RefillAll(/*target=*/64, rng, policy);
+    };
+    protocol::AgentDriver driver(self, ctx, parties, callbacks);
+    driver.Serve(ctl);
+    return 0;
+  };
+
+  net::ProcessTransport transport(static_cast<int>(kMarket.size()),
+                                  child_main);
+  const auto run_window = [&transport](int w) {
+    std::vector<net::TrafficStats> before;
+    for (net::AgentId a = 0; a < transport.num_agents(); ++a) {
+      before.push_back(transport.stats(a));
+    }
+    net::ByteWriter cmd;
+    cmd.U32(static_cast<uint32_t>(w));
+    const std::vector<uint8_t> payload = cmd.Take();
+    transport.CommandAll(net::kCtlCmdRun, payload);
+    return protocol::CollectWindowReports(transport, before);
+  };
+  if (pooled) {
+    // Warm-up window registers keys and pools; only the second window
+    // is measured (mirrors RunWindow exactly — the children's
+    // after_window refill runs between the two).
+    (void)run_window(0);
+  }
+  transport.ResetStats();
+  transport.SetObserver(
+      [&run](const net::Message& m) { run.messages.push_back(m); });
+  const protocol::WindowReport report = run_window(pooled ? 1 : 0);
+  run.transport_total_bytes = transport.total_bytes();
+  transport.SetObserver(nullptr);
+  transport.Shutdown();
+
+  run.result.type = report.type;
+  run.result.price = report.price;
+  run.result.trades = report.trades;
+  run.result.bus_bytes = report.bus_bytes;
+  // Pool-factor accounting lives inside the children; the pooled-branch
+  // coverage assertions stay with the in-process rows.
+  run.factors_consumed = 0;
+  return run;
+}
+
+TEST(TranscriptParity, WindowFourWayMatrix) {
+  // serial / concurrent / socket / process: same seed, same transcript.
   const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 42);
   const WindowRun parallel = RunWindow(net::ExecutionPolicy::Parallel(4), 42);
   const WindowRun socket = RunWindow(net::ExecutionPolicy::Socket(), 42);
+  const WindowRun process = RunWindowProcess(42);
   ExpectWindowParity(serial, parallel);
   ExpectWindowParity(serial, socket);
   ExpectWindowParity(parallel, socket);
+  // Forked agents: identical outcome and bytes, per-sender-identical
+  // transcript (their frames really interleave on arrival).
+  ExpectWindowParity(serial, process, /*strict_order=*/false);
+}
+
+TEST(TranscriptParity, ProcessWithComputeWorkersAlsoMatches) {
+  // The policy axes stay independent under fork too: each child fans
+  // its compute phase across workers without moving a wire byte.
+  const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 7);
+  const WindowRun process = RunWindowProcess(7, /*pooled=*/false,
+                                             /*crt=*/true, /*threads=*/2);
+  ExpectWindowParity(serial, process, /*strict_order=*/false);
 }
 
 TEST(TranscriptParity, WindowParityHoldsAcrossSeeds) {
@@ -167,8 +310,10 @@ TEST(TranscriptParity, WindowParityWithRandomnessPools) {
       RunWindow(net::ExecutionPolicy::Parallel(4), 11, /*pooled=*/true);
   const WindowRun socket =
       RunWindow(net::ExecutionPolicy::Socket(), 11, /*pooled=*/true);
+  const WindowRun process = RunWindowProcess(11, /*pooled=*/true);
   ExpectWindowParity(serial, parallel);
   ExpectWindowParity(serial, socket);
+  ExpectWindowParity(serial, process, /*strict_order=*/false);
   // The parity must cover the pooled EncryptWithFactor branch, not just
   // the fresh-randomness fallback: all engines must actually draw
   // factors, and the same number of them.
@@ -208,9 +353,12 @@ TEST(TranscriptParity, CrtAndConcurrentRefillMatrix) {
                                            11, /*pooled=*/true, /*crt=*/true);
   const WindowRun crt_socket = RunWindow(net::ExecutionPolicy::Socket(4), 11,
                                          /*pooled=*/true, /*crt=*/true);
+  const WindowRun crt_process =
+      RunWindowProcess(11, /*pooled=*/true, /*crt=*/true, /*threads=*/2);
   ExpectWindowParity(base, crt_serial);
   ExpectWindowParity(base, crt_parallel);
   ExpectWindowParity(base, crt_socket);
+  ExpectWindowParity(base, crt_process, /*strict_order=*/false);
   // All four runs must exercise the pooled branch, equally.
   EXPECT_GT(base.factors_consumed, 0u);
   EXPECT_EQ(crt_serial.factors_consumed, base.factors_consumed);
@@ -254,7 +402,8 @@ SimRun RunSim(const net::ExecutionPolicy& policy) {
   return run;
 }
 
-void ExpectSimParity(const SimRun& serial, const SimRun& other) {
+void ExpectSimParity(const SimRun& serial, const SimRun& other,
+                     bool strict_order = true) {
   ASSERT_EQ(other.result.windows.size(), serial.result.windows.size());
   ASSERT_FALSE(serial.result.windows.empty());
   for (size_t w = 0; w < serial.result.windows.size(); ++w) {
@@ -269,10 +418,10 @@ void ExpectSimParity(const SimRun& serial, const SimRun& other) {
   }
   EXPECT_EQ(other.result.total_bus_bytes, serial.result.total_bus_bytes);
 
-  ASSERT_EQ(other.messages.size(), serial.messages.size());
-  for (size_t i = 0; i < serial.messages.size(); ++i) {
-    EXPECT_TRUE(other.messages[i] == serial.messages[i])
-        << "transcript diverges at message " << i;
+  if (strict_order) {
+    ExpectSameTranscript(serial.messages, other.messages);
+  } else {
+    ExpectSameTranscriptPerSender(serial.messages, other.messages);
   }
   EXPECT_FALSE(serial.messages.empty());
 }
@@ -287,6 +436,17 @@ TEST(TranscriptParity, FullTradingDaySerialVsSocket) {
   const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
   const SimRun socket = RunSim(net::ExecutionPolicy::Socket());
   ExpectSimParity(serial, socket);
+}
+
+TEST(TranscriptParity, FullTradingDaySerialVsProcess) {
+  // Ten agents, ten OS processes, a six-window day: identical window
+  // records (prices, trades, BYTES — the process bytes being literal
+  // socketpair traffic, cross-checked against the canonical ledger on
+  // every window inside CollectWindowReports) and a per-sender
+  // byte-identical wire transcript.
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
+  const SimRun process = RunSim(net::ExecutionPolicy::Process());
+  ExpectSimParity(serial, process, /*strict_order=*/false);
 }
 
 }  // namespace

@@ -51,6 +51,36 @@ TEST(TransportKindNames, EveryBackendHasAName) {
   EXPECT_STREQ(TransportKindName(TransportKind::kSerialBus), "serial");
   EXPECT_STREQ(TransportKindName(TransportKind::kConcurrentBus), "concurrent");
   EXPECT_STREQ(TransportKindName(TransportKind::kSocket), "socket");
+  EXPECT_STREQ(TransportKindName(TransportKind::kProcess), "process");
+}
+
+// --- structured closed-peer errors ------------------------------------
+
+TEST(SocketTransport, PeerHangupSurfacesStructuredError) {
+  // A peer whose channel dies with a delivered message still pending
+  // must produce a TransportError naming the agent — not an abort in
+  // the relay thread, and not a silent empty inbox.  This is the exact
+  // path ProcessTransport hits when a child process crashes.
+  SocketTransport t(2);
+  t.Send(Make(0, 1, 5, 3));
+  ASSERT_TRUE(t.Receive(1).has_value());  // channel works beforehand
+
+  t.SimulatePeerHangupForTest(1);
+  t.Send(Make(0, 1, 5, 2));  // delivered per the ledger, lost on the wire
+  try {
+    (void)t.Receive(1);
+    FAIL() << "Receive on a hung-up channel must throw";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.fault().agent, 1);
+    EXPECT_NE(std::string(e.what()).find("closed"), std::string::npos)
+        << e.what();
+  }
+  // The healthy agent's channel keeps working: the router dropped the
+  // dead peer instead of wedging.
+  t.Send(Make(1, 0, 6, 1));
+  auto m = t.Receive(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, 6u);
 }
 
 // --- Endpoint handles -------------------------------------------------
