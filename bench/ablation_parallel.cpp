@@ -50,26 +50,29 @@ int main(int argc, char** argv) {
                   threads, cost.avg_runtime_seconds, speedup);
     }
   }
-  // Process backend: one forked OS process per agent, frames over real
-  // socketpairs through the parent router.  Swept at a smaller
-  // community: each child re-derives the full deterministic schedule
-  // (shadow compute) while performing only its own wire I/O, so the
-  // point of this backend is deployment realism — literal cross-process
-  // Table-I bytes, real fork/IPC cost in the wall clock — not speedup.
+  // Forked backends: one OS process per agent, frames over real
+  // socketpairs (process) or loopback TCP connections (tcp) through
+  // the parent router.  Swept at a smaller community: each child
+  // re-derives the full deterministic schedule (shadow compute) while
+  // performing only its own wire I/O, so the point of these backends
+  // is deployment realism — literal cross-process / network Table-I
+  // bytes, real fork/IPC/TCP cost in the wall clock — not speedup.
   const int process_homes = homes < 12 ? homes : 12;
   const grid::CommunityTrace process_trace =
       bench::MakeTrace(process_homes, flags.windows);
-  std::printf("\nprocess backend (n=%d, one OS process per agent):\n",
+  std::printf("\nforked backends (n=%d, one OS process per agent):\n",
               process_homes);
   std::printf("%12s %10s %24s %16s\n", "transport", "threads",
               "avg runtime/window (s)", "avg bytes/window");
-  for (const int threads : {1, 4}) {
-    const bench::CryptoWindowCost cost = bench::MeasureCryptoWindows(
-        process_trace, key_bits, flags.samples,
-        net::ExecutionPolicy::Process(threads));
-    std::printf("%12s %10d %24.3f %16.0f\n",
-                net::TransportKindName(net::TransportKind::kProcess), threads,
-                cost.avg_runtime_seconds, cost.avg_bus_bytes);
+  for (const net::TransportKind kind :
+       {net::TransportKind::kProcess, net::TransportKind::kTcp}) {
+    for (const int threads : {1, 4}) {
+      const bench::CryptoWindowCost cost = bench::MeasureCryptoWindows(
+          process_trace, key_bits, flags.samples,
+          net::ExecutionPolicy{kind, threads});
+      std::printf("%12s %10d %24.3f %16.0f\n", net::TransportKindName(kind),
+                  threads, cost.avg_runtime_seconds, cost.avg_bus_bytes);
+    }
   }
 
   std::printf(
@@ -80,9 +83,10 @@ int main(int argc, char** argv) {
       "consistent with the 8-thread point on comparable hardware; the\n"
       "concurrent transport adds only mutex overhead at equal thread count,\n"
       "the socket transport adds the syscall + frame-codec cost of a real\n"
-      "per-container deployment on top of that, and the process backend\n"
-      "(fork-per-agent) pays shadow re-derivation per child — its bytes, not\n"
-      "its wall clock, are the paper-faithful number\n",
+      "per-container deployment on top of that, and the forked backends\n"
+      "(fork-per-agent socketpairs, and loopback TCP with rendezvous +\n"
+      "TCP_NODELAY) pay shadow re-derivation per child — their bytes, not\n"
+      "their wall clock, are the paper-faithful number\n",
       hw);
   return 0;
 }

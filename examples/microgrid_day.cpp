@@ -85,5 +85,17 @@ int main(int argc, char** argv) {
               small.num_homes(), pr.windows.size());
   std::printf("  avg window : %.3f s end-to-end, %.0f bytes on the wire\n",
               pr.AverageRuntimeSeconds(), pr.AverageBusBytes());
+
+  // The same market again with every agent behind a loopback TCP
+  // connection (parent rendezvous listener, per-agent wire + control
+  // dial-ins): the bytes are now literal network traffic, and they
+  // must equal the socketpair run's to the byte.
+  pcfg.policy = net::ExecutionPolicy::Tcp();
+  const core::SimulationResult tr = core::RunSimulation(small, pcfg);
+  std::printf("tcp deployment (same homes and windows, port auto-assigned):\n");
+  std::printf("  avg window : %.3f s end-to-end, %.0f bytes on the network\n",
+              tr.AverageRuntimeSeconds(), tr.AverageBusBytes());
+  std::printf("  byte parity: %s\n",
+              tr.total_bus_bytes == pr.total_bus_bytes ? "exact" : "DIVERGED");
   return 0;
 }

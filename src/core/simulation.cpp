@@ -3,6 +3,7 @@
 #include "crypto/rng.h"
 #include "net/process_transport.h"
 #include "net/serialize.h"
+#include "net/tcp_transport.h"
 #include "protocol/agent_driver.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
@@ -68,8 +69,9 @@ WindowRecord BaselineRecord(int w,
   return rec;
 }
 
-// One forked OS process per agent (ExecutionPolicy::Process()).  The
-// parent never runs protocol code: it schedules windows over the
+// One OS process per agent (ExecutionPolicy::Process() over inherited
+// socketpairs, ExecutionPolicy::Tcp() over a loopback TCP rendezvous).
+// The parent never runs protocol code: it schedules windows over the
 // control channels, routes the children's frames, and merges their
 // reports; each child executes its own agent's side of every phase
 // against the state snapshot it inherited at fork time (see
@@ -134,9 +136,22 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
     return 0;
   };
 
-  net::ProcessTransport::Options opts;
-  opts.watchdog_ms = config.process_watchdog_ms;
-  net::ProcessTransport transport(num_homes, child_main, opts);
+  std::unique_ptr<net::AgentSupervisor> transport_owner;
+  if (config.policy.transport_kind == net::TransportKind::kTcp) {
+    net::TcpTransport::Options opts;
+    opts.watchdog_ms = config.process_watchdog_ms;
+    opts.host = config.tcp_host;
+    opts.port = config.tcp_port;
+    opts.verify_frames = config.tcp_verify_frames;
+    transport_owner = std::make_unique<net::TcpTransport>(
+        num_homes, child_main, std::move(opts));
+  } else {
+    net::ProcessTransport::Options opts;
+    opts.watchdog_ms = config.process_watchdog_ms;
+    transport_owner =
+        std::make_unique<net::ProcessTransport>(num_homes, child_main, opts);
+  }
+  net::AgentSupervisor& transport = *transport_owner;
   if (config.bus_observer) transport.SetObserver(config.bus_observer);
 
   for (int w = 0; w < trace.windows_per_day; ++w) {
@@ -195,7 +210,8 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
   config.pem.market.Validate();
 
   if (config.engine == Engine::kCrypto &&
-      config.policy.transport_kind == net::TransportKind::kProcess) {
+      (config.policy.transport_kind == net::TransportKind::kProcess ||
+       config.policy.transport_kind == net::TransportKind::kTcp)) {
     return RunSimulationProcess(trace, config);
   }
 

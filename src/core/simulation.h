@@ -14,6 +14,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "grid/trace.h"
@@ -46,11 +47,22 @@ struct SimulationConfig {
   // the paper's "executed in parallel during idle time" — without
   // affecting the factor order.
   net::ExecutionPolicy policy;
-  // Process backend only: upper bound on any wait for a child (a window
-  // report, an exit).  A crashed or deadlocked agent process fails the
-  // run with a structured error naming the child after this long,
-  // instead of hanging until a ctest TIMEOUT or CI runner kill.
+  // Process/TCP backends only: upper bound on any wait for a child (a
+  // window report, an exit).  A crashed or deadlocked agent process
+  // fails the run with a structured error naming the child after this
+  // long, instead of hanging until a ctest TIMEOUT or CI runner kill.
   int process_watchdog_ms = 120'000;
+  // TCP backend only (ExecutionPolicy::Tcp()): where the parent's
+  // rendezvous listener binds and the forked children dial.  Port 0
+  // auto-assigns; the default loopback host keeps the run on one
+  // machine while still pushing every frame through the network stack.
+  std::string tcp_host = "127.0.0.1";
+  uint16_t tcp_port = 0;
+  // TCP backend debug mode: byte-match every frame a child consumes
+  // against its deterministic shadow script (always on for the
+  // socketpair process backend).  Off by default — the parent's
+  // per-window ledger cross-check still runs.
+  bool tcp_verify_frames = false;
   // Optional tap on every delivered bus message (crypto engine only);
   // used for transcript comparison and debugging.  The callback may
   // run under the transport's lock, so it must not call back into the

@@ -18,68 +18,10 @@
 namespace pem::net {
 namespace {
 
-void SetNonBlocking(int fd) {
-  const int flags = fcntl(fd, F_GETFL, 0);
-  PEM_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
-            "process transport: fcntl(O_NONBLOCK) failed");
-}
-
-void MakeSocketPair(int* a, int* b) {
-  int fds[2];
-  PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
-            "process transport: socketpair failed");
-  *a = fds[0];
-  *b = fds[1];
-}
-
-void CloseIfOpen(int fd) {
-  if (fd >= 0) close(fd);
-}
-
-// Blocking full write that surfaces a dead peer as a structured error
-// (MSG_NOSIGNAL keeps EPIPE an errno, not a SIGPIPE).
-void SendAllOrThrow(int fd, const uint8_t* data, size_t len, AgentId agent,
-                    const char* what) {
-  while (len > 0) {
-    const ssize_t n = send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw TransportError(TransportFault{
-          agent, ErrorCode::kProtocolViolation,
-          std::string("process transport: ") + what + " write failed (" +
-              std::strerror(errno) + ")"});
-    }
-    data += n;
-    len -= static_cast<size_t>(n);
-  }
-}
-
-uint32_t LoadU32(const uint8_t* p) {
-  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
-         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
-}
-
-void StoreU32(uint8_t* p, uint32_t v) {
-  p[0] = static_cast<uint8_t>(v);
-  p[1] = static_cast<uint8_t>(v >> 8);
-  p[2] = static_cast<uint8_t>(v >> 16);
-  p[3] = static_cast<uint8_t>(v >> 24);
-}
-
 std::string HexU32(uint32_t v) {
   char buf[16];
   std::snprintf(buf, sizeof buf, "0x%08x", v);
   return buf;
-}
-
-std::string DescribeWaitStatus(int status) {
-  if (WIFEXITED(status)) {
-    return "exited with status " + std::to_string(WEXITSTATUS(status));
-  }
-  if (WIFSIGNALED(status)) {
-    return "killed by signal " + std::to_string(WTERMSIG(status));
-  }
-  return "ended with raw wait status " + std::to_string(status);
 }
 
 // Sanity bound on control payloads (window reports are kilobytes).
@@ -138,7 +80,7 @@ ControlRecord ControlChannel::Read(int timeout_ms) {
     }
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
-      throw TransportError(TransportFault{
+      throw ControlTimeout(TransportFault{
           peer_, ErrorCode::kProtocolViolation,
           "control channel: watchdog timeout after " +
               std::to_string(timeout_ms) + "ms waiting on agent " +
@@ -176,8 +118,11 @@ ControlRecord ControlChannel::Read(int timeout_ms) {
 // --- ProcessChildTransport --------------------------------------------
 
 ProcessChildTransport::ProcessChildTransport(int num_agents, AgentId self,
-                                             int wire_fd)
-    : shadow_(num_agents), self_(self), wire_fd_(wire_fd) {
+                                             int wire_fd, bool verify_frames)
+    : shadow_(num_agents),
+      self_(self),
+      wire_fd_(wire_fd),
+      verify_frames_(verify_frames) {
   PEM_CHECK(self >= 0 && self < num_agents,
             "process child transport: self id out of range");
   PEM_CHECK(wire_fd >= 0, "process child transport: bad wire descriptor");
@@ -192,7 +137,8 @@ void ProcessChildTransport::Send(Message msg) {
     // before the shadow consumes the message.
     const std::vector<uint8_t> frame = EncodeFrame(msg);
     shadow_.Send(std::move(msg));
-    SendAllOrThrow(wire_fd_, frame.data(), frame.size(), self_, "wire");
+    SendAllOrThrow(wire_fd_, frame.data(), frame.size(), self_,
+                   "process child transport: wire");
     return;
   }
   // Another agent's send: shadow only, to keep the script advancing.
@@ -221,30 +167,58 @@ Message ProcessChildTransport::ReadWireFrame() {
 std::optional<Message> ProcessChildTransport::Receive(AgentId agent) {
   std::optional<Message> expected = shadow_.Receive(agent);
   if (agent != self_ || !expected.has_value()) return expected;
-  // Own receive: the deterministic script names the exact frame this
-  // agent must consume next; insist a byte-identical frame physically
-  // arrives.  Frames from concurrent senders may arrive early relative
-  // to the script (the processes really run in parallel) — stash them
-  // until their turn.
+  if (verify_frames_) {
+    // Own receive, verifying: the deterministic script names the exact
+    // frame this agent must consume next; insist a byte-identical frame
+    // physically arrives.  Frames from concurrent senders may arrive
+    // early relative to the script (the processes really run in
+    // parallel) — stash them until their turn.
+    for (size_t i = 0; i < stash_.size(); ++i) {
+      if (stash_[i] == *expected) {
+        stash_.erase(stash_.begin() + static_cast<ptrdiff_t>(i));
+        return expected;
+      }
+    }
+    for (;;) {
+      Message m = ReadWireFrame();
+      if (m == *expected) return expected;
+      stash_.push_back(std::move(m));
+      if (stash_.size() >= kMaxStashedFrames) {
+        throw TransportError(TransportFault{
+            self_, ErrorCode::kProtocolViolation,
+            "process child transport: agent " + std::to_string(self_) +
+                " stashed " + std::to_string(stash_.size()) +
+                " frames without seeing the expected one (type " +
+                HexU32(expected->type) + " from " +
+                std::to_string(expected->from) +
+                ") — wire and deterministic script diverged"});
+      }
+    }
+  }
+  // Trusting mode: the script names only WHICH sender's frame this
+  // agent consumes next; the wire frame itself, matched per-sender FIFO
+  // (the only order two independent parties define), is what the
+  // protocol sees — a real remote deployment trusts its transport, and
+  // the parent's per-window ledger cross-check still runs.
+  const AgentId want = expected->from;
   for (size_t i = 0; i < stash_.size(); ++i) {
-    if (stash_[i] == *expected) {
+    if (stash_[i].from == want) {
+      Message m = std::move(stash_[i]);
       stash_.erase(stash_.begin() + static_cast<ptrdiff_t>(i));
-      return expected;
+      return m;
     }
   }
   for (;;) {
     Message m = ReadWireFrame();
-    if (m == *expected) return expected;
+    if (m.from == want) return m;
     stash_.push_back(std::move(m));
     if (stash_.size() >= kMaxStashedFrames) {
       throw TransportError(TransportFault{
           self_, ErrorCode::kProtocolViolation,
           "process child transport: agent " + std::to_string(self_) +
               " stashed " + std::to_string(stash_.size()) +
-              " frames without seeing the expected one (type " +
-              HexU32(expected->type) + " from " +
-              std::to_string(expected->from) +
-              ") — wire and deterministic script diverged"});
+              " frames without one from sender " + std::to_string(want) +
+              " — wire and deterministic script diverged"});
     }
   }
 }
@@ -276,39 +250,19 @@ void ProcessChildTransport::VerifyQuiescent() const {
             "process child transport: unread wire bytes at teardown");
 }
 
-// --- ProcessTransport -------------------------------------------------
+// --- child entry point ------------------------------------------------
 
-namespace {
-
-struct ChildFds {
-  int wire_parent = -1;
-  int wire_child = -1;
-  int ctl_parent = -1;
-  int ctl_child = -1;
-};
-
-[[noreturn]] void RunChildProcess(AgentId self, int num_agents,
-                                  const std::vector<ChildFds>& fds,
-                                  const ProcessTransport::ChildMain& main) {
+void RunAdoptedChild(AgentId self, int num_agents, int wire_fd, int ctl_fd,
+                     bool verify_frames,
+                     const AgentSupervisor::ChildMain& child_main) {
   // Die with the parent: a crashed/killed orchestrator must never leave
   // agent processes behind.
   prctl(PR_SET_PDEATHSIG, SIGKILL);
-  // Inherit EXACTLY this agent's ends; every other descriptor in the
-  // table belongs to the parent or a sibling.
-  for (int j = 0; j < num_agents; ++j) {
-    CloseIfOpen(fds[static_cast<size_t>(j)].wire_parent);
-    CloseIfOpen(fds[static_cast<size_t>(j)].ctl_parent);
-    if (j != self) {
-      CloseIfOpen(fds[static_cast<size_t>(j)].wire_child);
-      CloseIfOpen(fds[static_cast<size_t>(j)].ctl_child);
-    }
-  }
-  ControlChannel ctl(fds[static_cast<size_t>(self)].ctl_child, self);
+  ControlChannel ctl(ctl_fd, self);
   int code = 127;
   try {
-    ProcessChildTransport wire(num_agents, self,
-                               fds[static_cast<size_t>(self)].wire_child);
-    code = main(self, wire, ctl);
+    ProcessChildTransport wire(num_agents, self, wire_fd, verify_frames);
+    code = child_main(self, wire, ctl);
     wire.VerifyQuiescent();
   } catch (const std::exception& e) {
     try {
@@ -329,53 +283,20 @@ struct ChildFds {
   _exit(code);
 }
 
-}  // namespace
+// --- AgentSupervisor --------------------------------------------------
 
-ProcessTransport::ProcessTransport(int num_agents, ChildMain child_main,
-                                   Options opts)
+AgentSupervisor::AgentSupervisor(int num_agents, Options opts)
     : opts_(opts),
       ledger_(num_agents > 0 ? static_cast<size_t>(num_agents) : 0) {
-  PEM_CHECK(num_agents > 0, "ProcessTransport needs at least one agent");
-  PEM_CHECK(child_main != nullptr, "ProcessTransport needs a child entry point");
+  PEM_CHECK(num_agents > 0, "agent supervisor needs at least one agent");
   const size_t n = static_cast<size_t>(num_agents);
-
-  std::vector<ChildFds> fds(n);
-  for (size_t i = 0; i < n; ++i) {
-    MakeSocketPair(&fds[i].wire_parent, &fds[i].wire_child);
-    MakeSocketPair(&fds[i].ctl_parent, &fds[i].ctl_child);
-  }
-
   children_.resize(n);
   rx_.resize(n);
   pending_.resize(n);
   closed_.assign(n, false);
-
-  // Fork every child BEFORE starting the router thread: fork only
-  // clones the calling thread, and forking a process that holds live
-  // mutex-owning threads is how post-fork deadlocks are made.
-  for (size_t i = 0; i < n; ++i) {
-    const pid_t pid = fork();
-    PEM_CHECK(pid >= 0, "process transport: fork failed");
-    if (pid == 0) {
-      RunChildProcess(static_cast<AgentId>(i), num_agents, fds, child_main);
-    }
-    children_[i].pid = pid;
-    children_[i].wire_fd = fds[i].wire_parent;
-    children_[i].ctl = std::make_unique<ControlChannel>(
-        fds[i].ctl_parent, static_cast<AgentId>(i));
-    close(fds[i].wire_child);
-    close(fds[i].ctl_child);
-    fds[i].wire_child = fds[i].ctl_child = -1;
-  }
-
-  // Created after the forks so no child inherits it.
-  wake_.Open();
-  for (Child& c : children_) SetNonBlocking(c.wire_fd);
-
-  router_ = std::thread([this] { RouterLoop(); });
 }
 
-ProcessTransport::~ProcessTransport() {
+AgentSupervisor::~AgentSupervisor() {
   KillAndReapAll();
   StopRouter();
   for (Child& c : children_) {
@@ -386,19 +307,43 @@ ProcessTransport::~ProcessTransport() {
   wake_.Close();
 }
 
-void ProcessTransport::WakeRouter() { wake_.Wake(); }
+void AgentSupervisor::AdoptChild(AgentId agent, pid_t pid, int wire_fd,
+                                 int ctl_fd) {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "adopt: bad agent id");
+  PEM_CHECK(!router_started_, "adopt: router already running");
+  Child& c = children_[static_cast<size_t>(agent)];
+  PEM_CHECK(c.wire_fd < 0 && c.ctl == nullptr, "adopt: agent already adopted");
+  c.pid = pid;
+  c.wire_fd = wire_fd;
+  c.ctl = std::make_unique<ControlChannel>(ctl_fd, agent);
+}
 
-void ProcessTransport::RecordFault(AgentId agent, std::string detail) {
+void AgentSupervisor::StartRouter() {
+  PEM_CHECK(!router_started_, "router already started");
+  for (const Child& c : children_) {
+    PEM_CHECK(c.wire_fd >= 0 && c.ctl != nullptr,
+              "router start: an agent was never adopted");
+  }
+  // Opened after any forking so no child inherits it.
+  wake_.Open();
+  for (Child& c : children_) SetNonBlocking(c.wire_fd);
+  router_started_ = true;
+  router_ = std::thread([this] { RouterLoop(); });
+}
+
+void AgentSupervisor::WakeRouter() { wake_.Wake(); }
+
+void AgentSupervisor::RecordFault(AgentId agent, std::string detail) {
   std::lock_guard<std::mutex> lock(mu_);
   if (fault_.has_value()) return;  // first fault wins
   fault_ = TransportFault{agent, ErrorCode::kProtocolViolation,
                           std::move(detail)};
 }
 
-void ProcessTransport::RouteFrame(const Message& frame) {
+void AgentSupervisor::RouteFrame(const Message& frame) {
   const int n = num_agents();
   PEM_CHECK(frame.from >= 0 && frame.from < n,
-            "process transport: routed frame forges its sender");
+            "agent supervisor: routed frame forges its sender");
   if (frame.to == kBroadcast) {
     for (AgentId to = 0; to < n; ++to) {
       if (to == frame.from) continue;
@@ -414,7 +359,7 @@ void ProcessTransport::RouteFrame(const Message& frame) {
     return;
   }
   PEM_CHECK(frame.to >= 0 && frame.to < n,
-            "process transport: routed frame has a bad recipient");
+            "agent supervisor: routed frame has a bad recipient");
   {
     std::lock_guard<std::mutex> lock(mu_);
     ledger_.Account(frame.from, frame.to, frame.payload.size());
@@ -423,7 +368,7 @@ void ProcessTransport::RouteFrame(const Message& frame) {
   AppendFrame(pending_[static_cast<size_t>(frame.to)].bytes, frame);
 }
 
-void ProcessTransport::FlushPending(AgentId dest) {
+void AgentSupervisor::FlushPending(AgentId dest) {
   PendingBuf& p = pending_[static_cast<size_t>(dest)];
   if (closed_[static_cast<size_t>(dest)]) {
     p.Clear();
@@ -441,15 +386,15 @@ void ProcessTransport::FlushPending(AgentId dest) {
       children_[static_cast<size_t>(dest)].wire_eof = true;
     }
     if (!clean) {
-      RecordFault(dest, "process transport: agent " + std::to_string(dest) +
+      RecordFault(dest, "agent supervisor: agent " + std::to_string(dest) +
                             " wire write failed with frames pending — "
-                            "child gone?");
+                            "peer gone?");
     }
     closed_[static_cast<size_t>(dest)] = true;
   }
 }
 
-void ProcessTransport::RouterLoop() {
+void AgentSupervisor::RouterLoop() {
   const int n = num_agents();
   for (;;) {
     {
@@ -467,7 +412,7 @@ void ProcessTransport::RouterLoop() {
       who.push_back(a);
     }
     if (poll(pfds.data(), pfds.size(), -1) < 0) {
-      PEM_CHECK(errno == EINTR, "process transport: poll failed");
+      PEM_CHECK(errno == EINTR, "agent supervisor: poll failed");
       continue;
     }
     if (pfds[0].revents & POLLIN) wake_.Drain();
@@ -481,7 +426,7 @@ void ProcessTransport::RouterLoop() {
         if (r < 0) {
           if (errno == EAGAIN || errno == EWOULDBLOCK) break;
           if (errno == EINTR) continue;
-          RecordFault(a, "process transport: agent " + std::to_string(a) +
+          RecordFault(a, "agent supervisor: agent " + std::to_string(a) +
                              " wire read failed (" + std::strerror(errno) +
                              ")");
           closed_[static_cast<size_t>(a)] = true;
@@ -504,7 +449,7 @@ void ProcessTransport::RouterLoop() {
             std::span<const uint8_t>(buf, static_cast<size_t>(r)));
         while (std::optional<Message> f = rx_[static_cast<size_t>(a)].Next()) {
           PEM_CHECK(f->from == a,
-                    "process transport: child framed another agent's id");
+                    "agent supervisor: child framed another agent's id");
           RouteFrame(*f);
         }
       }
@@ -515,21 +460,21 @@ void ProcessTransport::RouterLoop() {
   }
 }
 
-void ProcessTransport::Command(AgentId agent, uint32_t tag,
-                               std::span<const uint8_t> payload) {
+void AgentSupervisor::Command(AgentId agent, uint32_t tag,
+                              std::span<const uint8_t> payload) {
   PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
   children_[static_cast<size_t>(agent)].ctl->Write(tag, payload);
 }
 
-void ProcessTransport::CommandAll(uint32_t tag,
-                                  std::span<const uint8_t> payload) {
+void AgentSupervisor::CommandAll(uint32_t tag,
+                                 std::span<const uint8_t> payload) {
   for (AgentId a = 0; a < num_agents(); ++a) Command(a, tag, payload);
 }
 
-void ProcessTransport::ThrowChildFailure(AgentId agent,
-                                         const std::string& why) {
+void AgentSupervisor::ThrowChildFailure(AgentId agent,
+                                        const std::string& why) {
   TransportFault fault{agent, ErrorCode::kProtocolViolation,
-                       "process transport: agent " + std::to_string(agent) +
+                       "agent supervisor: agent " + std::to_string(agent) +
                            " child process " + why};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -538,16 +483,30 @@ void ProcessTransport::ThrowChildFailure(AgentId agent,
   throw TransportError(std::move(fault));
 }
 
-ControlRecord ProcessTransport::ReadRecord(AgentId agent) {
+ControlRecord AgentSupervisor::ReadRecord(AgentId agent) {
   PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
   Child& c = children_[static_cast<size_t>(agent)];
   ControlRecord rec;
   try {
     rec = c.ctl->Read(opts_.watchdog_ms);
+  } catch (const ControlTimeout&) {
+    // Watchdog expiry with the channel still open: the peer is alive
+    // but silent.  A local child might nonetheless have died without
+    // the hangup reaching us yet — say how if so; otherwise surface
+    // the timeout itself (the destructor will kill and reap local
+    // stragglers; an external agent being slow is not a disconnect).
+    if (c.pid > 0 && ReapChild(agent, /*timeout_ms=*/2000)) {
+      ThrowChildFailure(agent, DescribeWaitStatus(c.wait_status) +
+                                   " before reporting");
+    }
+    throw;
   } catch (const TransportError&) {
-    // Hangup or watchdog expiry.  If the child is dead, say exactly how
-    // it died; if it is alive but silent, rethrow the timeout (the
-    // destructor will kill and reap it).
+    // Hangup or recv failure: the peer is gone.  If it was a local
+    // child, say exactly how it died; an external agent has no process
+    // to interrogate — its hangup IS the disconnect.
+    if (c.pid <= 0) {
+      ThrowChildFailure(agent, "disconnected before reporting");
+    }
     if (ReapChild(agent, /*timeout_ms=*/2000)) {
       ThrowChildFailure(agent, DescribeWaitStatus(c.wait_status) +
                                    " before reporting");
@@ -567,9 +526,15 @@ ControlRecord ProcessTransport::ReadRecord(AgentId agent) {
   return rec;
 }
 
-bool ProcessTransport::ReapChild(AgentId agent, int timeout_ms) {
+bool AgentSupervisor::ReapChild(AgentId agent, int timeout_ms) {
   Child& c = children_[static_cast<size_t>(agent)];
   if (c.reaped) return true;
+  if (c.pid <= 0) {
+    // Externally launched: no local process, nothing to collect.
+    c.reaped = true;
+    c.wait_status = 0;
+    return true;
+  }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
@@ -591,7 +556,7 @@ bool ProcessTransport::ReapChild(AgentId agent, int timeout_ms) {
   }
 }
 
-void ProcessTransport::KillAndReapAll() {
+void AgentSupervisor::KillAndReapAll() {
   for (AgentId a = 0; a < num_agents(); ++a) {
     Child& c = children_[static_cast<size_t>(a)];
     if (c.reaped || c.pid <= 0) continue;
@@ -607,8 +572,8 @@ void ProcessTransport::KillAndReapAll() {
   }
 }
 
-void ProcessTransport::StopRouter() {
-  if (router_stopped_) return;
+void AgentSupervisor::StopRouter() {
+  if (router_stopped_ || !router_started_) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -618,7 +583,7 @@ void ProcessTransport::StopRouter() {
   router_stopped_ = true;
 }
 
-void ProcessTransport::Shutdown() {
+void AgentSupervisor::Shutdown() {
   if (finished_) return;
   CommandAll(kCtlCmdShutdown);
   for (AgentId a = 0; a < num_agents(); ++a) {
@@ -633,7 +598,8 @@ void ProcessTransport::Shutdown() {
     if (!ReapChild(a, opts_.watchdog_ms)) {
       ThrowChildFailure(a, "did not exit within the watchdog after Done");
     }
-    if (!WIFEXITED(c.wait_status) || WEXITSTATUS(c.wait_status) != 0) {
+    if (c.pid > 0 &&
+        (!WIFEXITED(c.wait_status) || WEXITSTATUS(c.wait_status) != 0)) {
       ThrowChildFailure(a, DescribeWaitStatus(c.wait_status));
     }
   }
@@ -641,38 +607,38 @@ void ProcessTransport::Shutdown() {
   finished_ = true;
 }
 
-TrafficStats ProcessTransport::stats(AgentId agent) const {
+TrafficStats AgentSupervisor::stats(AgentId agent) const {
   PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
   std::lock_guard<std::mutex> lock(mu_);
   return ledger_.stats(agent);
 }
 
-uint64_t ProcessTransport::total_bytes() const {
+uint64_t AgentSupervisor::total_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ledger_.total_bytes;
 }
 
-uint64_t ProcessTransport::total_messages() const {
+uint64_t AgentSupervisor::total_messages() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ledger_.total_messages;
 }
 
-double ProcessTransport::AverageBytesPerAgent() const {
+double AgentSupervisor::AverageBytesPerAgent() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ledger_.AverageBytesPerAgent();
 }
 
-void ProcessTransport::ResetStats() {
+void AgentSupervisor::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   ledger_.Reset();
 }
 
-void ProcessTransport::SetObserver(Transport::Observer observer) {
+void AgentSupervisor::SetObserver(Transport::Observer observer) {
   std::lock_guard<std::mutex> lock(mu_);
   observer_ = std::move(observer);
 }
 
-std::optional<TransportFault> ProcessTransport::fault() const {
+std::optional<TransportFault> AgentSupervisor::fault() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (fault_.has_value()) return fault_;
   // A wire hangup is judged lazily against `done`: the router sees EOF
@@ -684,16 +650,87 @@ std::optional<TransportFault> ProcessTransport::fault() const {
     if (c.wire_eof && !c.done) {
       return TransportFault{
           static_cast<AgentId>(a), ErrorCode::kProtocolViolation,
-          "process transport: agent " + std::to_string(a) +
-              " hung up its wire before reporting Done (child crashed?)"};
+          "agent supervisor: agent " + std::to_string(a) +
+              " hung up its wire before reporting Done (peer crashed?)"};
     }
   }
   return std::nullopt;
 }
 
-bool ProcessTransport::reaped(AgentId agent) const {
+bool AgentSupervisor::reaped(AgentId agent) const {
   PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
-  return children_[static_cast<size_t>(agent)].reaped;
+  const Child& c = children_[static_cast<size_t>(agent)];
+  return c.reaped || c.pid <= 0;
+}
+
+void AgentSupervisor::SeverWireForTest(AgentId agent) {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  // shutdown(2), not close(2): the fd number stays allocated, so the
+  // router thread racing a read or write sees EOF/EPIPE rather than a
+  // recycled descriptor.
+  shutdown(children_[static_cast<size_t>(agent)].wire_fd, SHUT_RDWR);
+}
+
+// --- ProcessTransport -------------------------------------------------
+
+namespace {
+
+struct ChildFds {
+  int wire_parent = -1;
+  int wire_child = -1;
+  int ctl_parent = -1;
+  int ctl_child = -1;
+};
+
+[[noreturn]] void RunForkedChild(AgentId self, int num_agents,
+                                 const std::vector<ChildFds>& fds,
+                                 const AgentSupervisor::ChildMain& main) {
+  // Inherit EXACTLY this agent's ends; every other descriptor in the
+  // table belongs to the parent or a sibling.
+  for (int j = 0; j < num_agents; ++j) {
+    CloseIfOpen(fds[static_cast<size_t>(j)].wire_parent);
+    CloseIfOpen(fds[static_cast<size_t>(j)].ctl_parent);
+    if (j != self) {
+      CloseIfOpen(fds[static_cast<size_t>(j)].wire_child);
+      CloseIfOpen(fds[static_cast<size_t>(j)].ctl_child);
+    }
+  }
+  RunAdoptedChild(self, num_agents, fds[static_cast<size_t>(self)].wire_child,
+                  fds[static_cast<size_t>(self)].ctl_child,
+                  /*verify_frames=*/true, main);
+}
+
+}  // namespace
+
+ProcessTransport::ProcessTransport(int num_agents, ChildMain child_main,
+                                   Options opts)
+    : AgentSupervisor(num_agents, opts) {
+  PEM_CHECK(child_main != nullptr, "ProcessTransport needs a child entry point");
+  const size_t n = static_cast<size_t>(num_agents);
+
+  std::vector<ChildFds> fds(n);
+  for (size_t i = 0; i < n; ++i) {
+    MakeSocketPair(&fds[i].wire_parent, &fds[i].wire_child);
+    MakeSocketPair(&fds[i].ctl_parent, &fds[i].ctl_child);
+  }
+
+  // Fork every child BEFORE starting the router thread: fork only
+  // clones the calling thread, and forking a process that holds live
+  // mutex-owning threads is how post-fork deadlocks are made.
+  for (size_t i = 0; i < n; ++i) {
+    const pid_t pid = fork();
+    PEM_CHECK(pid >= 0, "process transport: fork failed");
+    if (pid == 0) {
+      RunForkedChild(static_cast<AgentId>(i), num_agents, fds, child_main);
+    }
+    AdoptChild(static_cast<AgentId>(i), pid, fds[i].wire_parent,
+               fds[i].ctl_parent);
+    close(fds[i].wire_child);
+    close(fds[i].ctl_child);
+    fds[i].wire_child = fds[i].ctl_child = -1;
+  }
+
+  StartRouter();
 }
 
 }  // namespace pem::net

@@ -1,4 +1,5 @@
-// Transport backend with one forked OS process per agent.
+// Transport backend with one forked OS process per agent — and the
+// shared parent-side supervisor every out-of-process backend reuses.
 //
 // This is the deployment model the paper actually evaluates — every
 // agent an independent party that exchanges nothing but wire messages —
@@ -9,6 +10,13 @@
 // cross-process socket traffic, accounted by the parent as the frames
 // cross its router.
 //
+// The parent-side machinery — the child table, the relay router, the
+// control plane, the watchdog, the reaping — never looks at HOW a
+// child's descriptors came to be (inherited socketpair ends here,
+// accepted TCP connections in net/tcp_transport.h), so it lives in
+// AgentSupervisor and the concrete backends only differ in their
+// constructors.
+//
 // Execution model (see protocol/agent_driver.h for the protocol side).
 // The PEM protocols are a deterministic script over one seeded RNG:
 // coalition formation, ring orders, aggregator elections, nonces and
@@ -16,12 +24,13 @@
 // fork time.  Each child therefore re-derives the public schedule by
 // running the canonical script against an in-memory shadow bus
 // (MessageBus), while the wire operations of ITS OWN agent are real:
-//   * Send(from == self)  writes the canonical frame to the inherited
-//     socketpair (and to the shadow, which keeps the script advancing);
-//   * Receive(self)       blocks on the socketpair and byte-matches the
-//     arriving frame against the shadow's expectation — every message
-//     this agent consumes provably crossed the kernel, byte-identical
-//     to what the deterministic protocol demands;
+//   * Send(from == self)  writes the canonical frame to the wire fd
+//     (and to the shadow, which keeps the script advancing);
+//   * Receive(self)       blocks on the wire and consumes the arriving
+//     frame; in verifying mode (the default here, a debug mode on TCP)
+//     it additionally byte-matches it against the shadow's expectation,
+//     so every message this agent consumes provably crossed the kernel
+//     byte-identical to what the deterministic protocol demands;
 //   * Send/Receive(other) touch only the shadow: another agent's
 //     traffic is that agent's own process's business.
 // Frames from concurrent senders may physically arrive out of script
@@ -76,11 +85,22 @@ struct ControlRecord {
   std::vector<uint8_t> payload;
 };
 
+// Thrown by ControlChannel::Read when the watchdog deadline expires
+// with the peer still connected — a distinct type from the hangup /
+// recv-failure TransportError so the supervisor can tell "alive but
+// slow" (surface the timeout) from "gone" (report a disconnect).  An
+// externally launched agent on a distant host makes the difference
+// matter: a slow window report is not a dead peer.
+class ControlTimeout : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
 // Length-prefixed records ([u32 tag | u32 len | bytes]) over one end of
-// a socketpair.  Owns the descriptor.  Reads are deadline-bounded and
-// surface hangup / timeout as structured TransportError (never a silent
-// nullopt) — this is how a crashed child becomes a report instead of a
-// 6-hour CI hang.
+// a stream socket (a socketpair end or a connected TCP socket).  Owns
+// the descriptor.  Reads are deadline-bounded and surface hangup /
+// timeout as structured TransportError (never a silent nullopt) — this
+// is how a crashed child becomes a report instead of a 6-hour CI hang.
 class ControlChannel {
  public:
   // `peer` names the agent on the other end (for error messages).
@@ -106,16 +126,25 @@ class ControlChannel {
 // --- child side -------------------------------------------------------
 
 // The Transport a forked child hands its protocol driver: canonical
-// shadow bus for the script, real socketpair for this agent's own
-// traffic (see the file comment).  Accounting, HasMessage and the
-// observer run on the shadow, so stats() reports exactly the canonical
-// per-agent ledger every in-process backend reports — while the parent
-// router independently accounts the literal socket bytes, and the two
-// are asserted equal per window.
+// shadow bus for the script, real wire fd for this agent's own traffic
+// (see the file comment).  Accounting, HasMessage and the observer run
+// on the shadow, so stats() reports exactly the canonical per-agent
+// ledger every in-process backend reports — while the parent router
+// independently accounts the literal socket bytes, and the two are
+// asserted equal per window.
+//
+// Verification mode.  With `verify_frames` (the socketpair backend's
+// default) every frame this agent consumes is byte-matched against the
+// deterministic script, and any mismatch throws.  Without it (the TCP
+// backend's default — a real remote deployment trusts its transport,
+// and the per-window ledger cross-check still runs in the parent) the
+// script only names WHICH sender's frame to consume next; the wire
+// frame itself, matched per-sender FIFO, is what Receive returns.
 class ProcessChildTransport : public Transport {
  public:
-  // Takes ownership of `wire_fd` (this agent's socketpair end).
-  ProcessChildTransport(int num_agents, AgentId self, int wire_fd);
+  // Takes ownership of `wire_fd` (this agent's end of the wire).
+  ProcessChildTransport(int num_agents, AgentId self, int wire_fd,
+                        bool verify_frames = true);
   ~ProcessChildTransport() override;
   ProcessChildTransport(const ProcessChildTransport&) = delete;
   ProcessChildTransport& operator=(const ProcessChildTransport&) = delete;
@@ -145,6 +174,7 @@ class ProcessChildTransport : public Transport {
   MessageBus shadow_;
   AgentId self_;
   int wire_fd_ = -1;
+  bool verify_frames_ = true;
   FrameDecoder rx_;
   // Frames that physically arrived before the script asked for them.
   std::vector<Message> stash_;
@@ -152,18 +182,24 @@ class ProcessChildTransport : public Transport {
 
 // --- parent side ------------------------------------------------------
 
-// Forks and supervises the per-agent children; routes their frames and
-// keeps the literal-socket-bytes ledger.  Not a Transport: the parent
+// Supervises one out-of-process child per agent: routes their frames
+// through the relay thread, keeps the literal-wire-bytes ledger, and
+// runs the watchdog-bounded control plane.  Not a Transport: the parent
 // is an operator, not an agent — it cannot Send or Receive, only
 // command children, collect their reports, and read the wire ledger.
-class ProcessTransport {
+//
+// Concrete backends (ProcessTransport, TcpTransport) differ only in
+// how each child comes to exist and how its two descriptors reach the
+// parent; their constructors fill the child table via AdoptChild and
+// then StartRouter.
+class AgentSupervisor {
  public:
-  // Runs inside the forked child.  Return value becomes the child's
-  // exit code.  Everything the callable captures is fork-copied, so
-  // capturing the parent's protocol state by reference is the intended
-  // way to hand each child its private snapshot.  On kCtlCmdShutdown
-  // the child must Write(kCtlRepDone) and return 0 (AgentDriver::Serve
-  // implements this contract).
+  // Runs a child's agent.  Return value becomes the child's exit code.
+  // Everything the callable captures is fork-copied, so capturing the
+  // parent's protocol state by reference is the intended way to hand
+  // each child its private snapshot.  On kCtlCmdShutdown the child must
+  // Write(kCtlRepDone) and return 0 (AgentDriver::Serve implements this
+  // contract).
   using ChildMain =
       std::function<int(AgentId self, Transport& wire, ControlChannel& ctl)>;
 
@@ -175,13 +211,10 @@ class ProcessTransport {
     int watchdog_ms = 120'000;
   };
 
-  ProcessTransport(int num_agents, ChildMain child_main, Options opts);
-  ProcessTransport(int num_agents, ChildMain child_main)
-      : ProcessTransport(num_agents, std::move(child_main), Options{}) {}
   // SIGKILLs and reaps any child still running; closes every fd.
-  ~ProcessTransport();
-  ProcessTransport(const ProcessTransport&) = delete;
-  ProcessTransport& operator=(const ProcessTransport&) = delete;
+  virtual ~AgentSupervisor();
+  AgentSupervisor(const AgentSupervisor&) = delete;
+  AgentSupervisor& operator=(const AgentSupervisor&) = delete;
 
   int num_agents() const { return static_cast<int>(children_.size()); }
 
@@ -208,17 +241,37 @@ class ProcessTransport {
   void SetObserver(Transport::Observer observer);
   std::optional<TransportFault> fault() const;
 
-  // Whether `agent`'s child has been reaped (test introspection).
+  // Whether `agent`'s child has been reaped (test introspection; true
+  // for externally launched agents, which have no local pid).
   bool reaped(AgentId agent) const;
+
+  // Test hook: severs `agent`'s wire from the parent side as a broken
+  // network/crashed peer would (shutdown(2), so no fd-reuse race with
+  // the router thread).  The child's next blocked Receive() throws a
+  // structured TransportError; the router latches the fault and keeps
+  // routing the survivors.  Never called outside tests.
+  void SeverWireForTest(AgentId agent);
+
+ protected:
+  AgentSupervisor(int num_agents, Options opts);
+
+  // Hands `agent`'s child to the supervisor: a local pid (or -1 for an
+  // externally launched agent), the parent end of its wire, and the
+  // parent end of its control channel.  Constructor phase only, before
+  // StartRouter.
+  void AdoptChild(AgentId agent, pid_t pid, int wire_fd, int ctl_fd);
+  // All children adopted: open the wake pipe, flip the wire fds
+  // nonblocking, and start the relay router.  Call once, last.
+  void StartRouter();
 
  private:
   struct Child {
-    pid_t pid = -1;
+    pid_t pid = -1;    // -1: externally launched, nothing to reap
     int wire_fd = -1;  // parent end; nonblocking, router thread reads
     std::unique_ptr<ControlChannel> ctl;
     bool done = false;      // clean Done record received (mu_)
     bool wire_eof = false;  // router saw the wire hang up (mu_)
-    bool reaped = false;    // waitpid collected
+    bool reaped = false;    // waitpid collected (or nothing to collect)
     int wait_status = 0;
   };
 
@@ -236,7 +289,8 @@ class ProcessTransport {
   std::vector<Child> children_;
   Options opts_;
   WakePipe wake_;
-  bool finished_ = false;       // Shutdown() completed cleanly
+  bool finished_ = false;  // Shutdown() completed cleanly
+  bool router_started_ = false;
   bool router_stopped_ = false;
 
   mutable std::mutex mu_;
@@ -251,6 +305,25 @@ class ProcessTransport {
   std::vector<bool> closed_;  // wire hangup seen
 
   std::thread router_;
+};
+
+// Runs inside a freshly launched child process: builds the child-side
+// transport over `wire_fd` and the control channel over `ctl_fd`, runs
+// `child_main`, reports an Error record on exception, and _exits with
+// the callable's return value.  Shared by the fork-over-socketpair and
+// the connect-over-TCP child launchers.
+[[noreturn]] void RunAdoptedChild(AgentId self, int num_agents, int wire_fd,
+                                  int ctl_fd, bool verify_frames,
+                                  const AgentSupervisor::ChildMain& child_main);
+
+// One forked OS process per agent over inherited socketpairs.
+class ProcessTransport : public AgentSupervisor {
+ public:
+  using Options = AgentSupervisor::Options;
+
+  ProcessTransport(int num_agents, ChildMain child_main, Options opts);
+  ProcessTransport(int num_agents, ChildMain child_main)
+      : ProcessTransport(num_agents, std::move(child_main), Options{}) {}
 };
 
 }  // namespace pem::net

@@ -1,27 +1,99 @@
 // Shared scaffolding for the relay-thread routers.
 //
-// SocketTransport (in-process socketpairs) and ProcessTransport
-// (fork-per-agent) both run a single router thread that must never
-// block on one slow peer: routed frames queue in a per-destination
-// PendingBuf and are flushed with nonblocking writes, and senders
-// unpark a router sleeping in poll() through a wake socketpair.  This
-// header is the one copy of that machinery — the PR-3 deadlock fix
-// (wake-before-blocking-write) taught us that two hand-synced copies
-// of relay plumbing is how such bugs survive.
+// SocketTransport (in-process socketpairs), ProcessTransport
+// (fork-per-agent) and TcpTransport (TCP rendezvous) all run a single
+// router thread that must never block on one slow peer: routed frames
+// queue in a per-destination PendingBuf and are flushed with
+// nonblocking writes, and senders unpark a router sleeping in poll()
+// through a wake socketpair.  This header is the one copy of that
+// machinery — plus the descriptor helpers (nonblocking toggles, fully
+// retried writes, wait-status pretty printing) every backend needs —
+// because the PR-3 deadlock fix (wake-before-blocking-write) taught us
+// that hand-synced copies of relay plumbing is how such bugs survive.
 #pragma once
 
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
 #include <vector>
 
+#include "net/message.h"
+#include "net/transport.h"
 #include "util/error.h"
 
 namespace pem::net {
+
+// Little-endian u32 load/store for the small fixed-layout records the
+// out-of-process backends exchange beside the frame codec (control
+// records, TCP hellos).  One copy, used by every transport.
+inline uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline void StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  PEM_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+            "relay: fcntl(O_NONBLOCK) failed");
+}
+
+inline void MakeSocketPair(int* a, int* b) {
+  int fds[2];
+  PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+            "relay: socketpair failed");
+  *a = fds[0];
+  *b = fds[1];
+}
+
+inline void CloseIfOpen(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+// Blocking FULL write: a short send() — routine on TCP, where the
+// kernel takes whatever fits in SO_SNDBUF — is retried until every
+// byte is queued, and a dead peer surfaces as a structured error
+// (MSG_NOSIGNAL keeps EPIPE an errno, not a SIGPIPE).  `agent` and
+// `what` only flavor the error message.
+inline void SendAllOrThrow(int fd, const uint8_t* data, size_t len,
+                           AgentId agent, const char* what) {
+  while (len > 0) {
+    const ssize_t n = send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(TransportFault{
+          agent, ErrorCode::kProtocolViolation,
+          std::string(what) + ": write failed (" + std::strerror(errno) +
+              ")"});
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+inline std::string DescribeWaitStatus(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended with raw wait status " + std::to_string(status);
+}
 
 // Bytes routed to a destination but not yet flushed into its (full)
 // socket.  Router-thread-only.

@@ -10,41 +10,6 @@
 #include "util/error.h"
 
 namespace pem::net {
-namespace {
-
-void SetNonBlocking(int fd) {
-  const int flags = fcntl(fd, F_GETFL, 0);
-  PEM_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
-            "socket transport: fcntl(O_NONBLOCK) failed");
-}
-
-void MakeSocketPair(int* a, int* b) {
-  int fds[2];
-  PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
-            "socket transport: socketpair failed");
-  *a = fds[0];
-  *b = fds[1];
-}
-
-// Blocking full write; MSG_NOSIGNAL so a torn-down peer surfaces as an
-// error instead of SIGPIPE.
-void SendAll(int fd, const uint8_t* data, size_t len) {
-  while (len > 0) {
-    const ssize_t n = send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      PEM_CHECK(errno == EINTR, "socket transport: send failed");
-      continue;
-    }
-    data += n;
-    len -= static_cast<size_t>(n);
-  }
-}
-
-void CloseIfOpen(int fd) {
-  if (fd >= 0) close(fd);
-}
-
-}  // namespace
 
 SocketTransport::SocketTransport(int num_agents)
     : ledger_(num_agents > 0 ? static_cast<size_t>(num_agents) : 0) {
@@ -136,7 +101,8 @@ void SocketTransport::Send(Message msg) {
   // poll between two Sends).
   WakeRouter();
   const std::vector<uint8_t> frame = EncodeFrame(msg);
-  SendAll(ch.egress_agent, frame.data(), frame.size());
+  SendAllOrThrow(ch.egress_agent, frame.data(), frame.size(), msg.from,
+                 "socket transport: egress");
   WakeRouter();
 }
 

@@ -21,6 +21,13 @@ std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_agents) {
                 "a child entry point; construct net::ProcessTransport "
                 "directly (RunSimulation does for ExecutionPolicy::Process())");
       return nullptr;
+    case TransportKind::kTcp:
+      PEM_CHECK(false,
+                "MakeTransport: kTcp launches one child per agent over a TCP "
+                "rendezvous and needs a child entry point; construct "
+                "net::TcpTransport directly (RunSimulation does for "
+                "ExecutionPolicy::Tcp())");
+      return nullptr;
   }
   PEM_CHECK(false, "unknown transport kind");
   return nullptr;

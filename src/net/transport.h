@@ -230,6 +230,7 @@ enum class TransportKind {
   kConcurrentBus,  // ConcurrentMessageBus: safe under ParallelFor
   kSocket,         // SocketTransport: framed Unix-domain socketpairs
   kProcess,        // ProcessTransport: one forked OS process per agent
+  kTcp,            // TcpTransport: one process per agent over TCP
 };
 
 inline const char* TransportKindName(TransportKind k) {
@@ -240,6 +241,7 @@ inline const char* TransportKindName(TransportKind k) {
     case TransportKind::kConcurrentBus: return "concurrent";
     case TransportKind::kSocket: return "socket";
     case TransportKind::kProcess: return "process";
+    case TransportKind::kTcp: return "tcp";
   }
   PEM_CHECK(false, "invalid TransportKind value");
   return nullptr;
@@ -275,6 +277,15 @@ struct ExecutionPolicy {
   // stay in the parent.  `threads` sets each child's compute fan-out.
   static ExecutionPolicy Process(int threads = 1) {
     return {TransportKind::kProcess, threads};
+  }
+  // One OS process per agent over real TCP connections (loopback by
+  // default): children dial the parent's rendezvous listener instead
+  // of inheriting a socketpair, so per-agent bytes are literal network
+  // bytes and the agents could as well live on other hosts
+  // (net/tcp_transport.h).  `threads` sets each child's compute
+  // fan-out.
+  static ExecutionPolicy Tcp(int threads = 1) {
+    return {TransportKind::kTcp, threads};
   }
 };
 

@@ -182,7 +182,7 @@ int AgentDriver::Serve(net::ControlChannel& ctl) {
 }
 
 WindowReport CollectWindowReports(
-    net::ProcessTransport& transport,
+    net::AgentSupervisor& transport,
     std::span<const net::TrafficStats> stats_before) {
   const int n = transport.num_agents();
   PEM_CHECK(stats_before.size() == static_cast<size_t>(n),

@@ -96,11 +96,12 @@ class AgentDriver {
 // them, asserting (a) all children agree on every public field and
 // (b) each child's canonical self-byte delta equals the literal socket
 // bytes the router relayed for that agent since `stats_before` — the
-// process-backend parity wall that runs on every window, not just in
-// tests.  `stats_before` is the router's per-agent snapshot taken when
-// the window was scheduled.
+// out-of-process parity wall that runs on every window, not just in
+// tests, for both the fork-over-socketpair and the TCP backend.
+// `stats_before` is the router's per-agent snapshot taken when the
+// window was scheduled.
 WindowReport CollectWindowReports(
-    net::ProcessTransport& transport,
+    net::AgentSupervisor& transport,
     std::span<const net::TrafficStats> stats_before);
 
 }  // namespace pem::protocol

@@ -3,27 +3,32 @@
 // The tentpole claim of the transport redesign: the execution policy
 // (transport backend + compute workers) changes WHO computes each
 // ciphertext, WHEN, and over WHICH medium — in-process FIFO queues,
-// a mutex-guarded bus, framed Unix-domain socketpairs, or one forked
-// OS process per agent — but never WHAT goes on the wire.  With the
-// same seed, every backend must produce identical prices, trades, bus
-// bytes, and an identical transcript (the serial/concurrent/socket/
-// process four-way matrix below).
+// a mutex-guarded bus, framed Unix-domain socketpairs, one forked OS
+// process per agent, or one process per agent over loopback TCP — but
+// never WHAT goes on the wire.  With the same seed, every backend must
+// produce identical prices, trades, bus bytes, PER-AGENT byte totals,
+// and an identical transcript (the serial/concurrent/socket/process/
+// tcp FIVE-way matrix below).
 //
-// Transcript ordering caveat for the process backend: its agents really
-// run concurrently, so the parent router observes frames in physical
-// arrival order — only per-sender FIFO order is defined, exactly as on
-// a real network.  The process rows therefore compare per-sender
-// message sequences (plus total counts); the message-level byte
-// equality itself is additionally enforced INSIDE every child, which
-// byte-matches each frame it consumes against the deterministic
-// schedule (net/process_transport.h).
+// Transcript ordering caveat for the process and tcp backends: their
+// agents really run concurrently, so the parent router observes frames
+// in physical arrival order — only per-sender FIFO order is defined,
+// exactly as on a real network.  Those rows therefore compare
+// per-sender message sequences (plus total counts); for the socketpair
+// process backend the message-level byte equality is additionally
+// enforced INSIDE every child, which byte-matches each frame it
+// consumes against the deterministic schedule
+// (net/process_transport.h), while the tcp backend runs trusting mode
+// (its parent-side ledger cross-check still runs per window).
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "core/simulation.h"
 #include "net/process_transport.h"
+#include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "protocol/agent_driver.h"
 #include "protocol/pem_protocol.h"
@@ -37,6 +42,9 @@ struct WindowRun {
   std::vector<net::Message> messages;
   protocol::PemWindowResult result;
   uint64_t transport_total_bytes = 0;
+  // Per-agent counters for the measured window: Table-I's "bandwidth
+  // per home" must agree across every backend, not just the total.
+  std::vector<net::TrafficStats> per_agent;
   // Pooled r^n factors consumed by the measured window (pooled runs).
   size_t factors_consumed = 0;
 };
@@ -112,6 +120,9 @@ WindowRun RunWindow(const net::ExecutionPolicy& policy, uint64_t seed,
   run.result = protocol::RunPemWindow(ctx, parties);
   run.factors_consumed = factors_before - count_factors();
   run.transport_total_bytes = bus->total_bytes();
+  for (size_t i = 0; i < kMarket.size(); ++i) {
+    run.per_agent.push_back(bus->stats(static_cast<net::AgentId>(i)));
+  }
   return run;
 }
 
@@ -159,6 +170,13 @@ void ExpectWindowParity(const WindowRun& serial, const WindowRun& parallel,
   // accounting on every backend.
   EXPECT_EQ(parallel.transport_total_bytes, serial.transport_total_bytes);
   EXPECT_EQ(serial.transport_total_bytes, serial.result.bus_bytes);
+  // Per-agent byte totals: every backend charges the same bandwidth to
+  // the same home (what Table I reports), message by message.
+  ASSERT_EQ(parallel.per_agent.size(), serial.per_agent.size());
+  for (size_t a = 0; a < serial.per_agent.size(); ++a) {
+    EXPECT_TRUE(parallel.per_agent[a] == serial.per_agent[a])
+        << "per-agent traffic diverges for agent " << a;
+  }
   ASSERT_EQ(parallel.result.trades.size(), serial.result.trades.size());
   for (size_t i = 0; i < serial.result.trades.size(); ++i) {
     const protocol::Trade& a = serial.result.trades[i];
@@ -176,18 +194,21 @@ void ExpectWindowParity(const WindowRun& serial, const WindowRun& parallel,
   EXPECT_FALSE(serial.messages.empty());
 }
 
-// Process-backend window run: the same market and seed as RunWindow,
-// but with one forked OS process per agent.  The transcript is what the
-// parent router physically relayed between the children's socketpairs;
-// bytes are the router ledger's literal socket bytes.
-WindowRun RunWindowProcess(uint64_t seed, bool pooled = false,
-                           bool crt = true, int threads = 1) {
+// Forked-backend window run: the same market and seed as RunWindow,
+// but with one OS process per agent — over inherited socketpairs
+// (kProcess) or dialed loopback TCP connections (kTcp).  The
+// transcript is what the parent router physically relayed between the
+// children's sockets; bytes are the router ledger's literal socket
+// (respectively network) bytes.
+WindowRun RunWindowForked(net::TransportKind kind, uint64_t seed,
+                          bool pooled = false, bool crt = true,
+                          int threads = 1) {
   WindowRun run;
   protocol::PemConfig cfg;
   cfg.key_bits = 128;
   cfg.precompute_encryption = pooled;
   cfg.crt_encryption = crt;
-  const net::ExecutionPolicy policy = net::ExecutionPolicy::Process(threads);
+  const net::ExecutionPolicy policy{kind, threads};
 
   crypto::DeterministicRng rng(seed);
   crypto::PaillierPoolRegistry pools;
@@ -196,7 +217,7 @@ WindowRun RunWindowProcess(uint64_t seed, bool pooled = false,
     parties.emplace_back(static_cast<net::AgentId>(i), kMarket[i].params);
   }
 
-  net::ProcessTransport::ChildMain child_main =
+  net::AgentSupervisor::ChildMain child_main =
       [&cfg, &policy, &rng, &pools, &parties](
           net::AgentId self, net::Transport& wire,
           net::ControlChannel& ctl) -> int {
@@ -225,8 +246,16 @@ WindowRun RunWindowProcess(uint64_t seed, bool pooled = false,
     return 0;
   };
 
-  net::ProcessTransport transport(static_cast<int>(kMarket.size()),
-                                  child_main);
+  std::unique_ptr<net::AgentSupervisor> owner;
+  if (kind == net::TransportKind::kTcp) {
+    owner = std::make_unique<net::TcpTransport>(
+        static_cast<int>(kMarket.size()), child_main,
+        net::TcpTransport::Options{});
+  } else {
+    owner = std::make_unique<net::ProcessTransport>(
+        static_cast<int>(kMarket.size()), child_main);
+  }
+  net::AgentSupervisor& transport = *owner;
   const auto run_window = [&transport](int w) {
     std::vector<net::TrafficStats> before;
     for (net::AgentId a = 0; a < transport.num_agents(); ++a) {
@@ -249,6 +278,9 @@ WindowRun RunWindowProcess(uint64_t seed, bool pooled = false,
       [&run](const net::Message& m) { run.messages.push_back(m); });
   const protocol::WindowReport report = run_window(pooled ? 1 : 0);
   run.transport_total_bytes = transport.total_bytes();
+  for (size_t i = 0; i < kMarket.size(); ++i) {
+    run.per_agent.push_back(transport.stats(static_cast<net::AgentId>(i)));
+  }
   transport.SetObserver(nullptr);
   transport.Shutdown();
 
@@ -262,27 +294,42 @@ WindowRun RunWindowProcess(uint64_t seed, bool pooled = false,
   return run;
 }
 
-TEST(TranscriptParity, WindowFourWayMatrix) {
-  // serial / concurrent / socket / process: same seed, same transcript.
+TEST(TranscriptParity, WindowFiveWayMatrix) {
+  // serial / concurrent / socket / process / tcp: same seed, same
+  // transcript, same per-agent bytes.
   const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 42);
   const WindowRun parallel = RunWindow(net::ExecutionPolicy::Parallel(4), 42);
   const WindowRun socket = RunWindow(net::ExecutionPolicy::Socket(), 42);
-  const WindowRun process = RunWindowProcess(42);
+  const WindowRun process =
+      RunWindowForked(net::TransportKind::kProcess, 42);
+  const WindowRun tcp = RunWindowForked(net::TransportKind::kTcp, 42);
   ExpectWindowParity(serial, parallel);
   ExpectWindowParity(serial, socket);
   ExpectWindowParity(parallel, socket);
   // Forked agents: identical outcome and bytes, per-sender-identical
-  // transcript (their frames really interleave on arrival).
+  // transcript (their frames really interleave on arrival) — over
+  // inherited socketpairs and over loopback TCP alike.
   ExpectWindowParity(serial, process, /*strict_order=*/false);
+  ExpectWindowParity(serial, tcp, /*strict_order=*/false);
 }
 
 TEST(TranscriptParity, ProcessWithComputeWorkersAlsoMatches) {
   // The policy axes stay independent under fork too: each child fans
   // its compute phase across workers without moving a wire byte.
   const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 7);
-  const WindowRun process = RunWindowProcess(7, /*pooled=*/false,
-                                             /*crt=*/true, /*threads=*/2);
+  const WindowRun process =
+      RunWindowForked(net::TransportKind::kProcess, 7, /*pooled=*/false,
+                      /*crt=*/true, /*threads=*/2);
   ExpectWindowParity(serial, process, /*strict_order=*/false);
+}
+
+TEST(TranscriptParity, TcpWithComputeWorkersAlsoMatches) {
+  // Same independence over real TCP connections.
+  const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 7);
+  const WindowRun tcp =
+      RunWindowForked(net::TransportKind::kTcp, 7, /*pooled=*/false,
+                      /*crt=*/true, /*threads=*/2);
+  ExpectWindowParity(serial, tcp, /*strict_order=*/false);
 }
 
 TEST(TranscriptParity, WindowParityHoldsAcrossSeeds) {
@@ -310,10 +357,14 @@ TEST(TranscriptParity, WindowParityWithRandomnessPools) {
       RunWindow(net::ExecutionPolicy::Parallel(4), 11, /*pooled=*/true);
   const WindowRun socket =
       RunWindow(net::ExecutionPolicy::Socket(), 11, /*pooled=*/true);
-  const WindowRun process = RunWindowProcess(11, /*pooled=*/true);
+  const WindowRun process =
+      RunWindowForked(net::TransportKind::kProcess, 11, /*pooled=*/true);
+  const WindowRun tcp =
+      RunWindowForked(net::TransportKind::kTcp, 11, /*pooled=*/true);
   ExpectWindowParity(serial, parallel);
   ExpectWindowParity(serial, socket);
   ExpectWindowParity(serial, process, /*strict_order=*/false);
+  ExpectWindowParity(serial, tcp, /*strict_order=*/false);
   // The parity must cover the pooled EncryptWithFactor branch, not just
   // the fresh-randomness fallback: all engines must actually draw
   // factors, and the same number of them.
@@ -354,11 +405,16 @@ TEST(TranscriptParity, CrtAndConcurrentRefillMatrix) {
   const WindowRun crt_socket = RunWindow(net::ExecutionPolicy::Socket(4), 11,
                                          /*pooled=*/true, /*crt=*/true);
   const WindowRun crt_process =
-      RunWindowProcess(11, /*pooled=*/true, /*crt=*/true, /*threads=*/2);
+      RunWindowForked(net::TransportKind::kProcess, 11, /*pooled=*/true,
+                      /*crt=*/true, /*threads=*/2);
+  const WindowRun crt_tcp =
+      RunWindowForked(net::TransportKind::kTcp, 11, /*pooled=*/true,
+                      /*crt=*/true, /*threads=*/2);
   ExpectWindowParity(base, crt_serial);
   ExpectWindowParity(base, crt_parallel);
   ExpectWindowParity(base, crt_socket);
   ExpectWindowParity(base, crt_process, /*strict_order=*/false);
+  ExpectWindowParity(base, crt_tcp, /*strict_order=*/false);
   // All four runs must exercise the pooled branch, equally.
   EXPECT_GT(base.factors_consumed, 0u);
   EXPECT_EQ(crt_serial.factors_consumed, base.factors_consumed);
@@ -447,6 +503,16 @@ TEST(TranscriptParity, FullTradingDaySerialVsProcess) {
   const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
   const SimRun process = RunSim(net::ExecutionPolicy::Process());
   ExpectSimParity(serial, process, /*strict_order=*/false);
+}
+
+TEST(TranscriptParity, FullTradingDaySerialVsTcp) {
+  // The same day with every agent behind a loopback TCP connection:
+  // the Table-I numbers are now literal network bytes, still equal to
+  // the canonical ledger window by window (CollectWindowReports) and
+  // agent by agent.
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
+  const SimRun tcp = RunSim(net::ExecutionPolicy::Tcp());
+  ExpectSimParity(serial, tcp, /*strict_order=*/false);
 }
 
 }  // namespace

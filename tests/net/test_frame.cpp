@@ -113,6 +113,53 @@ TEST(FrameDecoderStream, ReassemblesChunkedFrameSequence) {
   EXPECT_EQ(dec.buffered_bytes(), 0u);
 }
 
+TEST(FrameDecoderStream, OneBytePerFeedReassembles) {
+  // The TCP worst case, distilled: the stream arrives one byte at a
+  // time, so every header and payload boundary is split.  Next() must
+  // stay kNeedMore-silent until each frame completes, then pop it
+  // bit-exactly.
+  std::vector<Message> msgs;
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    msgs.push_back(Make(i, 2 - i, static_cast<uint32_t>(7 + i),
+                        static_cast<size_t>(i * 41), 60 + i));
+    AppendFrame(stream, msgs.back());
+  }
+  FrameDecoder dec;
+  std::vector<Message> out;
+  for (const uint8_t b : stream) {
+    dec.Feed(std::span<const uint8_t>(&b, 1));
+    while (auto m = dec.Next()) out.push_back(std::move(*m));
+  }
+  ASSERT_EQ(out.size(), msgs.size());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_TRUE(out[i] == msgs[i]) << i;
+  }
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderStream, ManyFramesInOneFeedAllPop) {
+  // The TCP opposite extreme: one recv() pulls a whole burst of
+  // coalesced frames; a single Feed must yield every one, in order.
+  constexpr int kFrames = 40;
+  std::vector<Message> msgs;
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < kFrames; ++i) {
+    msgs.push_back(Make(0, 1, static_cast<uint32_t>(i),
+                        static_cast<size_t>(i % 9), 80 + i));
+    AppendFrame(stream, msgs.back());
+  }
+  FrameDecoder dec;
+  dec.Feed(stream);
+  for (int i = 0; i < kFrames; ++i) {
+    const std::optional<Message> m = dec.Next();
+    ASSERT_TRUE(m.has_value()) << i;
+    EXPECT_TRUE(*m == msgs[static_cast<size_t>(i)]) << i;
+  }
+  EXPECT_FALSE(dec.Next().has_value());
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
 TEST(FrameDecoderStreamDeath, CorruptStreamAborts) {
   const Message m = Make(1, 2, 3, 8, 30);
   std::vector<uint8_t> wire = EncodeFrame(m);
