@@ -3,6 +3,7 @@
 #include "crypto/rng.h"
 #include "net/process_transport.h"
 #include "net/serialize.h"
+#include "net/shm_transport.h"
 #include "net/tcp_transport.h"
 #include "protocol/agent_driver.h"
 #include "util/error.h"
@@ -145,6 +146,12 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
     opts.verify_frames = config.tcp_verify_frames;
     transport_owner = std::make_unique<net::TcpTransport>(
         num_homes, child_main, std::move(opts));
+  } else if (config.policy.transport_kind == net::TransportKind::kShm) {
+    net::ShmTransport::Options opts;
+    opts.watchdog_ms = config.process_watchdog_ms;
+    opts.ring_bytes = config.shm_ring_bytes;
+    transport_owner = std::make_unique<net::ShmTransport>(
+        num_homes, child_main, opts);
   } else {
     net::ProcessTransport::Options opts;
     opts.watchdog_ms = config.process_watchdog_ms;
@@ -211,7 +218,8 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
 
   if (config.engine == Engine::kCrypto &&
       (config.policy.transport_kind == net::TransportKind::kProcess ||
-       config.policy.transport_kind == net::TransportKind::kTcp)) {
+       config.policy.transport_kind == net::TransportKind::kTcp ||
+       config.policy.transport_kind == net::TransportKind::kShm)) {
     return RunSimulationProcess(trace, config);
   }
 

@@ -63,6 +63,11 @@ struct SimulationConfig {
   // socketpair process backend).  Off by default — the parent's
   // per-window ledger cross-check still runs.
   bool tcp_verify_frames = false;
+  // Shm backend only (ExecutionPolicy::Shm()): data capacity of each
+  // directed per-pair ring (power of two).  The default comfortably
+  // holds a window's largest frame burst; raise it for communities
+  // with very large ciphertext payloads.
+  size_t shm_ring_bytes = size_t{1} << 20;
   // Optional tap on every delivered bus message (crypto engine only);
   // used for transcript comparison and debugging.  The callback may
   // run under the transport's lock, so it must not call back into the

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/epoll.h>
 #include <sys/prctl.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
@@ -340,6 +341,12 @@ void AgentSupervisor::RecordFault(AgentId agent, std::string detail) {
                           std::move(detail)};
 }
 
+void AgentSupervisor::AccountDeliveredCopy(const Message& copy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_.Account(copy.from, copy.to, copy.payload.size());
+  if (observer_) observer_(copy);
+}
+
 void AgentSupervisor::RouteFrame(const Message& frame) {
   const int n = num_agents();
   PEM_CHECK(frame.from >= 0 && frame.from < n,
@@ -349,22 +356,14 @@ void AgentSupervisor::RouteFrame(const Message& frame) {
       if (to == frame.from) continue;
       Message copy = frame;
       copy.to = to;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ledger_.Account(frame.from, to, copy.payload.size());
-        if (observer_) observer_(copy);
-      }
+      AccountDeliveredCopy(copy);
       AppendFrame(pending_[static_cast<size_t>(to)].bytes, copy);
     }
     return;
   }
   PEM_CHECK(frame.to >= 0 && frame.to < n,
             "agent supervisor: routed frame has a bad recipient");
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ledger_.Account(frame.from, frame.to, frame.payload.size());
-    if (observer_) observer_(frame);
-  }
+  AccountDeliveredCopy(frame);
   AppendFrame(pending_[static_cast<size_t>(frame.to)].bytes, frame);
 }
 
@@ -396,61 +395,107 @@ void AgentSupervisor::FlushPending(AgentId dest) {
 
 void AgentSupervisor::RouterLoop() {
   const int n = num_agents();
+  // Persistent epoll set: the wire fds are registered once (EPOLLIN,
+  // level-triggered) instead of a poll set rebuilt every iteration;
+  // EPOLLOUT is armed per destination only while its pending queue is
+  // nonempty, and a hung-up wire is deleted from the set for good.
+  const int ep = epoll_create1(EPOLL_CLOEXEC);
+  PEM_CHECK(ep >= 0, "agent supervisor: epoll_create1 failed");
+  const FdGuard ep_guard{ep};
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = static_cast<uint64_t>(n);  // sentinel: the wake pipe
+  PEM_CHECK(epoll_ctl(ep, EPOLL_CTL_ADD, wake_.recv_fd, &ev) == 0,
+            "agent supervisor: epoll_ctl(wake) failed");
+  for (AgentId a = 0; a < n; ++a) {
+    ev.events = EPOLLIN;
+    ev.data.u64 = static_cast<uint64_t>(a);
+    PEM_CHECK(epoll_ctl(ep, EPOLL_CTL_ADD,
+                        children_[static_cast<size_t>(a)].wire_fd, &ev) == 0,
+              "agent supervisor: epoll_ctl(wire) failed");
+  }
+  std::vector<bool> registered(static_cast<size_t>(n), true);
+  std::vector<bool> out_armed(static_cast<size_t>(n), false);
+  std::vector<uint8_t> scratch(opts_.router_scratch_bytes);
+  std::vector<epoll_event> events(static_cast<size_t>(n) + 1);
+
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (shutdown_) return;
     }
-    std::vector<pollfd> pfds;
-    std::vector<AgentId> who;
-    pfds.push_back({wake_.recv_fd, POLLIN, 0});
+    // Reconcile the interest set with this iteration's state.
     for (AgentId a = 0; a < n; ++a) {
-      if (closed_[static_cast<size_t>(a)]) continue;
-      short events = POLLIN;
-      if (!pending_[static_cast<size_t>(a)].empty()) events |= POLLOUT;
-      pfds.push_back({children_[static_cast<size_t>(a)].wire_fd, events, 0});
-      who.push_back(a);
+      const size_t i = static_cast<size_t>(a);
+      if (!registered[i]) continue;
+      if (closed_[i]) {
+        (void)epoll_ctl(ep, EPOLL_CTL_DEL, children_[i].wire_fd, nullptr);
+        registered[i] = false;
+        continue;
+      }
+      const bool want_out = !pending_[i].empty();
+      if (want_out != out_armed[i]) {
+        ev.events = EPOLLIN;
+        if (want_out) ev.events |= EPOLLOUT;
+        ev.data.u64 = static_cast<uint64_t>(a);
+        PEM_CHECK(epoll_ctl(ep, EPOLL_CTL_MOD, children_[i].wire_fd, &ev) == 0,
+                  "agent supervisor: epoll_ctl(mod) failed");
+        out_armed[i] = want_out;
+      }
     }
-    if (poll(pfds.data(), pfds.size(), -1) < 0) {
-      PEM_CHECK(errno == EINTR, "agent supervisor: poll failed");
+    const int ne =
+        epoll_wait(ep, events.data(), static_cast<int>(events.size()), -1);
+    if (ne < 0) {
+      PEM_CHECK(errno == EINTR, "agent supervisor: epoll_wait failed");
       continue;
     }
-    if (pfds[0].revents & POLLIN) wake_.Drain();
-    for (size_t k = 1; k < pfds.size(); ++k) {
-      if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      const AgentId a = who[k - 1];
-      uint8_t buf[16384];
-      for (;;) {
-        const ssize_t r = recv(children_[static_cast<size_t>(a)].wire_fd, buf,
-                               sizeof buf, MSG_DONTWAIT);
-        if (r < 0) {
-          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-          if (errno == EINTR) continue;
-          RecordFault(a, "agent supervisor: agent " + std::to_string(a) +
-                             " wire read failed (" + std::strerror(errno) +
-                             ")");
-          closed_[static_cast<size_t>(a)] = true;
-          break;
-        }
-        if (r == 0) {
-          // Hangup.  The router cannot judge crash vs. clean exit here:
-          // a child closes its wire the instant it _exits after writing
-          // Done, usually before the main thread's ReadRecord loop has
-          // marked it done.  Record the bare fact; fault() and the
-          // control plane judge it against `done` when asked.
-          {
-            std::lock_guard<std::mutex> lock(mu_);
-            children_[static_cast<size_t>(a)].wire_eof = true;
+    for (int k = 0; k < ne; ++k) {
+      const uint64_t tag = events[static_cast<size_t>(k)].data.u64;
+      const uint32_t revents = events[static_cast<size_t>(k)].events;
+      if (tag == static_cast<uint64_t>(n)) {
+        wake_.Drain();
+        continue;
+      }
+      const AgentId a = static_cast<AgentId>(tag);
+      const size_t i = static_cast<size_t>(a);
+      if (closed_[i]) continue;  // latched earlier in this same batch
+      if (revents & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        // Batched drain: pull everything this sender has written into
+        // the reusable scratch, then decode and route every complete
+        // frame; same-destination frames coalesce in its PendingBuf
+        // and leave in one send.
+        for (;;) {
+          const ssize_t r = recv(children_[i].wire_fd, scratch.data(),
+                                 scratch.size(), MSG_DONTWAIT);
+          if (r < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            RecordFault(a, "agent supervisor: agent " + std::to_string(a) +
+                               " wire read failed (" + std::strerror(errno) +
+                               ")");
+            closed_[i] = true;
+            break;
           }
-          closed_[static_cast<size_t>(a)] = true;
-          break;
-        }
-        rx_[static_cast<size_t>(a)].Feed(
-            std::span<const uint8_t>(buf, static_cast<size_t>(r)));
-        while (std::optional<Message> f = rx_[static_cast<size_t>(a)].Next()) {
-          PEM_CHECK(f->from == a,
-                    "agent supervisor: child framed another agent's id");
-          RouteFrame(*f);
+          if (r == 0) {
+            // Hangup.  The router cannot judge crash vs. clean exit
+            // here: a child closes its wire the instant it _exits after
+            // writing Done, usually before the main thread's ReadRecord
+            // loop has marked it done.  Record the bare fact; fault()
+            // and the control plane judge it against `done` when asked.
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              children_[i].wire_eof = true;
+            }
+            closed_[i] = true;
+            break;
+          }
+          rx_[i].Feed(std::span<const uint8_t>(scratch.data(),
+                                               static_cast<size_t>(r)));
+          while (std::optional<Message> f = rx_[i].Next()) {
+            PEM_CHECK(f->from == a,
+                      "agent supervisor: child framed another agent's id");
+            RouteFrame(*f);
+          }
         }
       }
     }

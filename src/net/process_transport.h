@@ -209,6 +209,10 @@ class AgentSupervisor {
     // structured error after this long, instead of hanging until an
     // outer ctest TIMEOUT / CI runner kill.
     int watchdog_ms = 120'000;
+    // Reusable router drain buffer: one recv of this size replaces the
+    // old per-iteration 4-16 KiB stack nibbles, so a burst of frames
+    // crosses the router in a handful of syscalls.
+    size_t router_scratch_bytes = 64 * 1024;
   };
 
   // SIGKILLs and reaps any child still running; closes every fd.
@@ -241,6 +245,14 @@ class AgentSupervisor {
   void SetObserver(Transport::Observer observer);
   std::optional<TransportFault> fault() const;
 
+  // Blocks until every frame the children have sent is reflected in
+  // the ledger.  The relay-router backends account a frame BEFORE
+  // delivering it, so they are always in sync and this is a no-op; the
+  // shm backend's parent accounts from a tap cursor that trails the
+  // peer-to-peer delivery, so CollectWindowReports calls this before
+  // cross-checking the ledger against the children's reports.
+  virtual void SyncLedger() {}
+
   // Whether `agent`'s child has been reaped (test introspection; true
   // for externally launched agents, which have no local pid).
   bool reaped(AgentId agent) const;
@@ -261,8 +273,22 @@ class AgentSupervisor {
   // StartRouter.
   void AdoptChild(AgentId agent, pid_t pid, int wire_fd, int ctl_fd);
   // All children adopted: open the wake pipe, flip the wire fds
-  // nonblocking, and start the relay router.  Call once, last.
+  // nonblocking, and start the relay router.  Call once, last.  A
+  // backend whose frames never cross the parent (ShmTransport) skips
+  // this and runs its own accounting thread instead.
   void StartRouter();
+
+  // Ledger + observer entry for one delivered copy, under the
+  // supervisor lock — the single accounting path shared by the relay
+  // router and the shm snooper, so "every backend charges FramedSize
+  // per copy" stays true by construction.
+  void AccountDeliveredCopy(const Message& copy);
+
+  // Teardown halves, exposed so a derived destructor can stop the
+  // children / router BEFORE its own members (e.g. a shared mapping an
+  // accounting thread still reads) are destroyed.  Both idempotent.
+  void KillAndReapAll();  // SIGKILL stragglers; never throws
+  void StopRouter();
 
  private:
   struct Child {
@@ -282,8 +308,6 @@ class AgentSupervisor {
   void RecordFault(AgentId agent, std::string detail);
   // waitpid with deadline; marks reaped.  Returns false on timeout.
   bool ReapChild(AgentId agent, int timeout_ms);
-  void KillAndReapAll();  // SIGKILL stragglers; never throws
-  void StopRouter();
   [[noreturn]] void ThrowChildFailure(AgentId agent, const std::string& why);
 
   std::vector<Child> children_;

@@ -64,6 +64,16 @@ inline void CloseIfOpen(int fd) {
   if (fd >= 0) close(fd);
 }
 
+// Scope-bound descriptor (the routers' epoll fd): closed on every exit
+// path of a thread body without threading close() through each return.
+struct FdGuard {
+  explicit FdGuard(int f) : fd(f) {}
+  ~FdGuard() { CloseIfOpen(fd); }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  int fd = -1;
+};
+
 // Blocking FULL write: a short send() — routine on TCP, where the
 // kernel takes whatever fits in SO_SNDBUF — is retried until every
 // byte is queued, and a dead peer surfaces as a structured error

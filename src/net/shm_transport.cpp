@@ -1,0 +1,404 @@
+#include "net/shm_transport.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/prctl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "util/error.h"
+
+namespace pem::net {
+namespace {
+
+// One cache line at the region base: the publish doorbell the parent
+// snooper parks on (every child bumps + wakes it after any append).
+constexpr size_t kGlobalHeaderBytes = 64;
+// Doorbell re-check period: a missed futex wake costs at most one tick.
+constexpr int kDoorbellTickMs = 50;
+
+inline void StoreU64(uint8_t* p, uint64_t v) {
+  StoreU32(p, static_cast<uint32_t>(v));
+  StoreU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         static_cast<uint64_t>(LoadU32(p + 4)) << 32;
+}
+
+// --- child side -------------------------------------------------------
+
+// The Transport a forked child drives: shadow MessageBus for the
+// deterministic script (exactly like ProcessChildTransport), but this
+// agent's own frames go straight into the per-pair rings — no wire fd,
+// no router.  Receives need no reorder stash: ring(s -> self) IS
+// sender s's FIFO toward this agent.
+class ShmChildTransport : public Transport {
+ public:
+  ShmChildTransport(int num_agents, AgentId self, std::vector<SpscRing> rings,
+                    std::atomic<uint32_t>* epoch, bool verify_frames)
+      : shadow_(num_agents),
+        self_(self),
+        rings_(std::move(rings)),
+        epoch_(epoch),
+        verify_frames_(verify_frames) {
+    PEM_CHECK(self >= 0 && self < num_agents,
+              "shm child transport: self id out of range");
+    PEM_CHECK(rings_.size() ==
+                  static_cast<size_t>(num_agents) * static_cast<size_t>(num_agents),
+              "shm child transport: ring grid size mismatch");
+  }
+
+  int num_agents() const override { return shadow_.num_agents(); }
+
+  void Send(Message msg) override {
+    if (msg.from == self_) {
+      // Own traffic is real: the canonical frame is written ONCE into
+      // ring(self -> recipient) and consumed there in place.  A
+      // broadcast fans out into n-1 per-recipient copies with `to`
+      // rewritten, in recipient order — byte-identical to what the
+      // relay routers put on their wires.
+      const int n = num_agents();
+      if (msg.to == kBroadcast) {
+        for (AgentId to = 0; to < n; ++to) {
+          if (to == self_) continue;
+          Message copy = msg;
+          copy.to = to;
+          WriteRecord(copy);
+        }
+      } else {
+        PEM_CHECK(msg.to >= 0 && msg.to < n,
+                  "shm child transport: bad receiver id");
+        WriteRecord(msg);
+      }
+    }
+    shadow_.Send(std::move(msg));
+  }
+
+  std::optional<Message> Receive(AgentId agent) override {
+    std::optional<Message> expected = shadow_.Receive(agent);
+    if (agent != self_ || !expected.has_value()) return expected;
+    // The script names the sender whose frame this agent consumes
+    // next; that sender's ring toward us is its FIFO, so the front
+    // record is the frame — no stash, unlike the socket backends where
+    // concurrent senders interleave on one stream.
+    Message wire = ReadRecord(expected->from);
+    if (verify_frames_ && !(wire == *expected)) {
+      throw TransportError(TransportFault{
+          self_, ErrorCode::kProtocolViolation,
+          "shm child transport: agent " + std::to_string(self_) +
+              " consumed a frame from sender " +
+              std::to_string(expected->from) +
+              " that diverges from the deterministic script"});
+    }
+    return verify_frames_ ? expected : std::optional<Message>(std::move(wire));
+  }
+
+  bool HasMessage(AgentId agent) const override {
+    return shadow_.HasMessage(agent);
+  }
+  TrafficStats stats(AgentId agent) const override {
+    return shadow_.stats(agent);
+  }
+  uint64_t total_bytes() const override { return shadow_.total_bytes(); }
+  uint64_t total_messages() const override { return shadow_.total_messages(); }
+  double AverageBytesPerAgent() const override {
+    return shadow_.AverageBytesPerAgent();
+  }
+  void ResetStats() override { shadow_.ResetStats(); }
+  void SetObserver(Observer observer) override {
+    shadow_.SetObserver(std::move(observer));
+  }
+
+  // Asserts every inbound ring is fully consumed — anything left means
+  // the rings and the deterministic script diverged.
+  void VerifyQuiescent() const {
+    const int n = num_agents();
+    for (AgentId src = 0; src < n; ++src) {
+      if (src == self_) continue;
+      PEM_CHECK(Ring(src, self_).ReadableBytes() == 0,
+                "shm child transport: unconsumed ring records at teardown");
+    }
+  }
+
+ private:
+  const SpscRing& Ring(AgentId from, AgentId to) const {
+    return rings_[static_cast<size_t>(from) *
+                      static_cast<size_t>(num_agents()) +
+                  static_cast<size_t>(to)];
+  }
+  SpscRing& Ring(AgentId from, AgentId to) {
+    return rings_[static_cast<size_t>(from) *
+                      static_cast<size_t>(num_agents()) +
+                  static_cast<size_t>(to)];
+  }
+
+  void WriteRecord(const Message& copy) {
+    const uint32_t payload_len = static_cast<uint32_t>(copy.payload.size());
+    const uint32_t frame_len = static_cast<uint32_t>(FramedSize(copy));
+    // Ring record header + frame header in one stack buffer; the
+    // payload is appended from its own storage — one copy total, into
+    // memory the receiver reads in place.
+    uint8_t hdr[kShmRecordHeaderBytes + kFrameHeaderBytes];
+    StoreU32(hdr, frame_len);
+    StoreU32(hdr + 4, 0);  // reserved
+    StoreU64(hdr + 8, seq_);
+    StoreU32(hdr + 16, payload_len);
+    StoreU32(hdr + 20, static_cast<uint32_t>(copy.from));
+    StoreU32(hdr + 24, static_cast<uint32_t>(copy.to));
+    StoreU32(hdr + 28, copy.type);
+    StoreU32(hdr + 32,
+             FrameHeaderChecksum(payload_len, copy.from, copy.to, copy.type));
+    ++seq_;
+    SpscRing& ring = Ring(self_, copy.to);
+    const size_t total = sizeof hdr + copy.payload.size();
+    // Block (bounded ticks, never a spin) while the ring is full: the
+    // reader or the parent snooper trailing this much means backpressure
+    // is doing its job.  A dead receiver resolves through the parent's
+    // watchdog + teardown SIGKILL, never through this loop.
+    while (!ring.TryAppend(std::span<const uint8_t>(hdr, sizeof hdr),
+                           std::span<const uint8_t>(copy.payload))) {
+      ring.WaitWritable(total, kDoorbellTickMs);
+    }
+    epoch_->fetch_add(1, std::memory_order_release);
+    FutexWake(epoch_);
+  }
+
+  Message ReadRecord(AgentId src) {
+    SpscRing& ring = Ring(src, self_);
+    while (ring.ReadableBytes() < kShmRecordHeaderBytes) {
+      ring.WaitReadable(kDoorbellTickMs);
+    }
+    uint8_t rh[kShmRecordHeaderBytes];
+    ring.Peek(0, rh, sizeof rh);
+    const uint32_t frame_len = LoadU32(rh);
+    PEM_CHECK(frame_len >= kFrameHeaderBytes &&
+                  frame_len <= FramedSize(kMaxFramePayloadBytes),
+              "shm child transport: insane ring record length");
+    // Records are published whole (one release store of tail), so a
+    // visible header implies the full record is visible.
+    PEM_CHECK(ring.ReadableBytes() >= kShmRecordHeaderBytes + frame_len,
+              "shm child transport: torn ring record");
+    scratch_.resize(frame_len);
+    ring.Peek(kShmRecordHeaderBytes, scratch_.data(), frame_len);
+    FrameDecodeResult d = DecodeFrame(std::span<const uint8_t>(scratch_));
+    PEM_CHECK(d.status == FrameDecodeStatus::kFrame &&
+                  d.consumed == frame_len,
+              "shm child transport: ring record failed frame decode");
+    ring.Consume(kShmRecordHeaderBytes + frame_len);
+    PEM_CHECK(d.frame.from == src && d.frame.to == self_,
+              "shm child transport: ring record routed to the wrong pair");
+    return std::move(d.frame);
+  }
+
+  MessageBus shadow_;
+  AgentId self_;
+  std::vector<SpscRing> rings_;
+  std::atomic<uint32_t>* epoch_;
+  bool verify_frames_;
+  uint64_t seq_ = 0;  // this sender's global send counter, all rings
+  std::vector<uint8_t> scratch_;
+};
+
+// Mirrors RunAdoptedChild for a ring-backed child: PDEATHSIG, control
+// channel, error record on exception, _exit.
+[[noreturn]] void RunShmChild(AgentId self, int num_agents,
+                              const std::vector<SpscRing>& rings,
+                              std::atomic<uint32_t>* epoch, int ctl_fd,
+                              bool verify_frames,
+                              const AgentSupervisor::ChildMain& child_main) {
+  prctl(PR_SET_PDEATHSIG, SIGKILL);
+  ControlChannel ctl(ctl_fd, self);
+  int code = 127;
+  try {
+    ShmChildTransport wire(num_agents, self, rings, epoch, verify_frames);
+    code = child_main(self, wire, ctl);
+    wire.VerifyQuiescent();
+  } catch (const std::exception& e) {
+    try {
+      const char* what = e.what();
+      ctl.Write(kCtlRepError,
+                std::span<const uint8_t>(
+                    reinterpret_cast<const uint8_t*>(what),
+                    std::strlen(what)));
+    } catch (...) {
+      // Parent gone too; the wait status is all that is left to say.
+    }
+    _exit(1);
+  } catch (...) {
+    _exit(2);
+  }
+  _exit(code);
+}
+
+}  // namespace
+
+// --- ShmTransport -----------------------------------------------------
+
+ShmTransport::ShmTransport(int num_agents, ChildMain child_main, Options opts)
+    : AgentSupervisor(num_agents,
+                      AgentSupervisor::Options{opts.watchdog_ms}),
+      shm_opts_(opts) {
+  PEM_CHECK(child_main != nullptr, "ShmTransport needs a child entry point");
+  PEM_CHECK(opts.ring_bytes >= 4096 &&
+                (opts.ring_bytes & (opts.ring_bytes - 1)) == 0,
+            "ShmTransport: ring_bytes must be a power of two >= 4096");
+  const size_t n = static_cast<size_t>(num_agents);
+
+  // Map the whole grid before forking, so every child inherits the
+  // SAME pages at the same address and ring handles stay valid across
+  // the fork.
+  const size_t ring_region = SpscRing::RegionBytes(opts.ring_bytes);
+  region_bytes_ = kGlobalHeaderBytes + n * n * ring_region;
+  region_ = mmap(nullptr, region_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  PEM_CHECK(region_ != MAP_FAILED, "ShmTransport: mmap failed");
+  epoch_ = new (region_) std::atomic<uint32_t>(0);
+  uint8_t* base = static_cast<uint8_t*>(region_) + kGlobalHeaderBytes;
+  rings_.reserve(n * n);
+  for (size_t i = 0; i < n * n; ++i) {
+    rings_.push_back(SpscRing::Init(base + i * ring_region, opts.ring_bytes));
+  }
+  next_seq_.assign(n, 0);
+  reorder_.resize(n);
+
+  // Control socketpairs, then fork — before any thread exists in the
+  // parent (forking a process with live mutex-owning threads is how
+  // post-fork deadlocks are made).
+  std::vector<int> ctl_parent(n, -1), ctl_child(n, -1);
+  for (size_t i = 0; i < n; ++i) MakeSocketPair(&ctl_parent[i], &ctl_child[i]);
+  for (size_t i = 0; i < n; ++i) {
+    const pid_t pid = fork();
+    PEM_CHECK(pid >= 0, "shm transport: fork failed");
+    if (pid == 0) {
+      // Inherit EXACTLY this agent's control end; the mapping itself
+      // is shared by construction.
+      for (size_t j = 0; j < n; ++j) {
+        CloseIfOpen(ctl_parent[j]);
+        if (j != i) CloseIfOpen(ctl_child[j]);
+      }
+      RunShmChild(static_cast<AgentId>(i), num_agents, rings_, epoch_,
+                  ctl_child[i], opts.verify_frames, child_main);
+    }
+    AdoptChild(static_cast<AgentId>(i), pid, /*wire_fd=*/-1, ctl_parent[i]);
+    close(ctl_child[i]);
+    ctl_child[i] = -1;
+  }
+
+  // No relay router: frames never cross the parent.  The snooper tails
+  // every ring through its snoop cursor and feeds the shared
+  // accounting path instead.
+  snooper_ = std::thread([this] { SnooperLoop(); });
+}
+
+ShmTransport::~ShmTransport() {
+  // Order matters: children write the region and the snooper reads it,
+  // so both must be gone before munmap — and the base destructor runs
+  // only after our members are destroyed, too late.
+  KillAndReapAll();
+  StopSnooper();
+  if (region_ != nullptr) {
+    munmap(region_, region_bytes_);
+    region_ = nullptr;
+  }
+}
+
+void ShmTransport::StopSnooper() {
+  if (!snooper_.joinable()) return;
+  snoop_stop_.store(true, std::memory_order_release);
+  FutexWake(epoch_);
+  snooper_.join();
+}
+
+void ShmTransport::SnooperLoop() {
+  const int n = num_agents();
+  for (;;) {
+    const uint32_t epoch_seen = epoch_->load(std::memory_order_acquire);
+    bool progress = false;
+    for (AgentId from = 0; from < n; ++from) {
+      for (AgentId to = 0; to < n; ++to) {
+        SpscRing& ring =
+            rings_[static_cast<size_t>(from) * static_cast<size_t>(n) +
+                   static_cast<size_t>(to)];
+        while (ring.SnoopReadableBytes() >= kShmRecordHeaderBytes) {
+          progress = true;
+          uint8_t rh[kShmRecordHeaderBytes];
+          ring.SnoopPeek(0, rh, sizeof rh);
+          const uint32_t frame_len = LoadU32(rh);
+          const uint64_t seq = LoadU64(rh + 8);
+          PEM_CHECK(ring.SnoopReadableBytes() >=
+                        kShmRecordHeaderBytes + frame_len,
+                    "shm snooper: torn ring record");
+          snoop_scratch_.resize(frame_len);
+          ring.SnoopPeek(kShmRecordHeaderBytes, snoop_scratch_.data(),
+                         frame_len);
+          FrameDecodeResult d =
+              DecodeFrame(std::span<const uint8_t>(snoop_scratch_));
+          PEM_CHECK(d.status == FrameDecodeStatus::kFrame &&
+                        d.consumed == frame_len,
+                    "shm snooper: ring record failed frame decode");
+          PEM_CHECK(d.frame.from == from && d.frame.to == to,
+                    "shm snooper: record in the wrong pair's ring");
+          // Merge this sender's records back into exact send order
+          // before accounting, so the observer sees the same
+          // per-sender transcript order every other backend delivers.
+          // The account happens BEFORE SnoopConsume: once every ring
+          // shows snoop == tail, the ledger is provably complete
+          // (SyncLedger relies on exactly this ordering).
+          const size_t s = static_cast<size_t>(from);
+          if (seq == next_seq_[s]) {
+            AccountDeliveredCopy(d.frame);
+            ++next_seq_[s];
+            auto& stash = reorder_[s];
+            for (auto it = stash.begin();
+                 it != stash.end() && it->first == next_seq_[s];
+                 it = stash.erase(it)) {
+              AccountDeliveredCopy(it->second);
+              ++next_seq_[s];
+            }
+          } else {
+            PEM_CHECK(seq > next_seq_[s],
+                      "shm snooper: sender sequence went backwards");
+            reorder_[s].emplace(seq, std::move(d.frame));
+          }
+          ring.SnoopConsume(kShmRecordHeaderBytes + frame_len);
+        }
+      }
+    }
+    if (progress) continue;
+    if (snoop_stop_.load(std::memory_order_acquire)) return;
+    FutexWait(epoch_, epoch_seen, kDoorbellTickMs);
+  }
+}
+
+void ShmTransport::SyncLedger() {
+  // All children have reported, so every tail is final; wait for the
+  // snooper to chase them.  Accounting precedes SnoopConsume in the
+  // snooper, so snoop == tail everywhere implies the ledger holds
+  // every published record (a record parked in the reorder stash
+  // keeps its missing predecessor's ring short of its tail).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(shm_opts_.watchdog_ms);
+  for (;;) {
+    bool synced = true;
+    for (const SpscRing& ring : rings_) {
+      if (ring.snoop() != ring.tail()) {
+        synced = false;
+        break;
+      }
+    }
+    if (synced) return;
+    PEM_CHECK(std::chrono::steady_clock::now() < deadline,
+              "shm transport: snooper failed to drain the rings within "
+              "the watchdog");
+    usleep(500);
+  }
+}
+
+}  // namespace pem::net

@@ -1,7 +1,7 @@
 #include "net/socket_transport.h"
 
 #include <fcntl.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,8 +11,9 @@
 
 namespace pem::net {
 
-SocketTransport::SocketTransport(int num_agents)
-    : ledger_(num_agents > 0 ? static_cast<size_t>(num_agents) : 0) {
+SocketTransport::SocketTransport(int num_agents, Options opts)
+    : opts_(opts),
+      ledger_(num_agents > 0 ? static_cast<size_t>(num_agents) : 0) {
   PEM_CHECK(num_agents > 0, "SocketTransport needs at least one agent");
   const size_t n = static_cast<size_t>(num_agents);
   channels_.reserve(n);
@@ -234,6 +235,36 @@ void SocketTransport::FlushPending(AgentId dest) {
 
 void SocketTransport::RouterLoop() {
   const int n = num_agents();
+  // Persistent epoll set instead of a poll array rebuilt every
+  // iteration.  Egress channels stay registered (EPOLLIN,
+  // level-triggered) for the transport's whole life — eagerly decoding
+  // EVERY sender into its router_queue_ is safe because forwarding
+  // order is imposed by the ticket ledger, and a Send pushes its
+  // ticket under mu_ before its first wire byte can arrive.  Ingress
+  // channels are registered (EPOLLOUT) only while frames are pending
+  // for them, so an idle or severed ingress never wakes the loop.
+  const int ep = epoll_create1(EPOLL_CLOEXEC);
+  PEM_CHECK(ep >= 0, "socket transport: epoll_create1 failed");
+  const FdGuard ep_guard{ep};
+  // data.u64: [0, n) egress of agent a; [n, 2n) ingress of agent a-n;
+  // 2n the wake pipe.
+  const auto epoll_add = [&](int fd, uint64_t tag, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = tag;
+    PEM_CHECK(epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev) == 0,
+              "socket transport: epoll_ctl(add) failed");
+  };
+  epoll_add(wake_.recv_fd, static_cast<uint64_t>(2 * n), EPOLLIN);
+  for (AgentId a = 0; a < n; ++a) {
+    epoll_add(channels_[static_cast<size_t>(a)]->egress_router,
+              static_cast<uint64_t>(a), EPOLLIN);
+  }
+  std::vector<bool> egress_registered(static_cast<size_t>(n), true);
+  std::vector<bool> ingress_registered(static_cast<size_t>(n), false);
+  std::vector<uint8_t> scratch(opts_.router_scratch_bytes);
+  std::vector<epoll_event> events(static_cast<size_t>(2 * n) + 1);
+
   for (;;) {
     // Forward every decoded frame whose ticket is up, in ledger order.
     for (;;) {
@@ -263,51 +294,55 @@ void SocketTransport::RouterLoop() {
       if (!pending_[static_cast<size_t>(d)].empty()) FlushPending(d);
     }
 
-    AgentId front = -1;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!tickets_.empty()) {
-        front = tickets_.front();
-      } else if (shutdown_) {
+      if (tickets_.empty() && shutdown_) {
         // Ledger drained; anything still pending is flushed best-effort
         // above, and a transport being destroyed has no reader left.
         return;
       }
     }
 
-    std::vector<pollfd> fds;
-    fds.push_back({wake_.recv_fd, POLLIN, 0});
-    if (front >= 0 && channels_[static_cast<size_t>(front)]->egress_closed) {
-      // Ticket from a hung-up sender: the drop branch above handles it
-      // on the next pass; don't poll a dead fd.
-      front = -1;
-      continue;
-    }
-    if (front >= 0) {
-      fds.push_back(
-          {channels_[static_cast<size_t>(front)]->egress_router, POLLIN, 0});
-    }
-    for (AgentId d = 0; d < n; ++d) {
-      if (!pending_[static_cast<size_t>(d)].empty() &&
-          !channels_[static_cast<size_t>(d)]->ingress_closed) {
-        fds.push_back(
-            {channels_[static_cast<size_t>(d)]->ingress_router, POLLOUT, 0});
+    // Reconcile the interest set with this iteration's state.
+    for (AgentId a = 0; a < n; ++a) {
+      const size_t i = static_cast<size_t>(a);
+      Channel& ch = *channels_[i];
+      if (egress_registered[i] && ch.egress_closed) {
+        (void)epoll_ctl(ep, EPOLL_CTL_DEL, ch.egress_router, nullptr);
+        egress_registered[i] = false;
+      }
+      const bool want_out = !pending_[i].empty() && !ch.ingress_closed;
+      if (want_out && !ingress_registered[i]) {
+        epoll_add(ch.ingress_router, static_cast<uint64_t>(n + a), EPOLLOUT);
+        ingress_registered[i] = true;
+      } else if (!want_out && ingress_registered[i]) {
+        (void)epoll_ctl(ep, EPOLL_CTL_DEL, ch.ingress_router, nullptr);
+        ingress_registered[i] = false;
       }
     }
-    if (poll(fds.data(), fds.size(), -1) < 0) {
-      PEM_CHECK(errno == EINTR, "socket transport: poll failed");
+
+    const int ne =
+        epoll_wait(ep, events.data(), static_cast<int>(events.size()), -1);
+    if (ne < 0) {
+      PEM_CHECK(errno == EINTR, "socket transport: epoll_wait failed");
       continue;
     }
-
-    // Drain wakeup bytes.
-    if (fds[0].revents & POLLIN) wake_.Drain();
-    // Pull whatever the front ticket's sender has written so far.
-    if (front >= 0) {
-      uint8_t buf[4096];
+    for (int k = 0; k < ne; ++k) {
+      const uint64_t tag = events[static_cast<size_t>(k)].data.u64;
+      if (tag == static_cast<uint64_t>(2 * n)) {
+        wake_.Drain();
+        continue;
+      }
+      if (tag >= static_cast<uint64_t>(n)) continue;  // ingress: flushed above
+      const AgentId a = static_cast<AgentId>(tag);
+      Channel& ch = *channels_[static_cast<size_t>(a)];
+      if (ch.egress_closed) continue;  // latched earlier in this batch
+      // Batched drain into the reusable scratch, then decode every
+      // complete frame; forwarding still waits for each frame's ticket.
       for (;;) {
         const ssize_t r =
-            recv(channels_[static_cast<size_t>(front)]->egress_router, buf,
-                 sizeof buf, MSG_DONTWAIT);
+            recv(ch.egress_router, scratch.data(), scratch.size(),
+                 MSG_DONTWAIT);
         if (r < 0) {
           if (errno == EAGAIN || errno == EWOULDBLOCK) break;
           PEM_CHECK(errno == EINTR, "socket transport: router recv failed");
@@ -316,16 +351,16 @@ void SocketTransport::RouterLoop() {
         if (r == 0) {
           // Hangup mid-stream: latch the structured fault and stop
           // reading this sender instead of wedging or aborting.
-          RecordFault(front, "egress channel closed (peer hung up)");
-          channels_[static_cast<size_t>(front)]->egress_closed = true;
+          RecordFault(a, "egress channel closed (peer hung up)");
+          ch.egress_closed = true;
           break;
         }
-        router_rx_[static_cast<size_t>(front)].Feed(
-            std::span<const uint8_t>(buf, static_cast<size_t>(r)));
+        router_rx_[static_cast<size_t>(a)].Feed(
+            std::span<const uint8_t>(scratch.data(), static_cast<size_t>(r)));
       }
       while (std::optional<Message> f =
-                 router_rx_[static_cast<size_t>(front)].Next()) {
-        router_queue_[static_cast<size_t>(front)].push_back(std::move(*f));
+                 router_rx_[static_cast<size_t>(a)].Next()) {
+        router_queue_[static_cast<size_t>(a)].push_back(std::move(*f));
       }
     }
   }

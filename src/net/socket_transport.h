@@ -43,7 +43,16 @@ namespace pem::net {
 
 class SocketTransport : public Transport {
  public:
-  explicit SocketTransport(int num_agents);
+  struct Options {
+    // Reusable router drain buffer: one recv of this size replaces the
+    // old per-iteration 4 KiB stack nibbles, so a burst of frames
+    // crosses the router in a handful of syscalls.
+    size_t router_scratch_bytes = 64 * 1024;
+  };
+
+  SocketTransport(int num_agents, Options opts);
+  explicit SocketTransport(int num_agents)
+      : SocketTransport(num_agents, Options{}) {}
   ~SocketTransport() override;
 
   SocketTransport(const SocketTransport&) = delete;
@@ -98,8 +107,9 @@ class SocketTransport : public Transport {
   void WakeRouter();
   void RecordFault(AgentId agent, const char* what);  // keeps the first
 
+  Options opts_;
   std::vector<std::unique_ptr<Channel>> channels_;
-  WakePipe wake_;  // Send/destructor wake the router parked in poll()
+  WakePipe wake_;  // Send/destructor wake the router parked in epoll
 
   mutable std::mutex mu_;
   TrafficLedger ledger_;

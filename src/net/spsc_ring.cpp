@@ -1,0 +1,158 @@
+#include "net/spsc_ring.h"
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <climits>
+#include <cstring>
+#include <new>
+
+#include "util/error.h"
+
+namespace pem::net {
+namespace {
+
+constexpr uint32_t kRingMagic = 0x52505350;  // "PSPR"
+
+}  // namespace
+
+void FutexWait(std::atomic<uint32_t>* word, uint32_t expected,
+               int timeout_ms) {
+  timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1'000'000L;
+  // No FUTEX_PRIVATE_FLAG: the word lives in MAP_SHARED memory and the
+  // waiter/waker may be different processes.  EAGAIN (word already
+  // changed), EINTR and ETIMEDOUT are all fine — the caller rechecks.
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAIT, expected,
+          &ts, nullptr, 0);
+}
+
+void FutexWake(std::atomic<uint32_t>* word) {
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(word), FUTEX_WAKE, INT_MAX,
+          nullptr, nullptr, 0);
+}
+
+size_t SpscRing::RegionBytes(size_t capacity) {
+  return sizeof(SpscRingHeader) + capacity;
+}
+
+SpscRing SpscRing::Init(void* mem, size_t capacity) {
+  PEM_CHECK(mem != nullptr, "spsc ring: null region");
+  PEM_CHECK(reinterpret_cast<uintptr_t>(mem) % 64 == 0,
+            "spsc ring: region must be 64-byte aligned");
+  PEM_CHECK(capacity > 0 && (capacity & (capacity - 1)) == 0,
+            "spsc ring: capacity must be a power of two");
+  auto* h = new (mem) SpscRingHeader();
+  h->tail.store(0, std::memory_order_relaxed);
+  h->head.store(0, std::memory_order_relaxed);
+  h->snoop.store(0, std::memory_order_relaxed);
+  h->data_seq.store(0, std::memory_order_relaxed);
+  h->space_seq.store(0, std::memory_order_relaxed);
+  h->capacity = capacity;
+  h->magic = kRingMagic;
+  return SpscRing(h, reinterpret_cast<uint8_t*>(mem) + sizeof(SpscRingHeader));
+}
+
+SpscRing SpscRing::Attach(void* mem) {
+  auto* h = reinterpret_cast<SpscRingHeader*>(mem);
+  PEM_CHECK(h != nullptr && h->magic == kRingMagic,
+            "spsc ring: attach to unformatted region");
+  return SpscRing(h, reinterpret_cast<uint8_t*>(mem) + sizeof(SpscRingHeader));
+}
+
+size_t SpscRing::FreeBytes() const {
+  const uint64_t tail = h_->tail.load(std::memory_order_relaxed);
+  // Acquire: the consumers' reads of the freed bytes happened-before,
+  // so overwriting them cannot race.  Space is gated by the SLOWER of
+  // the reader and the snooper — bytes stay live until both are past.
+  const uint64_t head = h_->head.load(std::memory_order_acquire);
+  const uint64_t snoop = h_->snoop.load(std::memory_order_acquire);
+  return static_cast<size_t>(h_->capacity - (tail - std::min(head, snoop)));
+}
+
+void SpscRing::CopyIn(uint64_t at, std::span<const uint8_t> bytes) {
+  const uint64_t cap = h_->capacity;
+  const size_t pos = static_cast<size_t>(at & (cap - 1));
+  const size_t first = std::min(bytes.size(), static_cast<size_t>(cap) - pos);
+  std::memcpy(data_ + pos, bytes.data(), first);
+  if (first < bytes.size()) {
+    std::memcpy(data_, bytes.data() + first, bytes.size() - first);
+  }
+}
+
+void SpscRing::CopyOut(uint64_t from, uint8_t* dst, size_t len) const {
+  const uint64_t cap = h_->capacity;
+  const size_t pos = static_cast<size_t>(from & (cap - 1));
+  const size_t first = std::min(len, static_cast<size_t>(cap) - pos);
+  std::memcpy(dst, data_ + pos, first);
+  if (first < len) std::memcpy(dst + first, data_, len - first);
+}
+
+bool SpscRing::TryAppend(std::span<const uint8_t> a,
+                         std::span<const uint8_t> b) {
+  const size_t total = a.size() + b.size();
+  PEM_CHECK(total <= h_->capacity,
+            "spsc ring: record larger than the whole ring");
+  if (FreeBytes() < total) return false;
+  const uint64_t tail = h_->tail.load(std::memory_order_relaxed);
+  if (!a.empty()) CopyIn(tail, a);
+  if (!b.empty()) CopyIn(tail + a.size(), b);
+  // ONE release publish for the whole record: a reader's acquire load
+  // of tail sees either none of it or all of it, never a torn prefix.
+  h_->tail.store(tail + total, std::memory_order_release);
+  h_->data_seq.fetch_add(1, std::memory_order_release);
+  FutexWake(&h_->data_seq);
+  return true;
+}
+
+void SpscRing::WaitWritable(size_t bytes, int timeout_ms) {
+  const uint32_t seq = h_->space_seq.load(std::memory_order_acquire);
+  if (FreeBytes() >= bytes) return;
+  FutexWait(&h_->space_seq, seq, timeout_ms);
+}
+
+size_t SpscRing::ReadableBytes() const {
+  return static_cast<size_t>(h_->tail.load(std::memory_order_acquire) -
+                             h_->head.load(std::memory_order_relaxed));
+}
+
+void SpscRing::Peek(size_t offset, uint8_t* dst, size_t len) const {
+  CopyOut(h_->head.load(std::memory_order_relaxed) + offset, dst, len);
+}
+
+void SpscRing::Consume(size_t len) {
+  const uint64_t head = h_->head.load(std::memory_order_relaxed);
+  h_->head.store(head + len, std::memory_order_release);
+  h_->space_seq.fetch_add(1, std::memory_order_release);
+  FutexWake(&h_->space_seq);
+}
+
+void SpscRing::WaitReadable(int timeout_ms) {
+  // Doorbell snapshot BEFORE the recheck: a publish that lands between
+  // the two makes the wait return immediately (word changed).
+  const uint32_t seq = h_->data_seq.load(std::memory_order_acquire);
+  if (ReadableBytes() > 0) return;
+  FutexWait(&h_->data_seq, seq, timeout_ms);
+}
+
+size_t SpscRing::SnoopReadableBytes() const {
+  return static_cast<size_t>(h_->tail.load(std::memory_order_acquire) -
+                             h_->snoop.load(std::memory_order_relaxed));
+}
+
+void SpscRing::SnoopPeek(size_t offset, uint8_t* dst, size_t len) const {
+  CopyOut(h_->snoop.load(std::memory_order_relaxed) + offset, dst, len);
+}
+
+void SpscRing::SnoopConsume(size_t len) {
+  const uint64_t snoop = h_->snoop.load(std::memory_order_relaxed);
+  h_->snoop.store(snoop + len, std::memory_order_release);
+  h_->space_seq.fetch_add(1, std::memory_order_release);
+  FutexWake(&h_->space_seq);
+}
+
+}  // namespace pem::net

@@ -28,6 +28,13 @@ std::unique_ptr<Transport> MakeTransport(TransportKind kind, int num_agents) {
                 "net::TcpTransport directly (RunSimulation does for "
                 "ExecutionPolicy::Tcp())");
       return nullptr;
+    case TransportKind::kShm:
+      PEM_CHECK(false,
+                "MakeTransport: kShm forks one child per agent over shared-"
+                "memory rings and needs a child entry point; construct "
+                "net::ShmTransport directly (RunSimulation does for "
+                "ExecutionPolicy::Shm())");
+      return nullptr;
   }
   PEM_CHECK(false, "unknown transport kind");
   return nullptr;

@@ -231,6 +231,8 @@ enum class TransportKind {
   kSocket,         // SocketTransport: framed Unix-domain socketpairs
   kProcess,        // ProcessTransport: one forked OS process per agent
   kTcp,            // TcpTransport: one process per agent over TCP
+  kShm,            // ShmTransport: one process per agent over shared-
+                   // memory SPSC rings (zero kernel copies)
 };
 
 inline const char* TransportKindName(TransportKind k) {
@@ -242,6 +244,7 @@ inline const char* TransportKindName(TransportKind k) {
     case TransportKind::kSocket: return "socket";
     case TransportKind::kProcess: return "process";
     case TransportKind::kTcp: return "tcp";
+    case TransportKind::kShm: return "shm";
   }
   PEM_CHECK(false, "invalid TransportKind value");
   return nullptr;
@@ -286,6 +289,14 @@ struct ExecutionPolicy {
   // fan-out.
   static ExecutionPolicy Tcp(int threads = 1) {
     return {TransportKind::kTcp, threads};
+  }
+  // One forked OS process per agent exchanging frames through shared-
+  // memory SPSC rings (net/shm_transport.h): zero kernel copies and no
+  // router hop for co-located agents, with the parent accounting every
+  // frame from a tap cursor.  `threads` sets each child's compute
+  // fan-out.
+  static ExecutionPolicy Shm(int threads = 1) {
+    return {TransportKind::kShm, threads};
   }
 };
 

@@ -195,6 +195,12 @@ WindowReport CollectWindowReports(
               "collect: child sent a non-report record");
     reports.push_back(DecodeWindowReport(rec.payload));
   }
+  // Every child has reported, so every frame of the window has been
+  // consumed.  Relay-routed backends account a frame before delivering
+  // it, so their ledgers are already complete; the shm backend's
+  // accounting tap trails delivery and must be drained to the write
+  // cursors before the cross-check below reads the ledger.
+  transport.SyncLedger();
   // (a) Every independent process derived the same public outcome.
   for (net::AgentId a = 1; a < n; ++a) {
     PEM_CHECK(SameReport(reports[0], reports[static_cast<size_t>(a)]),

@@ -4,22 +4,27 @@
 // (transport backend + compute workers) changes WHO computes each
 // ciphertext, WHEN, and over WHICH medium — in-process FIFO queues,
 // a mutex-guarded bus, framed Unix-domain socketpairs, one forked OS
-// process per agent, or one process per agent over loopback TCP — but
-// never WHAT goes on the wire.  With the same seed, every backend must
+// process per agent, one process per agent over loopback TCP, or one
+// process per agent over zero-copy shared-memory rings — but never
+// WHAT goes on the wire.  With the same seed, every backend must
 // produce identical prices, trades, bus bytes, PER-AGENT byte totals,
 // and an identical transcript (the serial/concurrent/socket/process/
-// tcp FIVE-way matrix below).
+// tcp/shm SIX-way matrix below).
 //
-// Transcript ordering caveat for the process and tcp backends: their
-// agents really run concurrently, so the parent router observes frames
-// in physical arrival order — only per-sender FIFO order is defined,
-// exactly as on a real network.  Those rows therefore compare
+// Transcript ordering caveat for the forked backends (process, tcp,
+// shm): their agents really run concurrently, so the parent observes
+// frames in physical arrival order — only per-sender FIFO order is
+// defined, exactly as on a real network.  Those rows therefore compare
 // per-sender message sequences (plus total counts); for the socketpair
-// process backend the message-level byte equality is additionally
-// enforced INSIDE every child, which byte-matches each frame it
-// consumes against the deterministic schedule
-// (net/process_transport.h), while the tcp backend runs trusting mode
-// (its parent-side ledger cross-check still runs per window).
+// process backend AND the shm backend the message-level byte equality
+// is additionally enforced INSIDE every child, which byte-matches each
+// frame it consumes against the deterministic schedule
+// (net/process_transport.h, net/shm_transport.h), while the tcp
+// backend runs trusting mode (its parent-side ledger cross-check still
+// runs per window).  The shm row is special in one more way: no frame
+// ever crosses the parent, so its ledger and observer transcript come
+// from the rings' snoop cursors — this matrix is what proves that tap
+// misses nothing.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -28,6 +33,7 @@
 
 #include "core/simulation.h"
 #include "net/process_transport.h"
+#include "net/shm_transport.h"
 #include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "protocol/agent_driver.h"
@@ -251,6 +257,10 @@ WindowRun RunWindowForked(net::TransportKind kind, uint64_t seed,
     owner = std::make_unique<net::TcpTransport>(
         static_cast<int>(kMarket.size()), child_main,
         net::TcpTransport::Options{});
+  } else if (kind == net::TransportKind::kShm) {
+    owner = std::make_unique<net::ShmTransport>(
+        static_cast<int>(kMarket.size()), child_main,
+        net::ShmTransport::Options{});
   } else {
     owner = std::make_unique<net::ProcessTransport>(
         static_cast<int>(kMarket.size()), child_main);
@@ -294,23 +304,27 @@ WindowRun RunWindowForked(net::TransportKind kind, uint64_t seed,
   return run;
 }
 
-TEST(TranscriptParity, WindowFiveWayMatrix) {
-  // serial / concurrent / socket / process / tcp: same seed, same
-  // transcript, same per-agent bytes.
+TEST(TranscriptParity, WindowSixWayMatrix) {
+  // serial / concurrent / socket / process / tcp / shm: same seed,
+  // same transcript, same per-agent bytes.
   const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 42);
   const WindowRun parallel = RunWindow(net::ExecutionPolicy::Parallel(4), 42);
   const WindowRun socket = RunWindow(net::ExecutionPolicy::Socket(), 42);
   const WindowRun process =
       RunWindowForked(net::TransportKind::kProcess, 42);
   const WindowRun tcp = RunWindowForked(net::TransportKind::kTcp, 42);
+  const WindowRun shm = RunWindowForked(net::TransportKind::kShm, 42);
   ExpectWindowParity(serial, parallel);
   ExpectWindowParity(serial, socket);
   ExpectWindowParity(parallel, socket);
   // Forked agents: identical outcome and bytes, per-sender-identical
   // transcript (their frames really interleave on arrival) — over
-  // inherited socketpairs and over loopback TCP alike.
+  // inherited socketpairs, loopback TCP, and shared-memory rings
+  // alike.  The shm bytes were never routed: the snoop-cursor ledger
+  // must equal the canonical accounting agent by agent.
   ExpectWindowParity(serial, process, /*strict_order=*/false);
   ExpectWindowParity(serial, tcp, /*strict_order=*/false);
+  ExpectWindowParity(serial, shm, /*strict_order=*/false);
 }
 
 TEST(TranscriptParity, ProcessWithComputeWorkersAlsoMatches) {
@@ -330,6 +344,15 @@ TEST(TranscriptParity, TcpWithComputeWorkersAlsoMatches) {
       RunWindowForked(net::TransportKind::kTcp, 7, /*pooled=*/false,
                       /*crt=*/true, /*threads=*/2);
   ExpectWindowParity(serial, tcp, /*strict_order=*/false);
+}
+
+TEST(TranscriptParity, ShmWithComputeWorkersAlsoMatches) {
+  // Same independence over shared-memory rings.
+  const WindowRun serial = RunWindow(net::ExecutionPolicy::Serial(), 7);
+  const WindowRun shm =
+      RunWindowForked(net::TransportKind::kShm, 7, /*pooled=*/false,
+                      /*crt=*/true, /*threads=*/2);
+  ExpectWindowParity(serial, shm, /*strict_order=*/false);
 }
 
 TEST(TranscriptParity, WindowParityHoldsAcrossSeeds) {
@@ -361,10 +384,13 @@ TEST(TranscriptParity, WindowParityWithRandomnessPools) {
       RunWindowForked(net::TransportKind::kProcess, 11, /*pooled=*/true);
   const WindowRun tcp =
       RunWindowForked(net::TransportKind::kTcp, 11, /*pooled=*/true);
+  const WindowRun shm =
+      RunWindowForked(net::TransportKind::kShm, 11, /*pooled=*/true);
   ExpectWindowParity(serial, parallel);
   ExpectWindowParity(serial, socket);
   ExpectWindowParity(serial, process, /*strict_order=*/false);
   ExpectWindowParity(serial, tcp, /*strict_order=*/false);
+  ExpectWindowParity(serial, shm, /*strict_order=*/false);
   // The parity must cover the pooled EncryptWithFactor branch, not just
   // the fresh-randomness fallback: all engines must actually draw
   // factors, and the same number of them.
@@ -410,11 +436,15 @@ TEST(TranscriptParity, CrtAndConcurrentRefillMatrix) {
   const WindowRun crt_tcp =
       RunWindowForked(net::TransportKind::kTcp, 11, /*pooled=*/true,
                       /*crt=*/true, /*threads=*/2);
+  const WindowRun crt_shm =
+      RunWindowForked(net::TransportKind::kShm, 11, /*pooled=*/true,
+                      /*crt=*/true, /*threads=*/2);
   ExpectWindowParity(base, crt_serial);
   ExpectWindowParity(base, crt_parallel);
   ExpectWindowParity(base, crt_socket);
   ExpectWindowParity(base, crt_process, /*strict_order=*/false);
   ExpectWindowParity(base, crt_tcp, /*strict_order=*/false);
+  ExpectWindowParity(base, crt_shm, /*strict_order=*/false);
   // All four runs must exercise the pooled branch, equally.
   EXPECT_GT(base.factors_consumed, 0u);
   EXPECT_EQ(crt_serial.factors_consumed, base.factors_consumed);
@@ -513,6 +543,17 @@ TEST(TranscriptParity, FullTradingDaySerialVsTcp) {
   const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
   const SimRun tcp = RunSim(net::ExecutionPolicy::Tcp());
   ExpectSimParity(serial, tcp, /*strict_order=*/false);
+}
+
+TEST(TranscriptParity, FullTradingDaySerialVsShm) {
+  // The same day over zero-copy shared-memory rings: every frame is
+  // written once and consumed in place, yet the Table-I numbers —
+  // accounted from the snoop cursors, synced by CollectWindowReports
+  // before each window's cross-check — still equal the canonical
+  // ledger window by window and agent by agent.
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
+  const SimRun shm = RunSim(net::ExecutionPolicy::Shm());
+  ExpectSimParity(serial, shm, /*strict_order=*/false);
 }
 
 }  // namespace
