@@ -54,7 +54,11 @@ inline void SetNonBlocking(int fd) {
 
 inline void MakeSocketPair(int* a, int* b) {
   int fds[2];
-  PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+  // SOCK_CLOEXEC: a forked child inherits exactly the ends its launcher
+  // hands over (fork keeps fds regardless); anything that ever exec()s
+  // — a future ssh/k8s agent launcher — must not leak wire fds into
+  // the new program.
+  PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) == 0,
             "relay: socketpair failed");
   *a = fds[0];
   *b = fds[1];
@@ -150,7 +154,7 @@ struct WakePipe {
 
   void Open() {
     int fds[2];
-    PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+    PEM_CHECK(socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) == 0,
               "wake pipe: socketpair failed");
     send_fd = fds[0];
     recv_fd = fds[1];

@@ -10,6 +10,7 @@
 #include <new>
 #include <utility>
 
+#include "net/bus.h"
 #include "util/error.h"
 
 namespace pem::net {

@@ -55,7 +55,7 @@
 #include <thread>
 #include <vector>
 
-#include "net/process_transport.h"
+#include "net/agent_supervisor.h"
 #include "net/spsc_ring.h"
 
 namespace pem::net {

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/process_transport.h"
 #include "util/error.h"
 
 namespace pem::net {
@@ -114,7 +115,9 @@ const char* HelloKindName(uint32_t kind) {
 TcpListener::TcpListener(const std::string& host, uint16_t port, int backlog,
                          int socket_buffer_bytes) {
   const sockaddr_in addr = ResolveNumericHost(host, port);
-  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  // SOCK_CLOEXEC: the rendezvous listener must never leak into an
+  // exec()ed process; forked children still close it explicitly.
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   PEM_CHECK(fd_ >= 0, "tcp transport: socket() failed");
   const int one = 1;
   (void)setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -163,7 +166,7 @@ int TcpListener::Accept(int timeout_ms, const std::string& who) {
       continue;
     }
     if (pr == 0) continue;  // deadline check above fires next pass
-    const int fd = accept(fd_, nullptr, nullptr);
+    const int fd = accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       // Transient per-connection failures (dialer aborted between
       // SYN and accept) must not kill the rendezvous.
@@ -189,7 +192,7 @@ namespace {
 int TryConnectOnce(const sockaddr_in& addr, int socket_buffer_bytes,
                    std::chrono::steady_clock::time_point deadline,
                    AgentId agent, int* err) {
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   PEM_CHECK(fd >= 0, "tcp transport: socket() failed");
   // Buffer sizes must be set before connect to take effect on the
   // receive window.

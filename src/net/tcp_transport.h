@@ -43,7 +43,7 @@
 #include <string>
 #include <vector>
 
-#include "net/process_transport.h"
+#include "net/agent_supervisor.h"
 
 namespace pem::net {
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "net/agent_supervisor.h"
 #include "net/serialize.h"
 #include "util/error.h"
 

@@ -23,8 +23,18 @@
 #include <span>
 #include <vector>
 
-#include "net/process_transport.h"
+#include "net/message.h"
+#include "net/transport.h"
 #include "protocol/pem_protocol.h"
+
+namespace pem::net {
+// Supervision control plane (net/agent_supervisor.h).  Only referenced
+// through references here, so the protocol layer's public surface
+// depends on no concrete transport backend — pem_lint's layering rule
+// keeps it that way; the .cpp includes the real header.
+class AgentSupervisor;
+class ControlChannel;
+}  // namespace pem::net
 
 namespace pem::protocol {
 

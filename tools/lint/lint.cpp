@@ -1,0 +1,298 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pem::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+// Blanks comments, string literals and char literals to spaces,
+// preserving newlines (and the quote delimiters themselves), so token
+// scans and line numbers survive.  Handles escapes, raw strings
+// (R"delim(...)delim") and C++14 digit separators (1'000 — a quote
+// directly after an identifier/digit character is NOT a char literal).
+std::string BlankNonCode(const std::string& raw) {
+  std::string out = raw;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRawString };
+  State st = State::kCode;
+  std::string raw_delim;  // for kRawString: the ")delim" terminator
+  char prev_code = '\0';  // last significant char seen in kCode
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // R"..( raw string?  Allow u8R / uR / UR / LR prefixes.
+          size_t r = i;
+          while (r > 0 && IsIdentChar(raw[r - 1])) --r;
+          const std::string_view prefix(raw.data() + r, i - r);
+          const bool is_raw = !prefix.empty() && prefix.back() == 'R' &&
+                              prefix.size() <= 3;
+          if (is_raw) {
+            size_t p = i + 1;
+            std::string delim;
+            while (p < raw.size() && raw[p] != '(') delim += raw[p++];
+            raw_delim = ")" + delim + "\"";
+            st = State::kRawString;
+            i = p;  // sits on '('; contents blank from i+1
+          } else {
+            st = State::kString;
+          }
+        } else if (c == '\'' && !IsIdentChar(prev_code)) {
+          st = State::kChar;
+        }
+        if (st == State::kCode && c != ' ' && c != '\t') prev_code = c;
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          st = State::kCode;
+          prev_code = '\0';
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = State::kCode;
+          prev_code = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = State::kCode;
+          prev_code = '\'';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (raw.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;  // keep the closing quote visible
+          st = State::kCode;
+          prev_code = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// `   #  include "target"` on a code (non-comment) line.
+bool IsIncludeLine(const std::string& code_line) {
+  size_t i = 0;
+  while (i < code_line.size() &&
+         (code_line[i] == ' ' || code_line[i] == '\t')) {
+    ++i;
+  }
+  if (i >= code_line.size() || code_line[i] != '#') return false;
+  ++i;
+  while (i < code_line.size() &&
+         (code_line[i] == ' ' || code_line[i] == '\t')) {
+    ++i;
+  }
+  return code_line.compare(i, 7, "include") == 0;
+}
+
+}  // namespace
+
+bool TokenAt(std::string_view code, size_t pos, std::string_view token) {
+  if (pos + token.size() > code.size()) return false;
+  if (code.compare(pos, token.size(), token) != 0) return false;
+  // The token may itself start/end with non-ident chars (e.g.
+  // "std::rand"); boundaries only matter where the token edge is an
+  // identifier character.
+  if (IsIdentChar(token.front()) && pos > 0 && IsIdentChar(code[pos - 1])) {
+    return false;
+  }
+  const size_t end = pos + token.size();
+  if (IsIdentChar(token.back()) && end < code.size() &&
+      IsIdentChar(code[end])) {
+    return false;
+  }
+  return true;
+}
+
+size_t FindToken(std::string_view code, std::string_view token, size_t from) {
+  for (size_t pos = code.find(token, from); pos != std::string_view::npos;
+       pos = code.find(token, pos + 1)) {
+    if (TokenAt(code, pos, token)) return pos;
+  }
+  return std::string_view::npos;
+}
+
+int LineOfOffset(std::string_view text, size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<ptrdiff_t>(
+                                               std::min(pos, text.size())),
+                            '\n'));
+}
+
+bool SourceFile::Suppressed(std::string_view rule, int line) const {
+  const auto line_allows = [&](int l) {
+    if (l < 1 || l > static_cast<int>(raw_lines.size())) return false;
+    const std::string& text = raw_lines[static_cast<size_t>(l - 1)];
+    const size_t tag = text.find("pem-lint: allow(");
+    if (tag == std::string::npos) return false;
+    const size_t open = text.find('(', tag);
+    const size_t close = text.find(')', open);
+    if (close == std::string::npos) return false;
+    // allow(a, b) — any listed id suppresses its rule.
+    std::string inner = text.substr(open + 1, close - open - 1);
+    size_t start = 0;
+    while (start <= inner.size()) {
+      size_t comma = inner.find(',', start);
+      if (comma == std::string::npos) comma = inner.size();
+      std::string id = inner.substr(start, comma - start);
+      id.erase(0, id.find_first_not_of(" \t"));
+      const size_t last = id.find_last_not_of(" \t");
+      if (last != std::string::npos) id.erase(last + 1);
+      if (id == rule) return true;
+      start = comma + 1;
+    }
+    return false;
+  };
+  return line_allows(line) || line_allows(line - 1);
+}
+
+void Registry::Add(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+const Rule* Registry::Find(std::string_view id) const {
+  for (const auto& r : rules_) {
+    if (r->id() == id) return r.get();
+  }
+  return nullptr;
+}
+
+SourceFile LoadSourceFile(const std::filesystem::path& abs,
+                          std::string rel_path) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("pem-lint: cannot read " + abs.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  SourceFile f;
+  f.path = std::move(rel_path);
+  std::replace(f.path.begin(), f.path.end(), '\\', '/');
+  f.raw = buf.str();
+  f.code = BlankNonCode(f.raw);
+  f.raw_lines = SplitLines(f.raw);
+  f.code_lines = SplitLines(f.code);
+  f.is_header = f.path.size() >= 2 &&
+                f.path.compare(f.path.size() - 2, 2, ".h") == 0;
+  for (size_t i = 0; i < f.code_lines.size(); ++i) {
+    if (!IsIncludeLine(f.code_lines[i])) continue;
+    // The include target is a literal, so it survives only in raw.
+    const std::string& raw_line = f.raw_lines[i];
+    const size_t q1 = raw_line.find('"');
+    if (q1 == std::string::npos) continue;  // <system> include
+    const size_t q2 = raw_line.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    f.includes.push_back(raw_line.substr(q1 + 1, q2 - q1 - 1));
+    f.include_lines.push_back(static_cast<int>(i + 1));
+  }
+  return f;
+}
+
+std::vector<std::string> WalkTree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const char* top : {"src", "tests", "bench", "examples"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp" && ext != ".cc") continue;
+      out.push_back(fs::relative(entry.path(), root).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Finding> RunLint(const std::filesystem::path& root,
+                             const std::vector<std::string>& rel_files,
+                             const Registry& registry,
+                             const std::set<std::string>& only,
+                             const std::set<std::string>& exclude) {
+  std::vector<Finding> findings;
+  for (const std::string& rel : rel_files) {
+    const SourceFile file = LoadSourceFile(root / rel, rel);
+    for (const auto& rule : registry.rules()) {
+      const std::string id(rule->id());
+      if (!only.empty() && only.count(id) == 0) continue;
+      if (exclude.count(id) != 0) continue;
+      std::vector<Finding> raw;
+      rule->Check(file, &raw);
+      for (Finding& f : raw) {
+        if (file.Suppressed(f.rule, f.line)) continue;
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace pem::lint

@@ -1,0 +1,127 @@
+// pem-lint: project-invariant static analysis for the PEM engine.
+//
+// The engine's correctness story rests on invariants no compiler
+// checks: the wire transcript must be policy-invariant (so protocol and
+// crypto code must never touch nondeterministic APIs), Table-I bytes
+// may only be accounted through FramedSize, five fork-based transports
+// depend on strict fd hygiene, and the layer order
+// util -> crypto/net -> market -> protocol -> ledger -> core must hold
+// or the transport abstraction quietly erodes.  PRs 1-6 enforce these
+// dynamically (parity matrix, sanitizers, fault walls); pem_lint makes
+// them statically enforceable on every commit.
+//
+// Deliberately token/include-graph based — no libclang, no compiler
+// dependency — so it builds and runs everywhere the engine does.  Each
+// rule is registered by id, reports `file:line: rule-id: message`
+// findings, and can be suppressed at a single site with an inline
+//   // pem-lint: allow(rule-id)
+// comment on the finding line or the line directly above it.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pem::lint {
+
+// One rule violation at one source location.
+struct Finding {
+  std::string file;  // repo-relative path, '/'-separated
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// A scanned file, preprocessed once and shared by every rule.
+//
+// `code` is `raw` with every comment, string literal and char literal
+// blanked to spaces (newlines kept), so token scans never trip over
+// error-message strings or prose in comments; byte offsets and line
+// numbers are identical between the two views.  Suppression comments
+// are naturally invisible in `code` — Suppressed() reads `raw`.
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated
+  std::string raw;
+  std::string code;
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  // #include "..." targets with their 1-based lines, in file order.
+  std::vector<std::string> includes;
+  std::vector<int> include_lines;
+  bool is_header = false;
+
+  // True when line `line` (or the line above it) carries an inline
+  // `pem-lint: allow(rule)` suppression naming `rule`.
+  bool Suppressed(std::string_view rule, int line) const;
+
+  bool PathStartsWith(std::string_view prefix) const {
+    return path.rfind(prefix, 0) == 0;
+  }
+};
+
+// A named, suppressible project-invariant check.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view id() const = 0;
+  virtual std::string_view description() const = 0;
+  // Appends findings for `file`; suppression filtering happens in the
+  // driver, not here.
+  virtual void Check(const SourceFile& file,
+                     std::vector<Finding>* out) const = 0;
+};
+
+// Pluggable rule registry: rules register by id; the CLI's --rule /
+// --exclude-rule select among them.
+class Registry {
+ public:
+  void Add(std::unique_ptr<Rule> rule);
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  const Rule* Find(std::string_view id) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+// The project rule set (rules.cpp).
+Registry MakeDefaultRegistry();
+
+// --- engine -----------------------------------------------------------
+
+// Loads + preprocesses one file.  `rel_path` is the path findings will
+// carry; `abs` is where the bytes live.
+SourceFile LoadSourceFile(const std::filesystem::path& abs,
+                          std::string rel_path);
+
+// Repo-relative .h/.cpp/.cc paths under root's src/, tests/, bench/
+// and examples/ trees (whichever exist), sorted.  tools/ is excluded
+// on purpose: the lint fixture corpus contains deliberate violations.
+std::vector<std::string> WalkTree(const std::filesystem::path& root);
+
+// Runs every selected rule over every file; returns surviving findings
+// (suppressed ones dropped) sorted by file/line/rule.  `only` empty
+// means all rules; `exclude` wins over `only`.
+std::vector<Finding> RunLint(const std::filesystem::path& root,
+                             const std::vector<std::string>& rel_files,
+                             const Registry& registry,
+                             const std::set<std::string>& only,
+                             const std::set<std::string>& exclude);
+
+// --- shared token helpers (used by rules.cpp and tests) ---------------
+
+// True when code[pos] starts identifier token `token` with non-ident
+// characters (or string edges) on both sides.
+bool TokenAt(std::string_view code, size_t pos, std::string_view token);
+
+// Finds the next whole-token occurrence of `token` at or after `from`;
+// npos when absent.
+size_t FindToken(std::string_view code, std::string_view token,
+                 size_t from = 0);
+
+// 1-based line number of byte offset `pos` in `text`.
+int LineOfOffset(std::string_view text, size_t pos);
+
+}  // namespace pem::lint

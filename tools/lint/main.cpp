@@ -1,0 +1,116 @@
+// pem_lint CLI.
+//
+//   pem_lint [--root=DIR] [--list-rules] [--rule=a,b] [--exclude-rule=c]
+//            [files...]
+//
+// With no file operands, walks src/, tests/, bench/ and examples/
+// under --root (default: cwd).  Prints `file:line: rule-id: message`
+// per finding.  Exit 0 = clean, 1 = findings, 2 = usage/IO error.
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+bool TakeValue(const std::string& arg, const char* flag, std::string* out) {
+  const std::string prefix = std::string(flag) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+void SplitIds(const std::string& csv, std::set<std::string>* out) {
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) out->insert(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pem_lint [--root=DIR] [--list-rules] [--rule=ids]\n"
+      "                [--exclude-rule=ids] [files...]\n"
+      "\n"
+      "Checks PEM project invariants over src/, tests/, bench/ and\n"
+      "examples/ (or just the listed repo-relative files).  Suppress a\n"
+      "single finding with `// pem-lint: allow(rule-id)` on or above\n"
+      "the offending line.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::set<std::string> only, exclude;
+  std::vector<std::string> files;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (TakeValue(arg, "--root", &value)) {
+      root = value;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (TakeValue(arg, "--rule", &value)) {
+      SplitIds(value, &only);
+    } else if (TakeValue(arg, "--exclude-rule", &value)) {
+      SplitIds(value, &exclude);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pem_lint: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  const pem::lint::Registry registry = pem::lint::MakeDefaultRegistry();
+
+  if (list_rules) {
+    for (const auto& rule : registry.rules()) {
+      std::printf("%-26s %s\n", std::string(rule->id()).c_str(),
+                  std::string(rule->description()).c_str());
+    }
+    return 0;
+  }
+
+  for (const std::set<std::string>* ids : {&only, &exclude}) {
+    for (const std::string& id : *ids) {
+      if (registry.Find(id) == nullptr) {
+        std::fprintf(stderr, "pem_lint: unknown rule '%s' (--list-rules)\n",
+                     id.c_str());
+        return 2;
+      }
+    }
+  }
+
+  try {
+    if (files.empty()) files = pem::lint::WalkTree(root);
+    const std::vector<pem::lint::Finding> findings =
+        pem::lint::RunLint(root, files, registry, only, exclude);
+    for (const pem::lint::Finding& f : findings) {
+      std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "pem_lint: %zu finding(s)\n", findings.size());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fixture: deterministic protocol code.  Mentions of std::rand and
+// system_clock in comments or strings must not fire, and C++14 digit
+// separators must not open a char literal that swallows the rest of
+// the file.
+#include "crypto/rng.h"
+
+namespace pem::protocol {
+
+// The old code used std::rand() and system_clock; both are banned now.
+int Jitter(pem::crypto::Rng& rng) {
+  const char* msg = "do not call std::rand or time() here";
+  constexpr int kBudget = 120'000;  // digit separator, not a char
+  (void)msg;
+  return static_cast<int>(rng.NextU64() % kBudget);
+}
+
+}  // namespace pem::protocol

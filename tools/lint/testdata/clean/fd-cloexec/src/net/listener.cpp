@@ -1,0 +1,24 @@
+// Fixture: every creation requests CLOEXEC atomically, plus one
+// deliberate inline suppression proving the escape hatch works.
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+namespace pem::net {
+
+void Listen() {
+  int s = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  int fds[2];
+  socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds);
+  int c = accept4(s, nullptr, nullptr, SOCK_CLOEXEC);
+  int ep = epoll_create1(EPOLL_CLOEXEC);
+  int f = open("/dev/null", O_RDONLY | O_CLOEXEC);
+  // This fd is handed to an inherited-stdio child on purpose.
+  int g = open("/dev/null", O_RDONLY);  // pem-lint: allow(fd-cloexec)
+  (void)c;
+  (void)ep;
+  (void)f;
+  (void)g;
+}
+
+}  // namespace pem::net

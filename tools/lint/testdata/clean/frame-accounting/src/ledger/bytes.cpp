@@ -1,0 +1,14 @@
+// Fixture: FramedSize() and non-arithmetic mentions are fine.
+#include "net/frame.h"
+
+namespace pem::ledger {
+
+size_t WireBytes(size_t payload) {
+  return pem::net::FramedSize(payload);
+}
+
+bool IsHeaderOnly(size_t n) {
+  return n == pem::net::kFrameHeaderBytes;  // comparison, not arithmetic
+}
+
+}  // namespace pem::ledger

@@ -1,0 +1,10 @@
+// Fixture: protocol code on the abstract net surface only.
+#include "net/agent_supervisor.h"
+#include "net/frame.h"
+#include "net/message.h"
+#include "net/serialize.h"
+#include "net/transport.h"
+
+namespace pem::protocol {
+void Drive() {}
+}  // namespace pem::protocol

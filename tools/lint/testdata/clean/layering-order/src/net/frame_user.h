@@ -1,0 +1,11 @@
+// Fixture: net including sideways (net) and downward (util) only.
+#pragma once
+
+#include <cstdint>
+
+#include "net/frame.h"
+#include "util/error.h"
+
+namespace pem::net {
+struct FrameUser {};
+}  // namespace pem::net

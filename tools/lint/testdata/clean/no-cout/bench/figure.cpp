@@ -1,0 +1,7 @@
+// Fixture: bench binaries own stdout — std::cout is their job.
+#include <iostream>
+
+int main() {
+  std::cout << "transport,bytes,ms\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fixture: the pragma does not have to be line 1 — long file comments
+// (the house style) push it down, and the rule must still see it.
+//
+// More prose, to make sure the scan is not a head-of-file check.
+#pragma once
+
+#include <cstdint>
+
+namespace pem::util {
+struct Guarded {
+  uint32_t v = 0;
+};
+}  // namespace pem::util

@@ -1,0 +1,21 @@
+// Fixture: member calls spelled like syscalls are not syscalls — the
+// rule must only fire on free calls.  (Declaring a method named send()
+// outside src/net/ still fires, deliberately: a token linter cannot
+// tell `void send(int)` from `return send(fd)`, and such names are
+// banned-by-confusion anyway.)
+#include "util/error.h"
+
+namespace pem::market {
+
+struct Pipe;
+
+void Route(Pipe& p, Pipe* q) {
+  p.send(1);      // member call, fine
+  q->write(2);    // member call, fine
+  q->recv(3);     // member call, fine
+  // A comment saying send(fd) must not fire either.
+  const char* s = "neither does recv( in a string";
+  (void)s;
+}
+
+}  // namespace pem::market

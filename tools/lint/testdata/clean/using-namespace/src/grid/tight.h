@@ -1,0 +1,17 @@
+// Fixture: using-declarations and aliases are fine in headers (they
+// name one thing); only the directive is banned.  A .cpp directive is
+// also fine — this rule is header-only.
+#pragma once
+
+#include <vector>
+
+namespace pem::grid {
+
+using Cells = std::vector<int>;
+using std::vector;  // declaration, not directive
+
+struct Tight {
+  Cells cells;
+};
+
+}  // namespace pem::grid

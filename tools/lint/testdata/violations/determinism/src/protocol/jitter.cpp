@@ -1,0 +1,19 @@
+// Fixture: every banned nondeterminism source in transcript code.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <thread>
+
+namespace pem::protocol {
+
+int Jitter() {
+  std::random_device rd;                                    // finding
+  int x = std::rand();                                      // finding
+  auto now = std::chrono::system_clock::now();              // finding
+  std::this_thread::sleep_for(std::chrono::seconds(1));     // finding
+  long t = time(nullptr);                                   // finding
+  (void)now;
+  return x + static_cast<int>(rd()) + static_cast<int>(t);
+}
+
+}  // namespace pem::protocol

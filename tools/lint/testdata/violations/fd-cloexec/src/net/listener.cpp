@@ -1,0 +1,20 @@
+// Fixture: descriptor creation without CLOEXEC in src/net/.
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+namespace pem::net {
+
+void Listen() {
+  int s = socket(AF_INET, SOCK_STREAM, 0);          // finding
+  int fds[2];
+  socketpair(AF_UNIX, SOCK_STREAM, 0, fds);         // finding
+  int c = accept(s, nullptr, nullptr);              // finding (use accept4)
+  int ep = epoll_create1(0);                        // finding
+  int f = open("/dev/null", O_RDONLY);              // finding
+  (void)c;
+  (void)ep;
+  (void)f;
+}
+
+}  // namespace pem::net

@@ -1,0 +1,10 @@
+// Fixture: hand-rolled framed-size arithmetic outside net/frame.*.
+#include "net/frame.h"
+
+namespace pem::ledger {
+
+size_t WireBytes(size_t payload) {
+  return pem::net::kFrameHeaderBytes + payload;  // finding
+}
+
+}  // namespace pem::ledger

@@ -1,0 +1,8 @@
+// Fixture: protocol code naming concrete net backends.
+#include "net/process_transport.h"  // finding: concrete backend
+#include "net/relay_util.h"         // finding: concrete backend
+#include "net/transport.h"          // abstract surface, fine
+
+namespace pem::protocol {
+void Drive() {}
+}  // namespace pem::protocol

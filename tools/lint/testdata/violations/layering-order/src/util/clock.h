@@ -1,0 +1,10 @@
+// Fixture: util (bottom layer) reaching up into net and protocol.
+#pragma once
+
+#include "net/transport.h"    // finding: util must not include net
+#include "protocol/party.h"   // finding: util must not include protocol
+#include "util/error.h"
+
+namespace pem::util {
+struct Clock {};
+}  // namespace pem::util

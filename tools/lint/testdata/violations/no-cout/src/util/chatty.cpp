@@ -1,0 +1,10 @@
+// Fixture: std::cout from library code.
+#include <iostream>
+
+namespace pem::util {
+
+void Report(int n) {
+  std::cout << "n=" << n << "\n";  // finding
+}
+
+}  // namespace pem::util

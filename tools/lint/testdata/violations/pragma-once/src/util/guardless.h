@@ -1,0 +1,8 @@
+// Fixture: header with no include guard of any kind.  finding
+#include <cstdint>
+
+namespace pem::util {
+struct Guardless {
+  uint32_t v = 0;
+};
+}  // namespace pem::util

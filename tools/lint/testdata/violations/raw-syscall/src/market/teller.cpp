@@ -1,0 +1,13 @@
+// Fixture: raw wire syscalls outside src/net/ bypass the ledger.
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pem::market {
+
+void Leak(int fd, const void* buf) {
+  send(fd, buf, 8, 0);       // finding
+  recv(fd, nullptr, 0, 0);   // finding
+  write(fd, buf, 8);         // finding
+}
+
+}  // namespace pem::market

@@ -1,0 +1,12 @@
+// Fixture: using-directive in a header.
+#pragma once
+
+#include <vector>
+
+using namespace std;  // finding
+
+namespace pem::grid {
+struct Leaky {
+  vector<int> cells;
+};
+}  // namespace pem::grid
