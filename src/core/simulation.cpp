@@ -2,6 +2,7 @@
 
 #include "crypto/rng.h"
 #include "net/process_transport.h"
+#include "protocol/key_directory.h"
 #include "net/serialize.h"
 #include "net/shm_transport.h"
 #include "net/tcp_transport.h"
@@ -41,6 +42,27 @@ std::vector<grid::WindowState> ResolveCommunityWindow(
 bool WindowSampled(const SimulationConfig& config, int w) {
   return w >= config.window_offset &&
          (w - config.window_offset) % config.window_stride == 0;
+}
+
+// Applies the roster changes scheduled for window `w`.  Runs for EVERY
+// window (sampled or not, and inside each forked child's catch-up
+// loop), so the roster and directory epoch evolve identically in the
+// parent and in all n independent replays.
+void ApplyChurn(const SimulationConfig& config, int w,
+                std::span<protocol::Party> parties,
+                protocol::KeyDirectory& directory) {
+  bool epoch_advanced = false;
+  for (const ChurnEvent& e : config.churn) {
+    if (e.window != w) continue;
+    if (!epoch_advanced) {
+      directory.AdvanceEpoch();
+      epoch_advanced = true;
+    }
+    for (protocol::Party& p : parties) {
+      if (p.id() == e.agent) p.SetActive(e.join);
+    }
+    if (!e.join) directory.Retire(e.agent);
+  }
 }
 
 // The public per-window bookkeeping both engine drivers share.
@@ -95,9 +117,13 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
                          trace.homes[static_cast<size_t>(h)].params);
   }
   crypto::PaillierPoolRegistry pools;
+  // Fork-copied like the parties: every child maintains its own replica
+  // of the key directory, which stays identical across all n replicas
+  // because registrations follow the deterministic script.
+  protocol::KeyDirectory directory;
 
   net::ProcessTransport::ChildMain child_main =
-      [&trace, &config, &rng, &parties, &pools, &batteries](
+      [&trace, &config, &rng, &parties, &pools, &batteries, &directory](
           net::AgentId self, net::Transport& wire,
           net::ControlChannel& ctl) -> int {
     // Everything captured by reference is this child's fork copy; the
@@ -105,16 +131,18 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
     std::vector<net::Endpoint> endpoints = wire.endpoints();
     protocol::ProtocolContext ctx{
         endpoints, rng, config.pem,
-        config.pem.precompute_encryption ? &pools : nullptr, config.policy};
+        config.pem.precompute_encryption ? &pools : nullptr, config.policy,
+        &directory};
     int next_window = 0;
     std::vector<grid::WindowState> states;
     protocol::AgentDriver::Callbacks callbacks;
     callbacks.begin_window = [&](int w) {
       PEM_CHECK(w >= next_window,
                 "process child: windows scheduled out of order");
-      // Battery dynamics advance through the skipped windows too,
-      // mirroring the parent loop exactly.
+      // Battery dynamics — and the churn schedule — advance through the
+      // skipped windows too, mirroring the parent loop exactly.
       for (; next_window <= w; ++next_window) {
+        ApplyChurn(config, next_window, parties, directory);
         states = ResolveCommunityWindow(trace, next_window, batteries);
       }
       for (size_t h = 0; h < parties.size(); ++h) {
@@ -196,6 +224,7 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
     // slowest child has reported, IPC included.
     rec.runtime_seconds = timer.ElapsedSeconds();
     rec.bus_bytes = report.bus_bytes;
+    rec.audit = report.audit;
     result.total_runtime_seconds += rec.runtime_seconds;
     result.total_bus_bytes += rec.bus_bytes;
 
@@ -237,6 +266,7 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
   std::vector<net::Endpoint> endpoints;
   std::vector<protocol::Party> parties;
   crypto::PaillierPoolRegistry pools;
+  protocol::KeyDirectory directory;
   if (config.engine == Engine::kCrypto) {
     bus = net::MakeTransport(config.policy.transport_kind, num_homes);
     if (config.bus_observer) bus->SetObserver(config.bus_observer);
@@ -251,7 +281,11 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
   }
 
   for (int w = 0; w < trace.windows_per_day; ++w) {
-    // Battery dynamics advance every window regardless of sampling.
+    // Battery dynamics (and roster churn) advance every window
+    // regardless of sampling.
+    if (config.engine == Engine::kCrypto) {
+      ApplyChurn(config, w, parties, directory);
+    }
     std::vector<grid::WindowState> states =
         ResolveCommunityWindow(trace, w, batteries);
     if (!WindowSampled(config, w)) continue;
@@ -280,8 +314,9 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
                                     config.pem.precompute_encryption
                                         ? &pools
                                         : nullptr,
-                                    config.policy};
-      const protocol::PemWindowResult out = protocol::RunPemWindow(ctx, parties);
+                                    config.policy, &directory};
+      const protocol::PemWindowResult out =
+          protocol::RunPemWindow(ctx, parties, w);
       if (config.pem.precompute_encryption) {
         // Idle-time phase: top the pools back up between windows, so
         // the next window's encryptions are one multiplication each.
@@ -312,6 +347,7 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
       rec.grid_interaction_pem = out.GridInteraction();
       rec.runtime_seconds = out.runtime_seconds;
       rec.bus_bytes = out.bus_bytes;
+      rec.audit = out.audit;
       result.total_runtime_seconds += out.runtime_seconds;
       result.total_bus_bytes += out.bus_bytes;
     }

@@ -27,6 +27,22 @@ namespace pem::core {
 
 enum class Engine { kPlaintext, kCrypto };
 
+// Dynamic membership: one roster change, applied when the simulation
+// reaches `window` (before that window's market runs).  A leave
+// deactivates the party — it classifies kOffMarket, coalitions and
+// rings re-form deterministically around the survivors, and its key
+// directory binding is retired; a join (re-)activates it.  Every
+// window with at least one event advances the key directory epoch, so
+// a rejoining agent may announce a fresh key without tripping the
+// equivocation check.  Inactive parties keep consuming their
+// BeginWindow randomness draws, so churn never shifts another agent's
+// stream (the roster-invariance the adversarial wall asserts).
+struct ChurnEvent {
+  int window = 0;
+  net::AgentId agent = -1;
+  bool join = false;  // false: leave
+};
+
 struct SimulationConfig {
   Engine engine = Engine::kPlaintext;
   protocol::PemConfig pem;
@@ -82,6 +98,11 @@ struct SimulationConfig {
   // figure); costs memory on big traces.
   bool record_states = false;
   uint64_t crypto_seed = 1;  // DeterministicRng seed for the crypto path
+  // Membership churn schedule, applied in window order (crypto engine;
+  // forked backends replay it inside every child so all processes
+  // agree on the roster).  Agents named here must exist in the trace —
+  // churn changes who participates, never the community size.
+  std::vector<ChurnEvent> churn;
 };
 
 struct WindowRecord {
@@ -99,6 +120,10 @@ struct WindowRecord {
   // Crypto engine only:
   double runtime_seconds = 0.0;
   uint64_t bus_bytes = 0;
+  // §VI audit outcome for this window (crypto engine with
+  // pem.audit.enabled): whether it was audited, by whom, and any
+  // detected cheats (the cheaters were excluded mid-window).
+  protocol::AuditOutcome audit;
 };
 
 struct SimulationResult {

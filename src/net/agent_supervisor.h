@@ -202,6 +202,13 @@ class AgentSupervisor {
   // per copy" stays true by construction.
   void AccountDeliveredCopy(const Message& copy);
 
+  // Latches the first fault (later ones are dropped: the first cause is
+  // the report, cascading symptoms are noise).  Exposed to backends so
+  // a derived accounting thread (the shm snooper) can surface forged or
+  // replayed ring records as the same structured fault the relay router
+  // raises for severed wires.
+  void RecordFault(AgentId agent, std::string detail);
+
   // Teardown halves, exposed so a derived destructor can stop the
   // children / router BEFORE its own members (e.g. a shared mapping an
   // accounting thread still reads) are destroyed.  Both idempotent.
@@ -223,7 +230,6 @@ class AgentSupervisor {
   void RouteFrame(const Message& frame);  // router thread only
   void FlushPending(AgentId dest);        // router thread only
   void WakeRouter();
-  void RecordFault(AgentId agent, std::string detail);
   // waitpid with deadline; marks reaped.  Returns false on timeout.
   bool ReapChild(AgentId agent, int timeout_ms);
   [[noreturn]] void ThrowChildFailure(AgentId agent, const std::string& why);

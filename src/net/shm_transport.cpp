@@ -340,11 +340,30 @@ void ShmTransport::SnooperLoop() {
                          frame_len);
           FrameDecodeResult d =
               DecodeFrame(std::span<const uint8_t>(snoop_scratch_));
-          PEM_CHECK(d.status == FrameDecodeStatus::kFrame &&
-                        d.consumed == frame_len,
-                    "shm snooper: ring record failed frame decode");
-          PEM_CHECK(d.frame.from == from && d.frame.to == to,
-                    "shm snooper: record in the wrong pair's ring");
+          // A record that decodes wrong is adversarial, not a torn
+          // read (publication is a single release store of tail, and
+          // honest writers only publish whole canonical frames), so it
+          // latches a structured fault naming the ring's sender and is
+          // consumed WITHOUT being accounted: the ledger holds only
+          // honest traffic, SyncLedger still terminates, and the
+          // surviving rings keep flowing.
+          if (d.status != FrameDecodeStatus::kFrame ||
+              d.consumed != frame_len) {
+            RecordFault(from,
+                        "forged ring record: frame fails checksum/decode");
+            ring.SnoopConsume(kShmRecordHeaderBytes + frame_len);
+            continue;
+          }
+          if (d.frame.from != from || d.frame.to != to) {
+            RecordFault(from, "forged ring record: frame names pair " +
+                                  std::to_string(d.frame.from) + "->" +
+                                  std::to_string(d.frame.to) +
+                                  " but sits in ring " +
+                                  std::to_string(from) + "->" +
+                                  std::to_string(to));
+            ring.SnoopConsume(kShmRecordHeaderBytes + frame_len);
+            continue;
+          }
           // Merge this sender's records back into exact send order
           // before accounting, so the observer sees the same
           // per-sender transcript order every other backend delivers.
@@ -362,9 +381,18 @@ void ShmTransport::SnooperLoop() {
               AccountDeliveredCopy(it->second);
               ++next_seq_[s];
             }
+          } else if (seq < next_seq_[s] ||
+                     reorder_[s].count(seq) != 0) {
+            // An honest sender's sequence counter is strictly
+            // monotone, so a sequence number the merge has already
+            // passed — or one already parked in the stash — can only
+            // be a replayed record.
+            RecordFault(from, "replayed ring record: sender sequence " +
+                                  std::to_string(seq) +
+                                  " repeats an already-published frame");
+            ring.SnoopConsume(kShmRecordHeaderBytes + frame_len);
+            continue;
           } else {
-            PEM_CHECK(seq > next_seq_[s],
-                      "shm snooper: sender sequence went backwards");
             reorder_[s].emplace(seq, std::move(d.frame));
           }
           ring.SnoopConsume(kShmRecordHeaderBytes + frame_len);
@@ -375,6 +403,32 @@ void ShmTransport::SnooperLoop() {
     if (snoop_stop_.load(std::memory_order_acquire)) return;
     FutexWait(epoch_, epoch_seen, kDoorbellTickMs);
   }
+}
+
+void ShmTransport::InjectRingRecordForTest(AgentId from, AgentId to,
+                                           uint64_t seq, const Message& msg,
+                                           bool corrupt_frame) {
+  const size_t n = static_cast<size_t>(num_agents());
+  PEM_CHECK(from >= 0 && static_cast<size_t>(from) < n && to >= 0 &&
+                static_cast<size_t>(to) < n && from != to,
+            "shm inject: agent pair out of range");
+  std::vector<uint8_t> frame = EncodeFrame(msg);
+  if (corrupt_frame) {
+    // Flip a bit in the stored checksum (frame byte 16): the record
+    // layout stays intact, only the frame fails decode.
+    frame[16] ^= 0x01;
+  }
+  uint8_t rh[kShmRecordHeaderBytes];
+  StoreU32(rh, static_cast<uint32_t>(frame.size()));
+  StoreU32(rh + 4, 0);  // reserved
+  StoreU64(rh + 8, seq);
+  SpscRing& ring = rings_[static_cast<size_t>(from) * n +
+                          static_cast<size_t>(to)];
+  PEM_CHECK(ring.TryAppend(std::span<const uint8_t>(rh, sizeof rh),
+                           std::span<const uint8_t>(frame)),
+            "shm inject: ring full");
+  epoch_->fetch_add(1, std::memory_order_release);
+  FutexWake(epoch_);
 }
 
 void ShmTransport::SyncLedger() {

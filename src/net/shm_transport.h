@@ -87,6 +87,20 @@ class ShmTransport : public AgentSupervisor {
   // the tails are quiesced.
   void SyncLedger() override;
 
+  // Test hook: publishes a ring record into ring(from -> to) directly
+  // from the parent, as an adversary with mapping access would —
+  // choosing the per-sender sequence number freely and optionally
+  // corrupting the frame checksum.  The snooper rejects what it snoops
+  // (a stale/duplicate sequence is a replay, a record whose frame names
+  // another pair is a forgery, a corrupt frame is garbage), latching a
+  // structured fault naming the ring's sender while the surviving
+  // rings keep accounting.  Only safe while the named sender's child is
+  // quiescent (SPSC: one producer per ring).  Never called outside
+  // tests.
+  void InjectRingRecordForTest(AgentId from, AgentId to, uint64_t seq,
+                               const Message& msg,
+                               bool corrupt_frame = false);
+
  private:
   void SnooperLoop();
   void StopSnooper();

@@ -29,6 +29,8 @@ SocketTransport::SocketTransport(int num_agents, Options opts)
 
   delivered_.assign(n, 0);
   popped_.assign(n, 0);
+  ticketed_.assign(n, 0);
+  decoded_.assign(n, 0);
   router_rx_.resize(n);
   router_queue_.resize(n);
   pending_.resize(n);
@@ -86,6 +88,7 @@ void SocketTransport::Send(Message msg) {
       if (observer_) observer_(msg);
     }
     tickets_.push_back(msg.from);
+    ticketed_[static_cast<size_t>(msg.from)] += 1;
   }
   // The wire write happens outside mu_: the router needs mu_ to pop
   // tickets, and it is the router's reads that free a full egress
@@ -201,6 +204,19 @@ void SocketTransport::SimulatePeerHangupForTest(AgentId agent) {
   // shutdown(2), not close(2): the fd number stays allocated, so the
   // router thread racing a write sees EPIPE rather than a recycled fd.
   shutdown(channels_[static_cast<size_t>(agent)]->ingress_router, SHUT_RDWR);
+}
+
+void SocketTransport::InjectEgressBytesForTest(AgentId agent,
+                                               std::span<const uint8_t> bytes) {
+  PEM_CHECK(agent >= 0 && agent < num_agents(), "bad agent id");
+  Channel& ch = *channels_[static_cast<size_t>(agent)];
+  // Same fd an honest Send() writes — but no ticket, no ledger entry:
+  // from the router's perspective these bytes came out of nowhere.
+  std::lock_guard<std::mutex> send_lock(ch.send_mu);
+  WakeRouter();
+  SendAllOrThrow(ch.egress_agent, bytes.data(), bytes.size(), agent,
+                 "socket transport: injected egress");
+  WakeRouter();
 }
 
 void SocketTransport::RouteFrame(const Message& frame) {
@@ -360,6 +376,34 @@ void SocketTransport::RouterLoop() {
       }
       while (std::optional<Message> f =
                  router_rx_[static_cast<size_t>(a)].Next()) {
+        // Ingress validation: the channel is single-owner, so a frame
+        // claiming another sender is a forgery, and a frame with no
+        // matching Send ticket (tickets precede wire bytes, always) is
+        // a replay or injection.  Either way: latch the fault, stop
+        // reading this channel, keep serving the survivors.
+        if (f->from != a) {
+          RecordFault(a, ("forged sender id " + std::to_string(f->from) +
+                          " in frame on single-owner egress channel")
+                             .c_str());
+          ch.egress_closed = true;
+          break;
+        }
+        bool unsolicited = false;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (decoded_[static_cast<size_t>(a)] >=
+              ticketed_[static_cast<size_t>(a)]) {
+            unsolicited = true;
+          } else {
+            decoded_[static_cast<size_t>(a)] += 1;
+          }
+        }
+        if (unsolicited) {
+          RecordFault(a,
+                      "replayed or injected frame: no matching send ticket");
+          ch.egress_closed = true;
+          break;
+        }
         router_queue_[static_cast<size_t>(a)].push_back(std::move(*f));
       }
     }

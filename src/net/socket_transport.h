@@ -82,6 +82,17 @@ class SocketTransport : public Transport {
   // dies.  Never called outside tests.
   void SimulatePeerHangupForTest(AgentId agent);
 
+  // Test hook: writes raw bytes into `agent`'s egress wire as an
+  // adversary squatting on the channel would — bypassing Send(), so no
+  // ledger ticket exists for them.  The router rejects what it decodes:
+  // a frame whose sender field names another agent is a forgery, and a
+  // well-formed frame with no matching ticket is a replay/injection;
+  // either latches a structured fault naming the channel and stops
+  // reading it, while the survivors keep flowing.  Never called outside
+  // tests.
+  void InjectEgressBytesForTest(AgentId agent,
+                                std::span<const uint8_t> bytes);
+
  private:
   // One agent's pair of channels.  The agent-side fds block; the
   // router-side fds are non-blocking (the router must never stall on
@@ -120,6 +131,14 @@ class SocketTransport : public Transport {
   // The delivery ledger: one entry (the sender) per wire frame, in
   // global Send order; the router forwards frames in this order.
   std::deque<AgentId> tickets_;
+  // Per-sender ingress validation: frames Send() ticketed vs. frames
+  // the router decoded off the wire.  A ticket is pushed under mu_
+  // BEFORE the first wire byte is written, so the router decoding MORE
+  // frames than were ever ticketed proves bytes entered the egress
+  // channel without going through Send() — an injected or replayed
+  // frame.
+  std::vector<uint64_t> ticketed_;
+  std::vector<uint64_t> decoded_;
   Observer observer_;
   bool shutdown_ = false;
   std::optional<TransportFault> fault_;  // first hangup observed

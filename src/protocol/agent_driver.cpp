@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "net/agent_supervisor.h"
 #include "net/serialize.h"
@@ -43,6 +44,7 @@ bool SameDouble(double a, double b) {
 }
 
 bool SameReport(const WindowReport& a, const WindowReport& b) {
+  if (a.audit != b.audit) return false;
   if (a.type != b.type || !SameDouble(a.price, b.price) ||
       !SameDouble(a.supply_total, b.supply_total) ||
       !SameDouble(a.demand_total, b.demand_total) ||
@@ -87,6 +89,15 @@ std::vector<uint8_t> EncodeWindowReport(const WindowReport& report) {
   }
   w.F64(report.runtime_seconds);
   w.U64(report.bus_bytes);
+  w.U8(report.audit.audited ? 1 : 0);
+  w.I64(report.audit.auditor);
+  w.U32(static_cast<uint32_t>(report.audit.faults.size()));
+  for (const ProtocolFault& f : report.audit.faults) {
+    w.I64(f.cheater);
+    w.U8(static_cast<uint8_t>(f.cheat));
+    w.I64(f.window);
+    w.Str(f.detail);
+  }
   WriteStats(w, report.self_stats);
   return w.Take();
 }
@@ -115,6 +126,18 @@ WindowReport DecodeWindowReport(std::span<const uint8_t> bytes) {
   }
   report.runtime_seconds = r.F64();
   report.bus_bytes = r.U64();
+  report.audit.audited = r.U8() != 0;
+  report.audit.auditor = static_cast<net::AgentId>(r.I64());
+  const uint32_t faults = r.U32();
+  report.audit.faults.reserve(faults);
+  for (uint32_t i = 0; i < faults; ++i) {
+    ProtocolFault f;
+    f.cheater = static_cast<net::AgentId>(r.I64());
+    f.cheat = static_cast<CheatClass>(r.U8());
+    f.window = static_cast<int>(r.I64());
+    f.detail = r.Str();
+    report.audit.faults.push_back(std::move(f));
+  }
   report.self_stats = ReadStats(r);
   PEM_CHECK(r.AtEnd(), "window report: trailing bytes");
   return report;
@@ -135,7 +158,7 @@ AgentDriver::AgentDriver(net::AgentId self, ProtocolContext& ctx,
 WindowReport AgentDriver::RunWindow(int window) {
   callbacks_.begin_window(window);
   const net::TrafficStats before = ctx_.ep(self_).stats();
-  const PemWindowResult result = RunPemWindow(ctx_, parties_);
+  const PemWindowResult result = RunPemWindow(ctx_, parties_, window);
 
   WindowReport report;
   report.type = result.type;
@@ -152,7 +175,16 @@ WindowReport AgentDriver::RunWindow(int window) {
   report.trades = result.trades;
   report.runtime_seconds = result.runtime_seconds;
   report.bus_bytes = result.bus_bytes;
+  report.audit = result.audit;
   report.self_stats = Delta(ctx_.ep(self_).stats(), before);
+  // Driver-level cheat: this child forges its attested traffic before
+  // shipping the report.  Only the cheater's own process lies — its
+  // peers report honestly — so the parent's wire-vs-attested
+  // cross-check in CollectWindowReports is what must catch it.
+  if (ctx_.config.cheat.ActiveFor(self_, window) &&
+      ctx_.config.cheat.cheat == CheatClass::kForgedReport) {
+    report.self_stats.bytes_sent += 7;
+  }
   return report;
 }
 
@@ -202,25 +234,43 @@ WindowReport CollectWindowReports(
   // accounting tap trails delivery and must be drained to the write
   // cursors before the cross-check below reads the ledger.
   transport.SyncLedger();
-  // (a) Every independent process derived the same public outcome.
+  // (a) Every independent process derived the same public outcome.  A
+  // divergent child is lying about (or wrong about) the window — an
+  // active deviation, surfaced as a structured fault naming it rather
+  // than an abort.
   for (net::AgentId a = 1; a < n; ++a) {
-    PEM_CHECK(SameReport(reports[0], reports[static_cast<size_t>(a)]),
-              "collect: children disagree on the window outcome");
+    if (!SameReport(reports[0], reports[static_cast<size_t>(a)])) {
+      throw ProtocolError(ProtocolFault{
+          a, CheatClass::kForgedReport, -1,
+          "window report diverges from agent 0's"});
+    }
   }
   // (b) Canonical accounting == literal socket traffic.  All children
   // have reported, so every frame of the window has been consumed and
-  // the router ledger is complete.
+  // the router ledger is complete.  A child whose self-attested delta
+  // disagrees with the bytes the router actually moved for it forged
+  // its report.
   uint64_t wire_total = 0;
   for (net::AgentId a = 0; a < n; ++a) {
     const net::TrafficStats wire =
         Delta(transport.stats(a), stats_before[static_cast<size_t>(a)]);
-    PEM_CHECK(wire == reports[static_cast<size_t>(a)].self_stats,
-              "collect: router's literal socket bytes diverge from the "
-              "canonical ledger");
+    const net::TrafficStats& attested =
+        reports[static_cast<size_t>(a)].self_stats;
+    if (!(wire == attested)) {
+      throw ProtocolError(ProtocolFault{
+          a, CheatClass::kForgedReport, -1,
+          "attested traffic (sent " + std::to_string(attested.bytes_sent) +
+              ") != router wire bytes (sent " +
+              std::to_string(wire.bytes_sent) + ")"});
+    }
     wire_total += wire.bytes_sent;
   }
-  PEM_CHECK(wire_total == reports[0].bus_bytes,
-            "collect: window wire total diverges from the canonical ledger");
+  if (wire_total != reports[0].bus_bytes) {
+    throw ProtocolError(ProtocolFault{
+        -1, CheatClass::kForgedReport, -1,
+        "window wire total " + std::to_string(wire_total) +
+            " != canonical ledger " + std::to_string(reports[0].bus_bytes)});
+  }
 
   WindowReport merged = reports[0];
   // The window is done when its slowest agent is: report the max.

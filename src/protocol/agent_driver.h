@@ -56,6 +56,10 @@ struct WindowReport {
   std::vector<Trade> trades;
   double runtime_seconds = 0.0;  // this child's wall clock for the window
   uint64_t bus_bytes = 0;        // canonical ledger delta for the window
+  // §VI audit outcome: derived identically by every replaying child
+  // (the cheat plan is part of the fork-copied config), so it joins the
+  // fields CollectWindowReports requires bit-level agreement on.
+  AuditOutcome audit;
   // This agent's own per-window counter delta (canonical shadow ledger);
   // the parent asserts it equals the literal socket bytes its router
   // moved for this agent.
@@ -109,7 +113,9 @@ class AgentDriver {
 // out-of-process parity wall that runs on every window, not just in
 // tests, for both the fork-over-socketpair and the TCP backend.
 // `stats_before` is the router's per-agent snapshot taken when the
-// window was scheduled.
+// window was scheduled.  A divergence is an ACTIVE cheat (a child
+// forging its report or its attested byte counts), so it surfaces as a
+// ProtocolError naming the deviating agent, not an abort.
 WindowReport CollectWindowReports(
     net::AgentSupervisor& transport,
     std::span<const net::TrafficStats> stats_before);

@@ -1,5 +1,6 @@
 #include "protocol/context.h"
 
+#include "protocol/key_directory.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -178,17 +179,62 @@ std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
   return results;
 }
 
-void BroadcastPublicKey(ProtocolContext& ctx, const Party& owner) {
+namespace {
+
+std::vector<uint8_t> EncodePublicKey(const crypto::PaillierPublicKey& pk) {
   net::ByteWriter w;
-  const crypto::PaillierPublicKey& pk = owner.public_key();
   w.U32(static_cast<uint32_t>(pk.key_bits()));
   w.Bytes(pk.n().ToBytes());
-  ctx.ep(owner.id()).Send(net::kBroadcast, kMsgPublicKey, w.Take());
-  // Peers drain the broadcast (content is re-derivable from their own
-  // stored copy of the key directory; we model the traffic).
+  return w.Take();
+}
+
+}  // namespace
+
+void BroadcastPublicKey(ProtocolContext& ctx, const Party& owner) {
+  const crypto::PaillierPublicKey& pk = owner.public_key();
+  const bool equivocate =
+      ctx.config.cheat.ActiveFor(owner.id(), ctx.window) &&
+      ctx.config.cheat.cheat == CheatClass::kKeyEquivocation;
+  if (!equivocate) {
+    ctx.ep(owner.id()).Send(net::kBroadcast, kMsgPublicKey,
+                            EncodePublicKey(pk));
+  } else {
+    // Equivocation cheat: the announcer unicasts instead of
+    // broadcasting and hands the LAST peer a doctored modulus (n ^ 2 —
+    // same byte width, so per-copy wire bytes match the broadcast
+    // exactly and the traffic ledger cannot tell the paths apart).
+    net::AgentId last = -1;
+    for (net::AgentId a = 0; a < ctx.num_agents(); ++a) {
+      if (a != owner.id()) last = a;
+    }
+    crypto::BigInt doctored_n = pk.n();
+    std::vector<uint8_t> n_bytes = doctored_n.ToBytes();
+    n_bytes.back() ^= 2;
+    doctored_n = crypto::BigInt::FromBytes(n_bytes);
+    const crypto::PaillierPublicKey forged(doctored_n, pk.key_bits());
+    for (net::AgentId a = 0; a < ctx.num_agents(); ++a) {
+      if (a == owner.id()) continue;
+      ctx.ep(owner.id()).Send(
+          a, kMsgPublicKey, EncodePublicKey(a == last ? forged : pk));
+    }
+  }
+  // Peers drain the announcement; when a directory is attached each
+  // copy is registered, and two different keys from the same announcer
+  // inside one epoch surface as a named protocol fault.
   for (net::AgentId a = 0; a < ctx.num_agents(); ++a) {
     if (a == owner.id()) continue;
-    ExpectMessage(ctx.ep(a), kMsgPublicKey);
+    net::Message m = ExpectMessage(ctx.ep(a), kMsgPublicKey);
+    if (ctx.directory == nullptr) continue;
+    net::ByteReader r(m.payload);
+    const int key_bits = static_cast<int>(r.U32());
+    const crypto::PaillierPublicKey announced(
+        crypto::BigInt::FromBytes(r.Bytes()), key_bits);
+    const pem::Status st = ctx.directory->Register(owner.id(), announced);
+    if (!st.ok()) {
+      throw ProtocolError(ProtocolFault{
+          owner.id(), CheatClass::kKeyEquivocation, ctx.window,
+          st.error().message()});
+    }
   }
 }
 

@@ -29,6 +29,8 @@
 
 namespace pem::protocol {
 
+class KeyDirectory;
+
 // Message type tags.  The high half namespaces the subsystem ("PE").
 inline constexpr uint32_t kMsgRingHop = 0x5045'0001;
 inline constexpr uint32_t kMsgRingFinal = 0x5045'0002;
@@ -40,6 +42,11 @@ inline constexpr uint32_t kMsgRatioBroadcast = 0x5045'0007;
 inline constexpr uint32_t kMsgEnergyTransfer = 0x5045'0008;
 inline constexpr uint32_t kMsgPayment = 0x5045'0009;
 inline constexpr uint32_t kMsgPublicKey = 0x5045'000A;
+// Audit round (protocol/audit.h); 0x5045'0010/11 are the coin flip's.
+inline constexpr uint32_t kMsgAuditContribution = 0x5045'0012;
+inline constexpr uint32_t kMsgAuditDemand = 0x5045'0013;
+inline constexpr uint32_t kMsgAuditWitness = 0x5045'0014;
+inline constexpr uint32_t kMsgAuditVerdict = 0x5045'0015;
 
 struct ProtocolContext {
   // Per-agent transport handles, indexed by AgentId.  Protocol code
@@ -58,6 +65,17 @@ struct ProtocolContext {
   // Serial vs. phase-parallel execution (transport choice + compute
   // workers).  Defaults to the serial engine.
   net::ExecutionPolicy policy;
+  // Appended members default so every existing aggregate initializer
+  // (endpoints, rng, config[, pools, policy]) stays valid.
+  //
+  // Shared key directory: when set, BroadcastPublicKey registers every
+  // announced key and surfaces equivocation as a ProtocolError naming
+  // the announcer.  Null (the default) preserves the drain-only
+  // behavior for drivers that keep no directory.
+  KeyDirectory* directory = nullptr;
+  // The window RunPemWindow is currently executing (set by it); the
+  // audit round and the cheat plan key off this.
+  int window = 0;
 
   // The handle of the agent currently acting.
   net::Endpoint& ep(net::AgentId id) const {

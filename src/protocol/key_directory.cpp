@@ -1,5 +1,7 @@
 #include "protocol/key_directory.h"
 
+#include <algorithm>
+
 namespace pem::protocol {
 
 const KeyDirectory::Entry* KeyDirectory::Find(net::AgentId agent) const {
@@ -9,14 +11,31 @@ const KeyDirectory::Entry* KeyDirectory::Find(net::AgentId agent) const {
   return nullptr;
 }
 
+KeyDirectory::Entry* KeyDirectory::Find(net::AgentId agent) {
+  for (Entry& e : entries_) {
+    if (e.agent == agent) return &e;
+  }
+  return nullptr;
+}
+
 pem::Status KeyDirectory::Register(net::AgentId agent,
                                    const crypto::PaillierPublicKey& key) {
-  if (const Entry* existing = Find(agent)) {
-    if (existing->key == key) return pem::Status::Ok();
-    return pem::Error(pem::ErrorCode::kProtocolViolation,
-                      "agent announced two different public keys");
+  if (Entry* existing = Find(agent)) {
+    if (existing->key == key) {
+      existing->epoch = epoch_;  // re-announcement, same binding
+      return pem::Status::Ok();
+    }
+    if (existing->epoch == epoch_) {
+      return pem::Error(pem::ErrorCode::kProtocolViolation,
+                        "agent announced two different public keys");
+    }
+    // A different key announced across an epoch boundary: the agent
+    // re-keyed over a membership change — supersede the old binding.
+    existing->key = key;
+    existing->epoch = epoch_;
+    return pem::Status::Ok();
   }
-  entries_.push_back(Entry{agent, key});
+  entries_.push_back(Entry{agent, key, epoch_});
   return pem::Status::Ok();
 }
 
@@ -28,5 +47,13 @@ pem::Result<crypto::PaillierPublicKey> KeyDirectory::Lookup(
 }
 
 bool KeyDirectory::Has(net::AgentId agent) const { return Find(agent) != nullptr; }
+
+void KeyDirectory::Retire(net::AgentId agent) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [agent](const Entry& e) {
+                                  return e.agent == agent;
+                                }),
+                 entries_.end());
+}
 
 }  // namespace pem::protocol

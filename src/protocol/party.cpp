@@ -8,7 +8,11 @@ void Party::BeginWindow(const grid::WindowState& state, int64_t nonce_bound,
                         crypto::Rng& rng) {
   state_ = state;
   net_raw_ = FixedPoint::FromDouble(state.NetEnergy()).raw();
-  role_ = grid::ClassifyRole(static_cast<double>(net_raw_), 0.0);
+  // An inactive party sits out the market but still consumes its nonce
+  // draw below: the RNG schedule every other agent derives from must
+  // not depend on the roster.
+  role_ = active_ ? grid::ClassifyRole(static_cast<double>(net_raw_), 0.0)
+                  : grid::Role::kOffMarket;
   PEM_CHECK(nonce_bound > 0, "nonce bound must be positive");
   nonce_ = static_cast<int64_t>(
       crypto::BigInt::RandomBelow(crypto::BigInt(nonce_bound), rng).ToInt64());

@@ -16,6 +16,7 @@
 #include "grid/types.h"
 #include "market/params.h"
 #include "net/message.h"
+#include "protocol/fault.h"
 #include "util/fixed_point.h"
 
 namespace pem::protocol {
@@ -51,6 +52,14 @@ struct PemConfig {
   // candidate coalition instead of trusting a single source of
   // randomness.  Costs O(m^2) small messages per selection.
   bool collusion_resistant_selection = false;
+  // §VI active-cheater auditing (protocol/audit.h runs it at the top
+  // of every window when enabled) and the scripted misbehavior the
+  // adversarial test wall injects.  Both live here — inside the config
+  // that forked backends copy into every child — so each independent
+  // process replays the same audit and the same cheat, and the window
+  // verdict is derived identically everywhere.
+  AuditPolicy audit;
+  CheatPlan cheat;
   market::MarketParams market;
 };
 
@@ -61,6 +70,24 @@ class Party {
   net::AgentId id() const { return id_; }
   const grid::AgentParams& params() const { return params_; }
   grid::Role role() const { return role_; }
+
+  // Dynamic membership.  An inactive party (left the community, or
+  // excluded as a detected cheater) classifies as kOffMarket at every
+  // BeginWindow until reactivated — coalitions and rings re-form around
+  // it automatically.  BeginWindow still consumes the same RNG draws
+  // for inactive parties, so a roster change never shifts another
+  // agent's randomness stream (what keeps honest transcripts
+  // byte-identical across rosters).
+  bool active() const { return active_; }
+  void SetActive(bool active) { active_ = active; }
+  // Detected cheater: banned from the market for the rest of the day
+  // (until a churn event explicitly re-admits it).  Takes effect
+  // immediately — the role flips to kOffMarket mid-window so the
+  // re-formed coalitions exclude it.
+  void Exclude() {
+    active_ = false;
+    role_ = grid::Role::kOffMarket;
+  }
 
   // Loads the window state: quantizes the net energy and draws the
   // blinding nonce for this window.
@@ -100,6 +127,7 @@ class Party {
   grid::AgentParams params_;
   grid::WindowState state_;
   grid::Role role_ = grid::Role::kOffMarket;
+  bool active_ = true;
   int64_t net_raw_ = 0;
   int64_t nonce_ = 0;
   std::optional<crypto::PaillierKeyPair> keys_;

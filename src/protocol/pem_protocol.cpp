@@ -6,8 +6,10 @@
 
 namespace pem::protocol {
 
-PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties) {
+PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties,
+                             int window) {
   const Stopwatch timer;
+  ctx.window = window;
   // Window traffic is measured as the delta of per-endpoint counters
   // (every delivered copy is charged once on its sender, so the sum of
   // bytes_sent equals the transport's total) — the driver never needs
@@ -21,7 +23,13 @@ PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties) {
   result.money_paid.assign(n, 0.0);
   result.money_received.assign(n, 0.0);
 
-  // Protocol 1, line 4: coalition formation.
+  // §VI audit round: runs before the market, so a detected cheater is
+  // excluded and the window completes over the honest survivors.
+  result.audit = RunAuditRound(ctx, parties);
+
+  // Protocol 1, line 4: coalition formation.  Formed AFTER the audit —
+  // an excluded cheater classifies kOffMarket, so the coalitions (and
+  // every ring derived from them) re-form around the survivors.
   const Coalitions coalitions = FormCoalitions(parties);
 
   const market::MarketParams& mp = ctx.config.market;

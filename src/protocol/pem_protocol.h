@@ -11,6 +11,7 @@
 #include <span>
 
 #include "market/clearing.h"
+#include "protocol/audit.h"
 #include "protocol/context.h"
 #include "protocol/distribution.h"
 
@@ -36,12 +37,20 @@ struct PemWindowResult {
   double runtime_seconds = 0.0;
   uint64_t bus_bytes = 0;
 
+  // §VI audit round result: whether this window was audited, by whom,
+  // and every detected cheat (the cheaters were excluded before the
+  // market ran).
+  AuditOutcome audit;
+
   double GridInteraction() const { return grid_import_kwh + grid_export_kwh; }
 };
 
 // Runs one window.  Parties must have BeginWindow() applied for this
 // window already.  Reads the per-endpoint counters around the run, so
-// bus_bytes is this window's traffic only.
-PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties);
+// bus_bytes is this window's traffic only.  `window` is the day index
+// of the window (drives the audit domain separation and the cheat
+// plan's trigger); single-window callers may leave it 0.
+PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties,
+                             int window = 0);
 
 }  // namespace pem::protocol

@@ -5,11 +5,17 @@
 namespace pem::protocol {
 namespace {
 
-// Commitment preimage: blinded value || encryption randomness bytes.
-std::vector<uint8_t> WitnessBytes(int64_t blinded_value,
+// Commitment preimage: domain || blinded value || randomness bytes.
+// The domain rides in the preimage (not alongside it) so a replayed
+// witness cannot be re-bound to the current window without breaking
+// the opening.  domain == 0 reproduces the legacy preimage layout
+// prefixed with eight zero bytes, which is fine: the commitment is
+// opaque either way.
+std::vector<uint8_t> WitnessBytes(uint64_t domain, int64_t blinded_value,
                                   const crypto::BigInt& randomness) {
-  std::vector<uint8_t> out(8);
-  std::memcpy(out.data(), &blinded_value, 8);
+  std::vector<uint8_t> out(16);
+  std::memcpy(out.data(), &domain, 8);
+  std::memcpy(out.data() + 8, &blinded_value, 8);
   const std::vector<uint8_t> r = randomness.ToBytes();
   out.insert(out.end(), r.begin(), r.end());
   return out;
@@ -19,7 +25,7 @@ std::vector<uint8_t> WitnessBytes(int64_t blinded_value,
 
 VerifiableResult MakeVerifiableContribution(
     const crypto::PaillierPublicKey& pk, int64_t blinded_value,
-    crypto::Rng& rng) {
+    crypto::Rng& rng, uint64_t domain) {
   // Sample the encryption randomness explicitly so it can be retained.
   crypto::BigInt r = crypto::BigInt::RandomBelow(pk.n(), rng);
   while (r.IsZero() || !r.IsInvertibleMod(pk.n())) {
@@ -28,27 +34,31 @@ VerifiableResult MakeVerifiableContribution(
 
   VerifiableResult result;
   result.witness.blinded_value = blinded_value;
+  result.witness.domain = domain;
   result.witness.encryption_randomness = r;
   rng.Fill(result.witness.blinder);
 
   result.contribution.ciphertext =
       pk.EncryptWithRandomness(pk.EncodeSigned(blinded_value), r);
-  result.contribution.commitment =
-      crypto::Commit(WitnessBytes(blinded_value, r), result.witness.blinder);
+  result.contribution.commitment = crypto::Commit(
+      WitnessBytes(domain, blinded_value, r), result.witness.blinder);
   return result;
 }
 
-bool VerifyContribution(const crypto::PaillierPublicKey& pk,
-                        const VerifiableContribution& contribution,
-                        const ContributionWitness& witness) {
-  // 1. Commitment opens to the claimed witness.
-  crypto::CommitmentOpening opening;
-  opening.value =
-      WitnessBytes(witness.blinded_value, witness.encryption_randomness);
-  opening.blinder = witness.blinder;
-  if (!crypto::VerifyOpening(contribution.commitment, opening)) return false;
+namespace {
 
-  // 2. Deterministic re-encryption reproduces the aggregated ciphertext.
+bool OpensCommitment(const VerifiableContribution& contribution,
+                     const ContributionWitness& witness) {
+  crypto::CommitmentOpening opening;
+  opening.value = WitnessBytes(witness.domain, witness.blinded_value,
+                               witness.encryption_randomness);
+  opening.blinder = witness.blinder;
+  return crypto::VerifyOpening(contribution.commitment, opening);
+}
+
+bool ReEncryptsToCiphertext(const crypto::PaillierPublicKey& pk,
+                            const VerifiableContribution& contribution,
+                            const ContributionWitness& witness) {
   if (witness.encryption_randomness.IsZero() ||
       !witness.encryption_randomness.IsInvertibleMod(pk.n())) {
     return false;
@@ -56,6 +66,33 @@ bool VerifyContribution(const crypto::PaillierPublicKey& pk,
   const crypto::PaillierCiphertext expected = pk.EncryptWithRandomness(
       pk.EncodeSigned(witness.blinded_value), witness.encryption_randomness);
   return expected.value == contribution.ciphertext.value;
+}
+
+}  // namespace
+
+bool VerifyContribution(const crypto::PaillierPublicKey& pk,
+                        const VerifiableContribution& contribution,
+                        const ContributionWitness& witness) {
+  return OpensCommitment(contribution, witness) &&
+         ReEncryptsToCiphertext(pk, contribution, witness);
+}
+
+ContributionVerdict JudgeContribution(
+    const crypto::PaillierPublicKey& pk,
+    const VerifiableContribution& contribution,
+    const ContributionWitness& witness, uint64_t expected_domain) {
+  if (!OpensCommitment(contribution, witness)) {
+    return ContributionVerdict::kCommitmentMismatch;
+  }
+  if (!ReEncryptsToCiphertext(pk, contribution, witness)) {
+    return ContributionVerdict::kMisEncrypted;
+  }
+  // Self-consistent but bound to another (window, agent) slot: a
+  // replayed contribution from an earlier window.
+  if (witness.domain != expected_domain) {
+    return ContributionVerdict::kReplayedDomain;
+  }
+  return ContributionVerdict::kHonest;
 }
 
 }  // namespace pem::protocol

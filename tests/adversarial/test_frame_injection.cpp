@@ -1,0 +1,239 @@
+// Frame-layer replay/forgery wall.
+//
+// The protocol-level audit (test_adversarial.cpp) catches agents that
+// cheat INSIDE well-formed frames.  This suite attacks one layer down:
+// raw bytes pushed into a transport's ingress path without going
+// through Send() — a forged sender id on a single-owner egress
+// channel, a duplicated (replayed) frame with no matching send ticket,
+// a shared-memory ring record with a stale sequence number, a record
+// squatting in another pair's ring, a corrupt frame.  Every one must
+// surface as a structured TransportFault naming the compromised
+// channel — never an abort, never silent acceptance into the ledger —
+// while the surviving channels keep flowing.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/shm_transport.h"
+#include "net/socket_transport.h"
+
+namespace pem::net {
+namespace {
+
+void ExpectNoZombies() {
+  int status = 0;
+  errno = 0;
+  EXPECT_EQ(waitpid(-1, &status, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+Message Msg(AgentId from, AgentId to, uint32_t type = 0x1000,
+            std::vector<uint8_t> payload = {1, 2, 3, 4}) {
+  return Message{from, to, type, std::move(payload)};
+}
+
+// The router/snooper threads latch faults asynchronously; poll with a
+// deadline far below the ctest timeout.
+template <typename Pred>
+bool WaitFor(Pred pred, int timeout_ms = 10'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+// Works for both Transport (socket) and AgentSupervisor (shm) faults.
+template <typename T>
+std::optional<TransportFault> AwaitFault(const T& t) {
+  WaitFor([&t] { return t.fault().has_value(); });
+  return t.fault();
+}
+
+// --- SocketTransport ingress --------------------------------------------
+
+TEST(FrameInjection, SocketForgedSenderIdLatchesStructuredFault) {
+  SocketTransport st(3);
+  // Agent 1's egress channel carries a frame claiming to be from agent
+  // 2: impossible without squatting on the channel, since Send() pins
+  // the sender to the channel owner.
+  st.InjectEgressBytesForTest(1, EncodeFrame(Msg(2, 0)));
+  const std::optional<TransportFault> fault = AwaitFault(st);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->agent, 1);
+  EXPECT_EQ(fault->code, ErrorCode::kProtocolViolation);
+  EXPECT_NE(fault->detail.find("forged sender"), std::string::npos)
+      << fault->detail;
+  // The forged frame never entered the ledger or an inbox.
+  EXPECT_EQ(st.total_bytes(), 0u);
+  EXPECT_FALSE(st.HasMessage(0));
+  // Survivors keep flowing: the other channels still route.
+  st.Send(Msg(0, 2));
+  const std::optional<Message> got = st.Receive(2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(*got == Msg(0, 2));
+}
+
+TEST(FrameInjection, SocketUnsolicitedFrameHasNoTicket) {
+  SocketTransport st(2);
+  // Well-formed frame, correct sender id, but it never went through
+  // Send() — no ledger ticket exists, which proves the injection.
+  st.InjectEgressBytesForTest(0, EncodeFrame(Msg(0, 1)));
+  const std::optional<TransportFault> fault = AwaitFault(st);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->agent, 0);
+  EXPECT_NE(fault->detail.find("no matching send ticket"), std::string::npos)
+      << fault->detail;
+  EXPECT_EQ(st.total_bytes(), 0u);
+}
+
+TEST(FrameInjection, SocketDuplicatedFrameIsAReplay) {
+  SocketTransport st(2);
+  const Message real = Msg(0, 1);
+  st.Send(real);  // ticketed, routed, accounted
+  // An adversary replays the identical wire bytes: one ticket, two
+  // decoded frames — the second proves the replay.
+  st.InjectEgressBytesForTest(0, EncodeFrame(real));
+  const std::optional<TransportFault> fault = AwaitFault(st);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->agent, 0);
+  EXPECT_NE(fault->detail.find("no matching send ticket"), std::string::npos)
+      << fault->detail;
+  // Exactly the legitimate copy was delivered and accounted.
+  EXPECT_EQ(st.total_bytes(), FramedSize(real));
+  const std::optional<Message> got = st.Receive(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(*got == real);
+  EXPECT_FALSE(st.HasMessage(1));
+}
+
+TEST(FrameInjection, SocketStaleSequenceReplayAfterLegitTraffic) {
+  SocketTransport st(3);
+  // A burst of legitimate traffic, then a replay of the FIRST frame:
+  // ticket accounting (3 tickets, 4 decoded frames) catches it even
+  // though the bytes themselves are indistinguishable from history.
+  const Message first = Msg(1, 0, 0x2000, {9, 9});
+  st.Send(first);
+  st.Send(Msg(1, 2, 0x2001));
+  st.Send(Msg(1, 0, 0x2002));
+  st.InjectEgressBytesForTest(1, EncodeFrame(first));
+  const std::optional<TransportFault> fault = AwaitFault(st);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->agent, 1);
+  // Only the three ticketed frames were accounted.
+  EXPECT_EQ(st.total_messages(), 3u);
+}
+
+// --- ShmTransport ring ingress ------------------------------------------
+
+// Children that never touch the rings: the adversary writes records
+// into the shared mapping directly, and the parent-side snooper is the
+// detector under test.  Each scenario shuts the children down first
+// (so the single-producer rings are quiescent) and then injects.
+AgentSupervisor::ChildMain IdleChild() {
+  return [](AgentId, Transport&, ControlChannel& ctl) -> int {
+    for (;;) {
+      const ControlRecord rec = ctl.Read(/*timeout_ms=*/120'000);
+      if (rec.tag == kCtlCmdShutdown) {
+        ctl.Write(kCtlRepDone);
+        return 0;
+      }
+    }
+  };
+}
+
+TEST(FrameInjection, ShmCorruptFrameRecordLatchesStructuredFault) {
+  ShmTransport shm(2, IdleChild());
+  shm.Shutdown();
+  shm.InjectRingRecordForTest(0, 1, /*seq=*/0, Msg(0, 1),
+                              /*corrupt_frame=*/true);
+  const std::optional<TransportFault> fault = AwaitFault(shm);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->agent, 0);
+  EXPECT_EQ(fault->code, ErrorCode::kProtocolViolation);
+  EXPECT_NE(fault->detail.find("fails checksum"), std::string::npos)
+      << fault->detail;
+  EXPECT_EQ(shm.total_bytes(), 0u);
+  ExpectNoZombies();
+}
+
+TEST(FrameInjection, ShmRecordInWrongPairsRingIsAForgery) {
+  ShmTransport shm(3, IdleChild());
+  shm.Shutdown();
+  // Ring 0 -> 1 carries a frame claiming the 2 -> 1 pair: the ring
+  // IS the sender's identity, so the mismatch convicts ring owner 0.
+  shm.InjectRingRecordForTest(0, 1, /*seq=*/0, Msg(2, 1));
+  const std::optional<TransportFault> fault = AwaitFault(shm);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->agent, 0);
+  EXPECT_NE(fault->detail.find("frame names pair"), std::string::npos)
+      << fault->detail;
+  EXPECT_EQ(shm.total_bytes(), 0u);
+  ExpectNoZombies();
+}
+
+TEST(FrameInjection, ShmStaleSequenceRecordIsAReplay) {
+  ShmTransport shm(2, IdleChild());
+  shm.Shutdown();
+  const Message real = Msg(0, 1);
+  // A valid record is snooped and accounted once...
+  shm.InjectRingRecordForTest(0, 1, /*seq=*/0, real);
+  ASSERT_TRUE(WaitFor([&shm, &real] {
+    return shm.total_bytes() == FramedSize(real);
+  }));
+  // ...then the identical record (same sender sequence) again: the
+  // snooper has already merged seq 0, so this can only be a replay.
+  shm.InjectRingRecordForTest(0, 1, /*seq=*/0, real);
+  const std::optional<TransportFault> fault = AwaitFault(shm);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->agent, 0);
+  EXPECT_NE(fault->detail.find("replayed ring record"), std::string::npos)
+      << fault->detail;
+  // The replay was not accounted: the ledger still holds one copy.
+  EXPECT_EQ(shm.total_bytes(), FramedSize(real));
+  ExpectNoZombies();
+}
+
+TEST(FrameInjection, ShmDuplicateStashedSequenceIsAReplay) {
+  ShmTransport shm(2, IdleChild());
+  shm.Shutdown();
+  // seq 5 with seq 0..4 missing parks in the reorder stash; a second
+  // record with the SAME future sequence is a replay even though the
+  // merge never reached it.
+  shm.InjectRingRecordForTest(0, 1, /*seq=*/5, Msg(0, 1));
+  shm.InjectRingRecordForTest(0, 1, /*seq=*/5, Msg(0, 1));
+  const std::optional<TransportFault> fault = AwaitFault(shm);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->agent, 0);
+  EXPECT_NE(fault->detail.find("replayed ring record"), std::string::npos)
+      << fault->detail;
+  ExpectNoZombies();
+}
+
+TEST(FrameInjection, ShmSurvivingRingsKeepAccountingAfterFault) {
+  ShmTransport shm(3, IdleChild());
+  shm.Shutdown();
+  shm.InjectRingRecordForTest(0, 1, /*seq=*/0, Msg(0, 1),
+                              /*corrupt_frame=*/true);
+  ASSERT_TRUE(WaitFor([&shm] { return shm.fault().has_value(); }));
+  // The compromised ring is convicted, but the other senders' rings
+  // still feed the ledger.
+  const Message honest = Msg(2, 1, 0x3000, {7});
+  shm.InjectRingRecordForTest(2, 1, /*seq=*/0, honest);
+  EXPECT_TRUE(WaitFor([&shm, &honest] {
+    return shm.total_bytes() == FramedSize(honest);
+  }));
+  EXPECT_EQ(shm.stats(2).bytes_sent, FramedSize(honest));
+  ExpectNoZombies();
+}
+
+}  // namespace
+}  // namespace pem::net

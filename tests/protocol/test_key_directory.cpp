@@ -46,6 +46,60 @@ TEST(KeyDirectory, EquivocationIsRejected) {
   EXPECT_EQ(dir.Lookup(1).value().n(), MakeKey(3).n());
 }
 
+// --- membership churn: epochs, retirement, re-keying ------------------
+
+TEST(KeyDirectory, RekeyAcrossEpochIsSupersession) {
+  KeyDirectory dir;
+  ASSERT_TRUE(dir.Register(1, MakeKey(5)).ok());
+  dir.AdvanceEpoch();
+  // A different key announced in a LATER epoch is a legitimate re-key
+  // (the agent left and rejoined), not equivocation.
+  ASSERT_TRUE(dir.Register(1, MakeKey(6)).ok());
+  EXPECT_EQ(dir.Lookup(1).value().n(), MakeKey(6).n());
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(KeyDirectory, EquivocationStillRejectedWithinNewEpoch) {
+  KeyDirectory dir;
+  dir.AdvanceEpoch();
+  ASSERT_TRUE(dir.Register(2, MakeKey(7)).ok());
+  const Status s = dir.Register(2, MakeKey(8));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kProtocolViolation);
+}
+
+TEST(KeyDirectory, ReRegisteringSameKeyRefreshesEpochBinding) {
+  KeyDirectory dir;
+  ASSERT_TRUE(dir.Register(3, MakeKey(9)).ok());
+  dir.AdvanceEpoch();
+  // Same key re-announced in the new epoch: idempotent, and the
+  // first-write-wins window re-arms — a DIFFERENT key in this same
+  // epoch is now equivocation again.
+  ASSERT_TRUE(dir.Register(3, MakeKey(9)).ok());
+  EXPECT_FALSE(dir.Register(3, MakeKey(10)).ok());
+}
+
+TEST(KeyDirectory, RetireDropsBindingAndIsIdempotent) {
+  KeyDirectory dir;
+  ASSERT_TRUE(dir.Register(4, MakeKey(11)).ok());
+  dir.Retire(4);
+  EXPECT_FALSE(dir.Has(4));
+  EXPECT_EQ(dir.size(), 0u);
+  dir.Retire(4);  // idempotent
+  // A retired agent may rejoin with a fresh key in the SAME epoch:
+  // its old binding is gone, so there is nothing to equivocate with.
+  ASSERT_TRUE(dir.Register(4, MakeKey(12)).ok());
+  EXPECT_EQ(dir.Lookup(4).value().n(), MakeKey(12).n());
+}
+
+TEST(KeyDirectory, EpochCounterAdvances) {
+  KeyDirectory dir;
+  EXPECT_EQ(dir.epoch(), 0u);
+  dir.AdvanceEpoch();
+  dir.AdvanceEpoch();
+  EXPECT_EQ(dir.epoch(), 2u);
+}
+
 TEST(KeyDirectory, ManyAgentsIndependent) {
   KeyDirectory dir;
   for (int a = 0; a < 10; ++a) {

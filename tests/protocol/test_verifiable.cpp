@@ -95,5 +95,73 @@ TEST(Verifiable, DistinctContributionsDistinctCommitments) {
   EXPECT_NE(a.contribution.ciphertext.value, b.contribution.ciphertext.value);
 }
 
+// --- audit-domain binding and verdict classification ------------------
+
+TEST(Verifiable, AuditDomainBindsWindowAndAgent) {
+  EXPECT_NE(AuditDomain(3, 1), AuditDomain(3, 2));
+  EXPECT_NE(AuditDomain(3, 1), AuditDomain(4, 1));
+  EXPECT_EQ(AuditDomain(3, 1), AuditDomain(3, 1));
+}
+
+TEST(Verifiable, JudgeAcceptsHonestContribution) {
+  const crypto::PaillierKeyPair kp = TestKeys();
+  crypto::DeterministicRng rng(11);
+  const uint64_t domain = AuditDomain(5, 2);
+  const VerifiableResult r =
+      MakeVerifiableContribution(kp.pub, 321, rng, domain);
+  EXPECT_EQ(JudgeContribution(kp.pub, r.contribution, r.witness, domain),
+            ContributionVerdict::kHonest);
+}
+
+TEST(Verifiable, JudgeNamesReplayedDomain) {
+  // A self-consistent contribution replayed from window 4 fails only
+  // the domain binding when window 5's audit expects its own domain.
+  const crypto::PaillierKeyPair kp = TestKeys();
+  crypto::DeterministicRng rng(12);
+  const VerifiableResult stale =
+      MakeVerifiableContribution(kp.pub, 321, rng, AuditDomain(4, 2));
+  EXPECT_EQ(JudgeContribution(kp.pub, stale.contribution, stale.witness,
+                              AuditDomain(5, 2)),
+            ContributionVerdict::kReplayedDomain);
+}
+
+TEST(Verifiable, JudgeNamesCommitmentMismatch) {
+  const crypto::PaillierKeyPair kp = TestKeys();
+  crypto::DeterministicRng rng(13);
+  const uint64_t domain = AuditDomain(5, 2);
+  VerifiableResult r = MakeVerifiableContribution(kp.pub, 321, rng, domain);
+  r.contribution.commitment.digest.bytes[0] ^= 0x01;
+  EXPECT_EQ(JudgeContribution(kp.pub, r.contribution, r.witness, domain),
+            ContributionVerdict::kCommitmentMismatch);
+}
+
+TEST(Verifiable, JudgeNamesMisEncryption) {
+  // Ciphertext encrypts value+1 under the committed randomness: the
+  // opening succeeds, the re-encryption check convicts.
+  const crypto::PaillierKeyPair kp = TestKeys();
+  crypto::DeterministicRng rng(14);
+  const uint64_t domain = AuditDomain(5, 2);
+  VerifiableResult r = MakeVerifiableContribution(kp.pub, 321, rng, domain);
+  r.contribution.ciphertext = kp.pub.EncryptWithRandomness(
+      kp.pub.EncodeSigned(322), r.witness.encryption_randomness);
+  EXPECT_EQ(JudgeContribution(kp.pub, r.contribution, r.witness, domain),
+            ContributionVerdict::kMisEncrypted);
+}
+
+TEST(Verifiable, JudgeChecksCommitmentBeforeEncryption) {
+  // Both the commitment and the ciphertext are bad: the verdict names
+  // the commitment — fixed check order keeps every replica's fault
+  // detail identical.
+  const crypto::PaillierKeyPair kp = TestKeys();
+  crypto::DeterministicRng rng(15);
+  const uint64_t domain = AuditDomain(5, 2);
+  VerifiableResult r = MakeVerifiableContribution(kp.pub, 321, rng, domain);
+  r.contribution.commitment.digest.bytes[0] ^= 0x01;
+  r.contribution.ciphertext = kp.pub.EncryptWithRandomness(
+      kp.pub.EncodeSigned(322), r.witness.encryption_randomness);
+  EXPECT_EQ(JudgeContribution(kp.pub, r.contribution, r.witness, domain),
+            ContributionVerdict::kCommitmentMismatch);
+}
+
 }  // namespace
 }  // namespace pem::protocol
