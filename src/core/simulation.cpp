@@ -165,24 +165,25 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
     return 0;
   };
 
+  const net::TransportOptions topts = ResolveTransportOptions(config);
   std::unique_ptr<net::AgentSupervisor> transport_owner;
   if (config.policy.transport_kind == net::TransportKind::kTcp) {
     net::TcpTransport::Options opts;
-    opts.watchdog_ms = config.process_watchdog_ms;
-    opts.host = config.tcp_host;
-    opts.port = config.tcp_port;
-    opts.verify_frames = config.tcp_verify_frames;
+    opts.watchdog_ms = topts.watchdog_ms;
+    opts.host = topts.tcp_host;
+    opts.port = topts.tcp_port;
+    opts.verify_frames = topts.tcp_verify_frames;
     transport_owner = std::make_unique<net::TcpTransport>(
         num_homes, child_main, std::move(opts));
   } else if (config.policy.transport_kind == net::TransportKind::kShm) {
     net::ShmTransport::Options opts;
-    opts.watchdog_ms = config.process_watchdog_ms;
-    opts.ring_bytes = config.shm_ring_bytes;
+    opts.watchdog_ms = topts.watchdog_ms;
+    opts.ring_bytes = topts.shm_ring_bytes;
     transport_owner = std::make_unique<net::ShmTransport>(
         num_homes, child_main, opts);
   } else {
     net::ProcessTransport::Options opts;
-    opts.watchdog_ms = config.process_watchdog_ms;
+    opts.watchdog_ms = topts.watchdog_ms;
     transport_owner =
         std::make_unique<net::ProcessTransport>(num_homes, child_main, opts);
   }
@@ -238,6 +239,26 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
 }
 
 }  // namespace
+
+net::TransportOptions ResolveTransportOptions(const SimulationConfig& config) {
+  net::TransportOptions opts = config.policy.transport;
+  // Deprecated SimulationConfig aliases, kept one release: a legacy
+  // field that was explicitly set (differs from its historical
+  // default) still wins, so pre-fold callers behave unchanged.
+  static const SimulationConfig kDefaults;
+  if (config.process_watchdog_ms != kDefaults.process_watchdog_ms) {
+    opts.watchdog_ms = config.process_watchdog_ms;
+  }
+  if (config.tcp_host != kDefaults.tcp_host) opts.tcp_host = config.tcp_host;
+  if (config.tcp_port != kDefaults.tcp_port) opts.tcp_port = config.tcp_port;
+  if (config.tcp_verify_frames != kDefaults.tcp_verify_frames) {
+    opts.tcp_verify_frames = config.tcp_verify_frames;
+  }
+  if (config.shm_ring_bytes != kDefaults.shm_ring_bytes) {
+    opts.shm_ring_bytes = config.shm_ring_bytes;
+  }
+  return opts;
+}
 
 SimulationResult RunSimulation(const grid::CommunityTrace& trace,
                                const SimulationConfig& config) {

@@ -62,28 +62,24 @@ struct SimulationConfig {
   // (pem.precompute_encryption) fans out across the same worker count —
   // the paper's "executed in parallel during idle time" — without
   // affecting the factor order.
+  // The aggregation-plan shape (flat ring vs k-ary hierarchy of
+  // sub-rings) is part of the protocol configuration: pem.topology.
+  // Both engine paths honor it — the in-process crypto loop and the
+  // forked backends, whose children copy pem (and with it the plan
+  // seed) at fork time.
   net::ExecutionPolicy policy;
-  // Process/TCP backends only: upper bound on any wait for a child (a
-  // window report, an exit).  A crashed or deadlocked agent process
-  // fails the run with a structured error naming the child after this
-  // long, instead of hanging until a ctest TIMEOUT or CI runner kill.
-  int process_watchdog_ms = 120'000;
-  // TCP backend only (ExecutionPolicy::Tcp()): where the parent's
-  // rendezvous listener binds and the forked children dial.  Port 0
-  // auto-assigns; the default loopback host keeps the run on one
-  // machine while still pushing every frame through the network stack.
-  std::string tcp_host = "127.0.0.1";
-  uint16_t tcp_port = 0;
-  // TCP backend debug mode: byte-match every frame a child consumes
-  // against its deterministic shadow script (always on for the
-  // socketpair process backend).  Off by default — the parent's
-  // per-window ledger cross-check still runs.
-  bool tcp_verify_frames = false;
-  // Shm backend only (ExecutionPolicy::Shm()): data capacity of each
-  // directed per-pair ring (power of two).  The default comfortably
-  // holds a window's largest frame burst; raise it for communities
-  // with very large ciphertext payloads.
-  size_t shm_ring_bytes = size_t{1} << 20;
+  // DEPRECATED backend-knob aliases — the per-backend tuning moved
+  // into net::TransportOptions (config.policy.transport), so one
+  // ExecutionPolicy object fully specifies a backend.  These five
+  // fields are kept for exactly one release: a value that differs
+  // from its historical default still wins over policy.transport (see
+  // ResolveTransportOptions), so existing callers keep working
+  // unchanged.  New code sets config.policy.transport.* instead.
+  int process_watchdog_ms = 120'000;        // -> policy.transport.watchdog_ms
+  std::string tcp_host = "127.0.0.1";       // -> policy.transport.tcp_host
+  uint16_t tcp_port = 0;                    // -> policy.transport.tcp_port
+  bool tcp_verify_frames = false;  // -> policy.transport.tcp_verify_frames
+  size_t shm_ring_bytes = size_t{1} << 20;  // -> policy.transport.shm_ring_bytes
   // Optional tap on every delivered bus message (crypto engine only);
   // used for transcript comparison and debugging.  The callback may
   // run under the transport's lock, so it must not call back into the
@@ -141,5 +137,12 @@ struct SimulationResult {
 
 SimulationResult RunSimulation(const grid::CommunityTrace& trace,
                                const SimulationConfig& config);
+
+// The backend tuning a run will actually use: config.policy.transport,
+// overridden by any deprecated SimulationConfig alias that was
+// explicitly set (i.e. differs from its historical default).  Exposed
+// so the alias-compat tests can assert the folding without forking a
+// backend; RunSimulation's process paths call exactly this.
+net::TransportOptions ResolveTransportOptions(const SimulationConfig& config);
 
 }  // namespace pem::core

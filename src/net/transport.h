@@ -250,6 +250,35 @@ inline const char* TransportKindName(TransportKind k) {
   return nullptr;
 }
 
+// Backend-specific tuning for the process-isolated transports, carried
+// by ExecutionPolicy so ONE object fully specifies a backend (which
+// kind, how many compute workers, and how that kind is parameterized).
+// Fields a backend does not use are ignored by it; the defaults
+// reproduce every backend's stock behavior.
+struct TransportOptions {
+  // Process/TCP/Shm: upper bound on any wait for a child (a window
+  // report, an exit).  A crashed or deadlocked agent process fails the
+  // run with a structured error naming the child after this long,
+  // instead of hanging until a ctest TIMEOUT or CI runner kill.
+  int watchdog_ms = 120'000;
+  // TCP only: where the parent's rendezvous listener binds and the
+  // forked children dial.  Port 0 auto-assigns; the default loopback
+  // host keeps the run on one machine while still pushing every frame
+  // through the network stack.
+  std::string tcp_host = "127.0.0.1";
+  uint16_t tcp_port = 0;
+  // TCP debug mode: byte-match every frame a child consumes against
+  // its deterministic shadow script (always on for the socketpair
+  // process backend).  Off by default — the parent's per-window ledger
+  // cross-check still runs.
+  bool tcp_verify_frames = false;
+  // Shm only: data capacity of each directed per-pair ring (power of
+  // two).  The default comfortably holds a window's largest frame
+  // burst; raise it for communities with very large ciphertext
+  // payloads.
+  size_t shm_ring_bytes = size_t{1} << 20;
+};
+
 // How a protocol run executes: which transport carries the frames and
 // how many workers the local-compute phases may use.  Threaded through
 // SimulationConfig -> ProtocolContext so RunSimulation can select
@@ -259,6 +288,9 @@ inline const char* TransportKindName(TransportKind k) {
 struct ExecutionPolicy {
   TransportKind transport_kind = TransportKind::kSerialBus;
   int threads = 1;
+  // Appended member with defaults, so every existing aggregate
+  // initializer ({kind, threads}) stays valid.
+  TransportOptions transport;
 
   bool parallel() const { return threads > 1; }
   unsigned worker_count() const {

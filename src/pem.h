@@ -42,4 +42,5 @@
 #include "core/simulation.h"
 #include "ledger/settlement.h"
 #include "protocol/pem_protocol.h"
+#include "protocol/topology.h"
 #include "protocol/verifiable.h"

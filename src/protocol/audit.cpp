@@ -4,29 +4,23 @@
 
 #include "net/frame.h"
 #include "protocol/key_directory.h"
+#include "protocol/topology.h"
 #include "protocol/verifiable.h"
 #include "util/error.h"
 
 namespace pem::protocol {
 namespace {
 
-// SplitMix64 finalizer: derives the audit side streams from
-// (policy.seed, window[, agent]).  These streams are independent of the
-// protocol RNG by construction, so running (or skipping) an audit draw
-// never shifts an honest agent's randomness schedule.
-uint64_t Mix(uint64_t a, uint64_t b) {
-  uint64_t x = a + 0x9e37'79b9'7f4a'7c15ULL * (b + 0x632b'e59b'd9b4'e019ULL);
-  x ^= x >> 30;
-  x *= 0xbf58'476d'1ce4'e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d0'49bb'1331'11ebULL;
-  x ^= x >> 31;
-  return x;
-}
-
+// The audit side streams derive from (policy.seed, window[, agent])
+// through the shared MixSeed finalizer (protocol/topology.h) — the
+// same discipline topology leader election follows.  These streams
+// are independent of the protocol RNG by construction, so running (or
+// skipping) an audit draw never shifts an honest agent's randomness
+// schedule.
 uint64_t AgentStreamSeed(uint64_t seed, int window, net::AgentId agent) {
-  return Mix(Mix(seed, static_cast<uint64_t>(static_cast<int64_t>(window))),
-             static_cast<uint64_t>(static_cast<int64_t>(agent)));
+  return MixSeed(
+      MixSeed(seed, static_cast<uint64_t>(static_cast<int64_t>(window))),
+      static_cast<uint64_t>(static_cast<int64_t>(agent)));
 }
 
 // The audited quantity: the nonce-blinded net energy, the same blinding
@@ -92,8 +86,8 @@ AuditOutcome RunAuditRound(ProtocolContext& ctx, std::span<Party> parties) {
 
   // Window coin flip + auditor draw, from the window side stream.
   crypto::DeterministicRng side(
-      Mix(policy.seed, static_cast<uint64_t>(
-                           static_cast<int64_t>(ctx.window))));
+      MixSeed(policy.seed, static_cast<uint64_t>(
+                               static_cast<int64_t>(ctx.window))));
   if (policy.audit_one_in > 1) {
     const int64_t draw =
         crypto::BigInt::RandomBelow(

@@ -129,32 +129,51 @@ crypto::PaillierCiphertext ForwardRing(
 
 }  // namespace
 
+AggregationTopology PlanRingTopology(const ProtocolContext& ctx,
+                                     std::span<const size_t> members) {
+  return AggregationTopology::Build(members, ctx.config.topology, ctx.window);
+}
+
+crypto::PaillierCiphertext RingAggregate(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, const AggregationTopology& topology,
+    const std::function<int64_t(const Party&)>& value_of,
+    net::AgentId final_recipient) {
+  const std::function<int64_t(const Party&)> fns[] = {value_of};
+  std::vector<crypto::PaillierCiphertext> aggs =
+      RingAggregateBatch(ctx, pk, parties, topology, fns, final_recipient);
+  return std::move(aggs.front());
+}
+
 crypto::PaillierCiphertext RingAggregate(
     ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
     std::span<Party> parties, std::span<const size_t> ring,
     const std::function<int64_t(const Party&)>& value_of,
     net::AgentId final_recipient) {
-  const std::function<int64_t(const Party&)> fns[] = {value_of};
-  std::vector<crypto::PaillierCiphertext> aggs =
-      RingAggregateBatch(ctx, pk, parties, ring, fns, final_recipient);
-  return std::move(aggs.front());
+  return RingAggregate(ctx, pk, parties, AggregationTopology::Flat(ring),
+                       value_of, final_recipient);
 }
 
 std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
     ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
-    std::span<Party> parties, std::span<const size_t> ring,
+    std::span<Party> parties, const AggregationTopology& topology,
     std::span<const std::function<int64_t(const Party&)>> value_fns,
     net::AgentId final_recipient) {
-  PEM_CHECK(!ring.empty(), "ring aggregation needs at least one member");
+  PEM_CHECK(topology.num_members() > 0,
+            "ring aggregation needs at least one member");
   PEM_CHECK(!value_fns.empty(), "ring aggregation needs a value function");
+  const std::vector<size_t> leaf_members = topology.LeafMembers();
 
   // Phase 1 (prepare, sequential): fix every lane x member encryption's
   // randomness in a deterministic order, so the transcript does not
-  // depend on how phase 2 is scheduled.
+  // depend on how phase 2 is scheduled.  Leaf rings are contiguous
+  // chunks of the member list (topology.h invariant 1), so this order —
+  // and with it every later ctx.rng draw — is identical to the flat
+  // ring's.
   std::vector<EncryptionSlot> slots;
-  slots.reserve(value_fns.size() * ring.size());
+  slots.reserve(value_fns.size() * leaf_members.size());
   for (const auto& value_of : value_fns) {
-    for (size_t member : ring) {
+    for (size_t member : leaf_members) {
       // Passing the member lets an aggregator that sits in its own ring
       // (Hr1/Hr2/Hb do) take the owner-side CRT fast path.
       slots.push_back(PrepareEncryption(ctx, pk, value_of(parties[member]),
@@ -163,20 +182,60 @@ std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
   }
 
   // Phase 2 (compute, policy-driven): the dominant crypto cost — one
-  // r^n exponentiation per slot — fans out across workers.
+  // r^n exponentiation per slot — fans out across workers, fused over
+  // every lane and every leaf ring.
   const std::vector<crypto::PaillierCiphertext> shares =
       ComputeEncryptions(ctx, pk, slots);
 
-  // Phase 3 (forward, sequential): one ring pass per lane.
+  // Phase 3 (forward, sequential): per lane, run every ring of every
+  // level bottom-up.  Leaf rings aggregate their members' fresh
+  // ciphertexts and deliver to their elected leaders; upper rings
+  // aggregate the partials their members (the level below's leaders)
+  // already hold — no fresh encryption, no RNG draw (topology.h
+  // invariant 2) — and the root ring delivers to the final recipient.
   std::vector<crypto::PaillierCiphertext> results;
   results.reserve(value_fns.size());
+  const std::vector<TopologyLevel>& levels = topology.levels();
   for (size_t lane = 0; lane < value_fns.size(); ++lane) {
     const std::span<const crypto::PaillierCiphertext> lane_shares(
-        shares.data() + lane * ring.size(), ring.size());
-    results.push_back(ForwardRing(ctx, pk, parties, ring, lane_shares,
-                                  final_recipient));
+        shares.data() + lane * leaf_members.size(), leaf_members.size());
+    std::vector<crypto::PaillierCiphertext> partials;
+    size_t leaf_offset = 0;
+    for (size_t l = 0; l < levels.size(); ++l) {
+      const bool root = l + 1 == levels.size();
+      std::vector<crypto::PaillierCiphertext> next;
+      next.reserve(levels[l].rings.size());
+      size_t child = 0;  // partial index: level l's rings list level
+                         // l-1's leaders contiguously, in ring order
+      for (const TopologyRing& ring : levels[l].rings) {
+        const size_t m = ring.members.size();
+        std::span<const crypto::PaillierCiphertext> ring_shares;
+        if (l == 0) {
+          ring_shares = lane_shares.subspan(leaf_offset, m);
+          leaf_offset += m;
+        } else {
+          ring_shares = {partials.data() + child, m};
+          child += m;
+        }
+        const net::AgentId sink =
+            root ? final_recipient : parties[ring.leader()].id();
+        next.push_back(
+            ForwardRing(ctx, pk, parties, ring.members, ring_shares, sink));
+      }
+      partials = std::move(next);
+    }
+    results.push_back(std::move(partials.front()));
   }
   return results;
+}
+
+std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, std::span<const size_t> ring,
+    std::span<const std::function<int64_t(const Party&)>> value_fns,
+    net::AgentId final_recipient) {
+  return RingAggregateBatch(ctx, pk, parties, AggregationTopology::Flat(ring),
+                            value_fns, final_recipient);
 }
 
 namespace {

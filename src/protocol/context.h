@@ -1,8 +1,10 @@
 // Shared protocol machinery: execution context, message tags, and the
 // Paillier ring-aggregation pattern that Protocols 2-4 all build on.
 //
-// Execution model.  Every ring aggregation is run in three phases:
-//   1. prepare  (sequential)  — fix each member's encryption
+// Execution model.  Every ring aggregation runs an AggregationTopology
+// plan (protocol/topology.h — the flat ring, or a hierarchy of
+// sub-rings) in three phases:
+//   1. prepare  (sequential)  — fix each leaf member's encryption
 //      randomness: a pooled r^n factor when a PaillierRandomnessPool
 //      is attached and non-dry, otherwise a fresh r drawn from the
 //      context RNG;
@@ -10,11 +12,18 @@
 //      from its fixed randomness; with ExecutionPolicy::threads > 1
 //      the ciphertexts are computed by ParallelFor workers, mirroring
 //      the paper's one-container-per-agent deployment;
-//   3. forward  (sequential)  — the ring-multiply/forward pass over
-//      the transport, hop by hop.
+//   3. forward  (sequential)  — the ring-multiply/forward passes over
+//      the transport, hop by hop: leaf rings aggregate shard-locally
+//      and deliver to their elected leaders, leaders re-aggregate up
+//      the tree (partials only — no fresh encryption, no RNG draw),
+//      and the root ring delivers to the final recipient.
 // Because all randomness is fixed in phase 1 and all sends happen in
 // phase 3, the wire transcript is byte-identical whatever the policy —
-// test_transcript_parity asserts exactly this.
+// test_transcript_parity asserts exactly this.  The transcript DOES
+// depend on the plan shape, but the market outcome does not: a
+// hierarchical plan's prices and trades are bit-identical to the flat
+// ring's (the plan invariants in topology.h; test_topology asserts it
+// across all six transport backends).
 #pragma once
 
 #include <functional>
@@ -26,6 +35,7 @@
 #include "net/serialize.h"
 #include "net/transport.h"
 #include "protocol/party.h"
+#include "protocol/topology.h"
 
 namespace pem::protocol {
 
@@ -142,13 +152,33 @@ void WriteCiphertext(net::ByteWriter& w, const crypto::PaillierPublicKey& pk,
                      const crypto::PaillierCiphertext& ct);
 crypto::PaillierCiphertext ReadCiphertext(net::ByteReader& r);
 
+// The per-window aggregation plan for `members`: built from
+// (members, ctx.config.topology) and keyed by ctx.window, so churn
+// epochs re-elect every leader.  Leader election draws only from
+// MixSeed side streams — never ctx.rng — so planning cannot shift any
+// agent's randomness schedule.  Protocols 2-4 call their aggregations
+// through this.
+AggregationTopology PlanRingTopology(const ProtocolContext& ctx,
+                                     std::span<const size_t> members);
+
 // Paillier ring aggregation (the Lines 2-10 pattern of Protocol 2):
-// each party in `ring` (indices into `parties`) encrypts
-// value_of(party) under `pk` and multiplies it into the running
-// ciphertext, forwarding hop-by-hop over the bus; the last party sends
-// the product to `final_recipient`, who is returned the ciphertext of
+// each leaf member of `topology` (indices into `parties`) encrypts
+// value_of(party) under `pk` and multiplies it into its ring's running
+// ciphertext, forwarding hop-by-hop over the bus; leaders carry the
+// partials up the tree, and the root ring's last holder sends the
+// product to `final_recipient`, who is returned the ciphertext of
 // Σ value_of.  Every hop's bytes are accounted.  Runs the three-phase
-// schedule described at the top of this header.
+// schedule described at the top of this header.  A one-lane wrapper
+// over RingAggregateBatch — there is exactly one executor.
+crypto::PaillierCiphertext RingAggregate(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, const AggregationTopology& topology,
+    const std::function<int64_t(const Party&)>& value_of,
+    net::AgentId final_recipient);
+
+// Flat-plan shorthand: aggregates over `ring` as a single flat ring,
+// whatever ctx.config.topology says.  Equivalent to passing
+// AggregationTopology::Flat(ring).
 crypto::PaillierCiphertext RingAggregate(
     ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
     std::span<Party> parties, std::span<const size_t> ring,
@@ -156,12 +186,19 @@ crypto::PaillierCiphertext RingAggregate(
     net::AgentId final_recipient);
 
 // Batched variant: runs `value_fns.size()` independent aggregations
-// over the same ring and key with ONE fused compute phase (all
+// over the same plan and key with ONE fused compute phase (all
 // lanes' ciphertexts are produced by the same ParallelFor fan-out),
 // then one forward pass per lane.  Used by Private Pricing, whose two
 // sums (Σ k_i and Σ supply_i) would otherwise pay the fork/join cost
 // twice.  Transcript-equivalent to calling RingAggregate per lane in
 // order.
+std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
+    ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
+    std::span<Party> parties, const AggregationTopology& topology,
+    std::span<const std::function<int64_t(const Party&)>> value_fns,
+    net::AgentId final_recipient);
+
+// Flat-plan shorthand for the batched variant.
 std::vector<crypto::PaillierCiphertext> RingAggregateBatch(
     ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
     std::span<Party> parties, std::span<const size_t> ring,

@@ -26,13 +26,14 @@ std::vector<double> ComputeRatios(ProtocolContext& ctx,
   BroadcastPublicKey(ctx, aggregator);
   const crypto::PaillierPublicKey& pk = aggregator.public_key();
 
-  // Lines 3-5: ring-aggregate the encrypted coalition total; the last
-  // member broadcasts it within the coalition.
+  // Lines 3-5: ring-aggregate the encrypted coalition total (shaped by
+  // the configured aggregation topology); the last member broadcasts
+  // it within the coalition.
   auto share_of = [](const Party& p) { return std::abs(p.net_raw()); };
   const size_t last = ratio_members.back();
   const crypto::PaillierCiphertext enc_total =
-      RingAggregate(ctx, pk, parties, ratio_members, share_of,
-                    parties[last].id());
+      RingAggregate(ctx, pk, parties, PlanRingTopology(ctx, ratio_members),
+                    share_of, parties[last].id());
   {
     net::ByteWriter w;
     WriteCiphertext(w, pk, enc_total);

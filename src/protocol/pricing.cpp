@@ -20,16 +20,18 @@ PricingResult RunPrivatePricing(ProtocolContext& ctx,
   BroadcastPublicKey(ctx, buyer_hb);
 
   // Lines 2-7: ring-aggregate Σ k_i and Σ (g_i + 1 + ε_i b_i − b_i)
-  // over the seller coalition.  Both sums run under the same key and
-  // ring, so their 2m encryptions are fused into one compute phase
-  // (one ParallelFor fan-out) before the two sequential forward passes.
+  // over the seller coalition, shaped by the configured aggregation
+  // topology.  Both sums run under the same key and plan, so their 2m
+  // encryptions are fused into one compute phase (one ParallelFor
+  // fan-out) before the two sequential forward passes.
+  const AggregationTopology plan =
+      PlanRingTopology(ctx, coalitions.sellers);
   const std::function<int64_t(const Party&)> lanes[] = {
       [](const Party& p) { return p.PreferenceRaw(); },
       [](const Party& p) { return p.SupplyTermRaw(); },
   };
   const std::vector<crypto::PaillierCiphertext> sums = RingAggregateBatch(
-      ctx, buyer_hb.public_key(), parties, coalitions.sellers, lanes,
-      buyer_hb.id());
+      ctx, buyer_hb.public_key(), parties, plan, lanes, buyer_hb.id());
   const int64_t sum_k_raw = buyer_hb.private_key().DecryptSigned(sums[0]);
   const int64_t sum_supply_raw =
       buyer_hb.private_key().DecryptSigned(sums[1]);

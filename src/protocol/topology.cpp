@@ -1,0 +1,142 @@
+#include "protocol/topology.h"
+
+#include <algorithm>
+
+#include "crypto/bigint.h"
+#include "crypto/rng.h"
+#include "util/error.h"
+
+namespace pem::protocol {
+
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t x = a + 0x9e37'79b9'7f4a'7c15ULL * (b + 0x632b'e59b'd9b4'e019ULL);
+  x ^= x >> 30;
+  x *= 0xbf58'476d'1ce4'e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d0'49bb'1331'11ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+namespace {
+
+// Splits `count` items into `parts` contiguous chunks, sizes as even
+// as possible (earlier chunks take the remainder).
+std::vector<size_t> ChunkSizes(size_t count, size_t parts) {
+  std::vector<size_t> sizes(parts, count / parts);
+  for (size_t i = 0; i < count % parts; ++i) ++sizes[i];
+  return sizes;
+}
+
+// Contiguous chunks of `items` as rings, in order.
+TopologyLevel ChunkIntoRings(std::span<const size_t> items, size_t parts) {
+  TopologyLevel level;
+  level.rings.reserve(parts);
+  size_t offset = 0;
+  for (size_t size : ChunkSizes(items.size(), parts)) {
+    TopologyRing ring;
+    ring.members.assign(items.begin() + static_cast<ptrdiff_t>(offset),
+                        items.begin() + static_cast<ptrdiff_t>(offset + size));
+    offset += size;
+    level.rings.push_back(std::move(ring));
+  }
+  return level;
+}
+
+// Elects every ring's leader on `level` from its own side stream,
+// keyed (seed, window, level, ring) — so two rings, two windows, or
+// two levels never share a stream, and a membership change in one
+// ring cannot shift another ring's election.
+void ElectLeaders(TopologyLevel& level, const TopologyConfig& config,
+                  int window, size_t level_index) {
+  const uint64_t level_seed = MixSeed(
+      MixSeed(config.seed, static_cast<uint64_t>(static_cast<int64_t>(window))),
+      static_cast<uint64_t>(level_index));
+  for (size_t r = 0; r < level.rings.size(); ++r) {
+    TopologyRing& ring = level.rings[r];
+    crypto::DeterministicRng side(MixSeed(level_seed, r));
+    ring.leader_pos = static_cast<size_t>(
+        crypto::BigInt::RandomBelow(
+            crypto::BigInt(static_cast<int64_t>(ring.members.size())), side)
+            .ToInt64());
+  }
+}
+
+}  // namespace
+
+AggregationTopology AggregationTopology::Flat(std::span<const size_t> ring) {
+  PEM_CHECK(!ring.empty(), "topology: a ring needs at least one member");
+  AggregationTopology topo;
+  TopologyRing r;
+  r.members.assign(ring.begin(), ring.end());
+  r.leader_pos = r.members.size() - 1;  // unused at the root; tidy default
+  TopologyLevel level;
+  level.rings.push_back(std::move(r));
+  topo.levels_.push_back(std::move(level));
+  return topo;
+}
+
+AggregationTopology AggregationTopology::Build(std::span<const size_t> members,
+                                               const TopologyConfig& config,
+                                               int window) {
+  PEM_CHECK(!members.empty(), "topology: a ring needs at least one member");
+  PEM_CHECK(config.fanout >= 2, "topology: fanout must be >= 2");
+  const size_t n = members.size();
+  if (config.kind == TopologyKind::kFlat || n <= 2) return Flat(members);
+
+  const size_t fanout = static_cast<size_t>(config.fanout);
+  AggregationTopology topo;
+  // Leaf level: contiguous chunks of the member list, at least two of
+  // them — a "hierarchy" of one leaf ring would just be the flat ring
+  // with extra bookkeeping, and its critical path would not shrink.
+  const size_t leaf_rings = std::max<size_t>(2, (n + fanout - 1) / fanout);
+  topo.levels_.push_back(ChunkIntoRings(members, leaf_rings));
+
+  while (true) {
+    TopologyLevel& current = topo.levels_.back();
+    ElectLeaders(current, config, window, topo.levels_.size() - 1);
+    if (current.rings.size() == 1) break;  // root reached
+    std::vector<size_t> leaders;
+    leaders.reserve(current.rings.size());
+    for (const TopologyRing& ring : current.rings) {
+      leaders.push_back(ring.leader());
+    }
+    const size_t parts = (leaders.size() + fanout - 1) / fanout;
+    topo.levels_.push_back(ChunkIntoRings(leaders, parts));
+  }
+  return topo;
+}
+
+size_t AggregationTopology::num_members() const {
+  size_t n = 0;
+  for (const TopologyRing& ring : levels_.front().rings) {
+    n += ring.members.size();
+  }
+  return n;
+}
+
+std::vector<size_t> AggregationTopology::LeafMembers() const {
+  std::vector<size_t> members;
+  members.reserve(num_members());
+  for (const TopologyRing& ring : levels_.front().rings) {
+    members.insert(members.end(), ring.members.begin(), ring.members.end());
+  }
+  return members;
+}
+
+int AggregationTopology::CriticalPathHops() const {
+  int hops = 0;
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    const bool root = l + 1 == levels_.size();
+    int level_max = 0;
+    for (const TopologyRing& ring : levels_[l].rings) {
+      int h = static_cast<int>(ring.members.size()) - 1;
+      if (!root && ring.leader_pos != ring.members.size() - 1) ++h;
+      level_max = std::max(level_max, h);
+    }
+    hops += level_max;
+  }
+  return hops;
+}
+
+}  // namespace pem::protocol

@@ -1,0 +1,123 @@
+// AggregationTopology: the deterministic plan behind every ring
+// aggregation.
+//
+// The flat ring of Protocols 2-4 is O(n) sequential hops — the
+// aggregation critical path.  A k-ary hierarchy of sub-rings (leaf
+// rings aggregate shard-locally, elected leaders re-aggregate up the
+// tree, the root ring forwards to the final recipient) computes the
+// same homomorphic sum in O(log n) sequential hops.  This header is
+// the PLAN only: which party sits in which ring at which level, and
+// who leads each ring.  Execution (prepare/compute/forward over a
+// transport) lives in protocol/context.h, which consumes plans.
+//
+// Two invariants make a hierarchical plan's market outcome
+// bit-identical to the flat ring's:
+//   1. Leaf rings are CONTIGUOUS chunks of the member list in its
+//      original order, so the phase-1 randomness draws happen in
+//      exactly the flat ring's sequence — no downstream ctx.rng draw
+//      ever shifts.
+//   2. Upper levels aggregate the partial ciphertexts their members
+//      (the level below's leaders) already hold — no fresh encryption,
+//      no randomness draw.  Paillier addition is a commutative product
+//      mod n^2, so even the final ciphertext is bit-identical to the
+//      flat ring's.
+// Leader election draws only from MixSeed-derived side streams keyed
+// by (seed, window, level, ring) — never the protocol RNG — the same
+// cheat-invariance discipline the §VI audits follow (and the
+// `topology-seeded` pem_lint rule enforces it statically).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pem::protocol {
+
+// SplitMix64 finalizer shared by the audit round and topology leader
+// election: derives independent deterministic side streams from
+// (seed, window[, level, ring, agent]) so consuming (or skipping) a
+// side-stream draw never perturbs the protocol RNG schedule.
+uint64_t MixSeed(uint64_t a, uint64_t b);
+
+enum class TopologyKind {
+  kFlat,          // one ring over all members (the paper's Protocol 2-4)
+  kHierarchical,  // k-ary tree of sub-rings with elected leaders
+};
+
+// The aggregation-plan knob carried by PemConfig (config.topology):
+// forked backends copy it into every child, so all n independent
+// processes derive the identical plan for every window.
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::kFlat;
+  // Maximum members per sub-ring (>= 2).  Also the grouping factor for
+  // the leader rings above the leaves.
+  int fanout = 4;
+  // Seed of the leader-election side streams; independent of the
+  // protocol RNG by construction.
+  uint64_t seed = 0x5045'4d54'4f50'4f31ULL;  // "PEMTOPO1"
+};
+
+// One sub-ring: party indices (into the parties span) in forwarding
+// order, plus the elected leader's position within `members`.  At the
+// leaf level the leader carries the ring's partial sum up the tree; at
+// the root the leader is elected but unused (the sink is the
+// aggregation's final recipient).
+struct TopologyRing {
+  std::vector<size_t> members;
+  size_t leader_pos = 0;
+
+  size_t leader() const { return members[leader_pos]; }
+
+  friend bool operator==(const TopologyRing&, const TopologyRing&) = default;
+};
+
+// All rings of one tree level, bottom (leaves) first.
+struct TopologyLevel {
+  std::vector<TopologyRing> rings;
+
+  friend bool operator==(const TopologyLevel&, const TopologyLevel&) = default;
+};
+
+// The immutable plan object: levels of sub-rings, leaves first, ending
+// in a single root ring.  Level l+1's rings, concatenated, list exactly
+// the leaders of level l's rings in ring order — the executor relies
+// on this to route each partial to its member without extra state.
+class AggregationTopology {
+ public:
+  // The flat plan: one level, one ring, in the given order.  The
+  // span-of-size_t RingAggregate overloads wrap their ring in this, so
+  // a flat plan's execution is byte-identical to the pre-plan engine.
+  static AggregationTopology Flat(std::span<const size_t> ring);
+
+  // Builds the plan for `members` (coalition indices in coalition
+  // order) from the configured topology, keyed by `window` so churn
+  // epochs re-elect every leader.  kFlat — and any community of <= 2
+  // members — yields the flat plan; kHierarchical always forms at
+  // least two leaf rings, so the tree never silently degenerates to
+  // flat and its critical path stays strictly below n-1 hops.
+  static AggregationTopology Build(std::span<const size_t> members,
+                                   const TopologyConfig& config, int window);
+
+  const std::vector<TopologyLevel>& levels() const { return levels_; }
+  bool flat() const { return levels_.size() == 1; }
+  size_t num_members() const;
+
+  // Leaf members in ring-concatenation order — identical to the member
+  // list Build() was given (contiguous-chunk invariant), which is what
+  // keeps the phase-1 randomness sequence flat-identical.
+  std::vector<size_t> LeafMembers() const;
+
+  // Sequential ring-multiply hops on the critical path: per level, the
+  // largest ring's (size - 1) interior hops plus one leader-delivery
+  // hop when the leader is not the ring's last member.  The root level
+  // counts interior hops only — the delivery to the final recipient is
+  // common to every plan shape, so it is excluded everywhere.  A flat
+  // plan over n members scores exactly n - 1.
+  int CriticalPathHops() const;
+
+ private:
+  std::vector<TopologyLevel> levels_;
+};
+
+}  // namespace pem::protocol

@@ -204,6 +204,44 @@ TEST(Simulation, WindowOffsetSkipsEarlyWindows) {
   EXPECT_EQ(r.windows[1].window, 15);
 }
 
+TEST(Simulation, TransportOptionsResolveFromPolicy) {
+  // The folded knobs: one ExecutionPolicy object fully specifies the
+  // backend.
+  SimulationConfig cfg;
+  cfg.policy = net::ExecutionPolicy::Tcp();
+  cfg.policy.transport.watchdog_ms = 5'000;
+  cfg.policy.transport.tcp_host = "10.0.0.1";
+  cfg.policy.transport.tcp_port = 7777;
+  cfg.policy.transport.tcp_verify_frames = true;
+  cfg.policy.transport.shm_ring_bytes = size_t{1} << 16;
+  const net::TransportOptions opts = ResolveTransportOptions(cfg);
+  EXPECT_EQ(opts.watchdog_ms, 5'000);
+  EXPECT_EQ(opts.tcp_host, "10.0.0.1");
+  EXPECT_EQ(opts.tcp_port, 7777);
+  EXPECT_TRUE(opts.tcp_verify_frames);
+  EXPECT_EQ(opts.shm_ring_bytes, size_t{1} << 16);
+}
+
+TEST(Simulation, DeprecatedTransportAliasesStillWin) {
+  // One-release compatibility: a legacy SimulationConfig field that was
+  // explicitly set (differs from its historical default) overrides
+  // policy.transport, so pre-fold callers behave unchanged.
+  SimulationConfig cfg;
+  cfg.policy = net::ExecutionPolicy::Tcp();
+  cfg.policy.transport.tcp_port = 7777;
+  cfg.tcp_port = 8888;                // explicitly set alias wins
+  cfg.tcp_host = "127.0.0.1";         // alias at its default: no override
+  cfg.policy.transport.tcp_host = "192.168.1.2";
+  cfg.process_watchdog_ms = 9'000;
+  const net::TransportOptions opts = ResolveTransportOptions(cfg);
+  EXPECT_EQ(opts.tcp_port, 8888);
+  EXPECT_EQ(opts.tcp_host, "192.168.1.2");
+  EXPECT_EQ(opts.watchdog_ms, 9'000);
+  // Untouched knobs keep the TransportOptions defaults.
+  EXPECT_FALSE(opts.tcp_verify_frames);
+  EXPECT_EQ(opts.shm_ring_bytes, size_t{1} << 20);
+}
+
 TEST(SimulationDeath, BadStrideAborts) {
   const grid::CommunityTrace trace =
       grid::GenerateCommunityTrace(SmallTrace(4, 2));

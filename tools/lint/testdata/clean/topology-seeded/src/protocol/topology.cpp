@@ -1,0 +1,16 @@
+// Fixture: elections keyed off a MixSeed-style side stream only — the
+// plan never names ProtocolContext or a ctx handle (mentions in
+// comments and strings, like these, must not fire).
+#include "crypto/rng.h"
+
+namespace pem::protocol {
+
+size_t ElectLeader(uint64_t level_seed, uint64_t ring_index, size_t m) {
+  const char* note = "never draw from ctx.rng in plan code";
+  (void)note;
+  crypto::DeterministicRng side(level_seed ^
+                                (ring_index * 0x9e37'79b9'7f4a'7c15ULL));
+  return static_cast<size_t>(side.NextU64() % m);
+}
+
+}  // namespace pem::protocol

@@ -1,0 +1,13 @@
+// Fixture: plan code reaching for the protocol RNG carrier.  A draw
+// through ctx here would shift every agent's randomness schedule
+// whenever the plan shape changes, breaking flat/hierarchical
+// bit-identity.
+#include "crypto/rng.h"
+
+namespace pem::protocol {
+
+struct ProtocolContext;  // finding: naming the carrier at all
+
+size_t ElectLeader(ProtocolContext& ctx, size_t ring_size);  // two findings
+
+}  // namespace pem::protocol
