@@ -7,6 +7,7 @@
 #include "net/shm_transport.h"
 #include "net/tcp_transport.h"
 #include "protocol/agent_driver.h"
+#include "protocol/window_scheduler.h"
 #include "util/error.h"
 #include "util/stopwatch.h"
 
@@ -190,49 +191,78 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
   net::AgentSupervisor& transport = *transport_owner;
   if (config.bus_observer) transport.SetObserver(config.bus_observer);
 
+  // Prepass (parent-side bookkeeping only — the children replay their
+  // own catch-up loops): battery dynamics AND the churn schedule
+  // advance through every window, mirroring the in-process loop
+  // exactly — skipping churn here let the parent's roster/epoch
+  // bookkeeping drift from the children's under churn + stride.  The
+  // sampled windows come out with their baseline records pre-built, so
+  // the dispatch loop below touches no parent state mid-batch.
+  struct PendingWindow {
+    int window = 0;
+    WindowRecord rec;
+    std::vector<grid::WindowState> states;
+  };
+  std::vector<PendingWindow> pending;
+  std::vector<int> sampled;
   for (int w = 0; w < trace.windows_per_day; ++w) {
+    ApplyChurn(config, w, parties, directory);
     std::vector<grid::WindowState> states =
         ResolveCommunityWindow(trace, w, batteries);
     if (!WindowSampled(config, w)) continue;
 
     const std::vector<market::AgentWindowInput> inputs =
         BuildWindowInputs(trace, states);
-    WindowRecord rec = BaselineRecord(w, inputs, config);
+    PendingWindow p;
+    p.window = w;
+    p.rec = BaselineRecord(w, inputs, config);
+    if (config.record_states) p.states = std::move(states);
+    pending.push_back(std::move(p));
+    sampled.push_back(w);
+  }
 
-    std::vector<net::TrafficStats> stats_before;
-    stats_before.reserve(static_cast<size_t>(num_homes));
-    for (net::AgentId a = 0; a < num_homes; ++a) {
-      stats_before.push_back(transport.stats(a));
+  // Batched dispatch: up to windows_in_flight kCtlCmdRun commands are
+  // pipelined per child; each child still executes its windows in
+  // order (per-window transcripts stay bit-identical to the serial
+  // loop), but children overlap with each other across the batch.
+  protocol::WindowScheduler scheduler({config.windows_in_flight, 1});
+  size_t next = 0;
+  for (const std::vector<int>& batch :
+       protocol::WindowScheduler::PlanBatches(sampled,
+                                              config.windows_in_flight)) {
+    const std::vector<protocol::CollectedWindow> collected =
+        scheduler.RunForkedBatch(transport, batch);
+    double batch_seconds = 0.0;
+    for (const protocol::CollectedWindow& cw : collected) {
+      PendingWindow& p = pending[next++];
+      PEM_CHECK(p.window == cw.window, "simulation: batch window mismatch");
+      WindowRecord rec = std::move(p.rec);
+      const protocol::WindowReport& report = cw.report;
+      rec.type = report.type;
+      rec.price = report.price;
+      rec.num_sellers = report.num_sellers;
+      rec.num_buyers = report.num_buyers;
+      rec.supply_total = report.supply_total;
+      rec.demand_total = report.demand_total;
+      rec.buyer_cost_pem = report.buyer_total_cost;
+      rec.grid_interaction_pem =
+          report.grid_import_kwh + report.grid_export_kwh;
+      // End-to-end wall clock in the parent: batch dispatch to this
+      // window's slowest child, IPC included.  In-flight windows share
+      // the span, so the day total charges each batch once (its max) —
+      // never the sum, which would double-count the overlap.
+      rec.runtime_seconds = cw.parent_seconds;
+      rec.bus_bytes = report.bus_bytes;
+      rec.rng_cursor = report.rng_cursor;
+      rec.audit = report.audit;
+      if (cw.parent_seconds > batch_seconds) batch_seconds = cw.parent_seconds;
+      result.total_bus_bytes += rec.bus_bytes;
+      result.windows.push_back(std::move(rec));
+      if (config.record_states) {
+        result.resolved_states.push_back(std::move(p.states));
+      }
     }
-    const Stopwatch timer;
-    net::ByteWriter cmd;
-    cmd.U32(static_cast<uint32_t>(w));
-    const std::vector<uint8_t> payload = cmd.Take();
-    transport.CommandAll(net::kCtlCmdRun, payload);
-    const protocol::WindowReport report =
-        protocol::CollectWindowReports(transport, stats_before);
-
-    rec.type = report.type;
-    rec.price = report.price;
-    rec.num_sellers = report.num_sellers;
-    rec.num_buyers = report.num_buyers;
-    rec.supply_total = report.supply_total;
-    rec.demand_total = report.demand_total;
-    rec.buyer_cost_pem = report.buyer_total_cost;
-    rec.grid_interaction_pem =
-        report.grid_import_kwh + report.grid_export_kwh;
-    // End-to-end wall clock in the parent: the window is done when its
-    // slowest child has reported, IPC included.
-    rec.runtime_seconds = timer.ElapsedSeconds();
-    rec.bus_bytes = report.bus_bytes;
-    rec.audit = report.audit;
-    result.total_runtime_seconds += rec.runtime_seconds;
-    result.total_bus_bytes += rec.bus_bytes;
-
-    result.windows.push_back(rec);
-    if (config.record_states) {
-      result.resolved_states.push_back(std::move(states));
-    }
+    result.total_runtime_seconds += batch_seconds;
   }
   transport.Shutdown();
   return result;
@@ -243,19 +273,20 @@ SimulationResult RunSimulationProcess(const grid::CommunityTrace& trace,
 net::TransportOptions ResolveTransportOptions(const SimulationConfig& config) {
   net::TransportOptions opts = config.policy.transport;
   // Deprecated SimulationConfig aliases, kept one release: a legacy
-  // field that was explicitly set (differs from its historical
-  // default) still wins, so pre-fold callers behave unchanged.
-  static const SimulationConfig kDefaults;
-  if (config.process_watchdog_ms != kDefaults.process_watchdog_ms) {
-    opts.watchdog_ms = config.process_watchdog_ms;
+  // field that was explicitly assigned wins — including one assigned
+  // its historical default (the optionals latch "was set", so
+  // e.g. tcp_port = 0 restoring auto-assign is honored instead of
+  // silently dropped, the old default-inequality precedence bug).
+  if (config.process_watchdog_ms.has_value()) {
+    opts.watchdog_ms = *config.process_watchdog_ms;
   }
-  if (config.tcp_host != kDefaults.tcp_host) opts.tcp_host = config.tcp_host;
-  if (config.tcp_port != kDefaults.tcp_port) opts.tcp_port = config.tcp_port;
-  if (config.tcp_verify_frames != kDefaults.tcp_verify_frames) {
-    opts.tcp_verify_frames = config.tcp_verify_frames;
+  if (config.tcp_host.has_value()) opts.tcp_host = *config.tcp_host;
+  if (config.tcp_port.has_value()) opts.tcp_port = *config.tcp_port;
+  if (config.tcp_verify_frames.has_value()) {
+    opts.tcp_verify_frames = *config.tcp_verify_frames;
   }
-  if (config.shm_ring_bytes != kDefaults.shm_ring_bytes) {
-    opts.shm_ring_bytes = config.shm_ring_bytes;
+  if (config.shm_ring_bytes.has_value()) {
+    opts.shm_ring_bytes = *config.shm_ring_bytes;
   }
   return opts;
 }
@@ -264,6 +295,7 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
                                const SimulationConfig& config) {
   PEM_CHECK(config.window_stride >= 1, "window stride must be >= 1");
   PEM_CHECK(config.window_offset >= 0, "window offset must be >= 0");
+  PEM_CHECK(config.windows_in_flight >= 1, "windows_in_flight must be >= 1");
   config.pem.market.Validate();
 
   if (config.engine == Engine::kCrypto &&
@@ -288,6 +320,13 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
   std::vector<protocol::Party> parties;
   crypto::PaillierPoolRegistry pools;
   protocol::KeyDirectory directory;
+  // Batched scheduling, in-process realization: one persistent worker
+  // team shared by every compute phase of the in-flight windows (the
+  // fork/join amortization), engaged through ctx.scheduler only when
+  // fused — windows_in_flight = 1 leaves the per-call ParallelFor
+  // pools, i.e. exactly the pre-batching engine.
+  protocol::WindowScheduler scheduler(
+      {config.windows_in_flight, config.policy.worker_count()});
   if (config.engine == Engine::kCrypto) {
     bus = net::MakeTransport(config.policy.transport_kind, num_homes);
     if (config.bus_observer) bus->SetObserver(config.bus_observer);
@@ -336,6 +375,7 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
                                         ? &pools
                                         : nullptr,
                                     config.policy, &directory};
+      ctx.scheduler = scheduler.fused() ? &scheduler : nullptr;
       const protocol::PemWindowResult out =
           protocol::RunPemWindow(ctx, parties, w);
       if (config.pem.precompute_encryption) {
@@ -368,6 +408,7 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
       rec.grid_interaction_pem = out.GridInteraction();
       rec.runtime_seconds = out.runtime_seconds;
       rec.bus_bytes = out.bus_bytes;
+      rec.rng_cursor = out.rng_cursor;
       rec.audit = out.audit;
       result.total_runtime_seconds += out.runtime_seconds;
       result.total_bus_bytes += out.bus_bytes;

@@ -71,15 +71,21 @@ struct SimulationConfig {
   // DEPRECATED backend-knob aliases — the per-backend tuning moved
   // into net::TransportOptions (config.policy.transport), so one
   // ExecutionPolicy object fully specifies a backend.  These five
-  // fields are kept for exactly one release: a value that differs
-  // from its historical default still wins over policy.transport (see
-  // ResolveTransportOptions), so existing callers keep working
-  // unchanged.  New code sets config.policy.transport.* instead.
-  int process_watchdog_ms = 120'000;        // -> policy.transport.watchdog_ms
-  std::string tcp_host = "127.0.0.1";       // -> policy.transport.tcp_host
-  uint16_t tcp_port = 0;                    // -> policy.transport.tcp_port
-  bool tcp_verify_frames = false;  // -> policy.transport.tcp_verify_frames
-  size_t shm_ring_bytes = size_t{1} << 20;  // -> policy.transport.shm_ring_bytes
+  // fields are kept for exactly one release: a field that was
+  // explicitly ASSIGNED wins over policy.transport, even when assigned
+  // its historical default (optional-backed so "set back to the
+  // default" is distinguishable from "never touched" — the old
+  // default-inequality precedence silently dropped e.g. tcp_port = 0
+  // restoring auto-assign).  New code sets config.policy.transport.*
+  // instead.  Historical defaults, applied by ResolveTransportOptions
+  // only when a field was set: watchdog 120'000 ms, host "127.0.0.1",
+  // port 0 (auto), verify_frames false, ring 1 MiB.
+  std::optional<int> process_watchdog_ms;  // -> policy.transport.watchdog_ms
+  std::optional<std::string> tcp_host;     // -> policy.transport.tcp_host
+  std::optional<uint16_t> tcp_port;        // -> policy.transport.tcp_port
+  std::optional<bool> tcp_verify_frames;
+  // -> policy.transport.tcp_verify_frames
+  std::optional<size_t> shm_ring_bytes;  // -> policy.transport.shm_ring_bytes
   // Optional tap on every delivered bus message (crypto engine only);
   // used for transcript comparison and debugging.  The callback may
   // run under the transport's lock, so it must not call back into the
@@ -90,6 +96,16 @@ struct SimulationConfig {
   // runs skip the inactive early-morning windows.
   int window_stride = 1;
   int window_offset = 0;
+  // Batched multi-window scheduling (protocol::WindowScheduler): up to
+  // this many sampled windows are kept in flight (>= 1).  Randomness
+  // and sends stay sequential per window — every window's wire
+  // transcript, prices, trades, ledger bytes, and rng cursors are
+  // bit-identical to the serial loop's (the serial-vs-batched parity
+  // wall) — but compute phases share one persistent worker fan-out
+  // in-process, and the forked backends pipeline kCtlCmdRun dispatch
+  // so children overlap across windows.  1 (the default) is exactly
+  // the serial loop.
+  int windows_in_flight = 1;
   // Record each home's resolved WindowState (needed by the utility
   // figure); costs memory on big traces.
   bool record_states = false;
@@ -113,9 +129,17 @@ struct WindowRecord {
   double buyer_cost_baseline = 0.0;
   double grid_interaction_pem = 0.0;
   double grid_interaction_baseline = 0.0;
-  // Crypto engine only:
+  // Crypto engine only.  With windows_in_flight > 1 on a forked
+  // backend, runtime_seconds spans the batch's dispatch to THIS
+  // window's completion — overlapping windows share wall clock, and
+  // total_runtime_seconds charges each batch once (its max), so the
+  // total never double-counts overlap (total <= Σ per-window spans).
   double runtime_seconds = 0.0;
   uint64_t bus_bytes = 0;
+  // crypto::Rng::Cursor() after the window's last protocol draw: the
+  // stream position every engine, backend, and window schedule must
+  // agree on bit-for-bit (0 for the plaintext engine).
+  uint64_t rng_cursor = 0;
   // §VI audit outcome for this window (crypto engine with
   // pem.audit.enabled): whether it was audited, by whom, and any
   // detected cheats (the cheaters were excluded mid-window).
@@ -140,9 +164,10 @@ SimulationResult RunSimulation(const grid::CommunityTrace& trace,
 
 // The backend tuning a run will actually use: config.policy.transport,
 // overridden by any deprecated SimulationConfig alias that was
-// explicitly set (i.e. differs from its historical default).  Exposed
-// so the alias-compat tests can assert the folding without forking a
-// backend; RunSimulation's process paths call exactly this.
+// explicitly assigned (optional engaged) — including one assigned its
+// historical default.  Exposed so the alias-compat tests can assert
+// the folding without forking a backend; RunSimulation's process paths
+// call exactly this.
 net::TransportOptions ResolveTransportOptions(const SimulationConfig& config);
 
 }  // namespace pem::core

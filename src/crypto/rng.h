@@ -19,6 +19,14 @@ class Rng {
   // Fills `out` with random bytes.
   virtual void Fill(std::span<uint8_t> out) = 0;
 
+  // Position in the stream: total bytes drawn so far.  Meaningful (and
+  // stable across processes) only for deterministic streams — the
+  // parity walls compare cursors across engines, backends, and window
+  // schedules to prove no draw was reordered.  Non-deterministic
+  // sources report 0.  Non-destructive: probing never advances the
+  // stream.
+  virtual uint64_t Cursor() const { return 0; }
+
   // Uniform 64-bit draw.
   uint64_t NextU64();
 };
@@ -38,6 +46,12 @@ class DeterministicRng final : public Rng {
   explicit DeterministicRng(uint64_t seed);
 
   void Fill(std::span<uint8_t> out) override;
+
+  // Bytes drawn since construction: full blocks consumed plus the
+  // position inside the current one.
+  uint64_t Cursor() const override {
+    return counter_ == 0 ? 0 : (counter_ - 1) * 32 + pos_;
+  }
 
  private:
   void Refill();

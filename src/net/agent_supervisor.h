@@ -49,6 +49,15 @@ namespace pem::net {
 
 // Record tags on the per-child control channel.  Commands flow parent
 // -> child, reports child -> parent.
+//
+// Report keying: the channel is FIFO, so a child's kCtlRepWindow
+// records answer its kCtlCmdRun commands strictly in order — but the
+// parent may pipeline several Run commands per child (batched
+// multi-window scheduling), and different children progress through
+// the batch at different rates.  Each report therefore ECHOES the
+// window id it answers (protocol::WindowReport::window); the parent
+// keys collection on the echo and rejects any mismatch as a stale
+// report, instead of trusting queue position alone.
 inline constexpr uint32_t kCtlCmdRun = 1;       // payload: command-defined
 inline constexpr uint32_t kCtlCmdShutdown = 2;  // child replies Done + exits
 inline constexpr uint32_t kCtlRepWindow = 3;    // payload: a window report

@@ -45,6 +45,7 @@ bool SameDouble(double a, double b) {
 
 bool SameReport(const WindowReport& a, const WindowReport& b) {
   if (a.audit != b.audit) return false;
+  if (a.window != b.window || a.rng_cursor != b.rng_cursor) return false;
   if (a.type != b.type || !SameDouble(a.price, b.price) ||
       !SameDouble(a.supply_total, b.supply_total) ||
       !SameDouble(a.demand_total, b.demand_total) ||
@@ -71,6 +72,7 @@ bool SameReport(const WindowReport& a, const WindowReport& b) {
 
 std::vector<uint8_t> EncodeWindowReport(const WindowReport& report) {
   net::ByteWriter w;
+  w.I64(report.window);
   w.U32(static_cast<uint32_t>(report.type));
   w.F64(report.price);
   w.F64(report.supply_total);
@@ -89,6 +91,7 @@ std::vector<uint8_t> EncodeWindowReport(const WindowReport& report) {
   }
   w.F64(report.runtime_seconds);
   w.U64(report.bus_bytes);
+  w.U64(report.rng_cursor);
   w.U8(report.audit.audited ? 1 : 0);
   w.I64(report.audit.auditor);
   w.U32(static_cast<uint32_t>(report.audit.faults.size()));
@@ -105,6 +108,7 @@ std::vector<uint8_t> EncodeWindowReport(const WindowReport& report) {
 WindowReport DecodeWindowReport(std::span<const uint8_t> bytes) {
   net::ByteReader r(bytes);
   WindowReport report;
+  report.window = static_cast<int>(r.I64());
   report.type = static_cast<market::MarketType>(r.U32());
   report.price = r.F64();
   report.supply_total = r.F64();
@@ -126,6 +130,7 @@ WindowReport DecodeWindowReport(std::span<const uint8_t> bytes) {
   }
   report.runtime_seconds = r.F64();
   report.bus_bytes = r.U64();
+  report.rng_cursor = r.U64();
   report.audit.audited = r.U8() != 0;
   report.audit.auditor = static_cast<net::AgentId>(r.I64());
   const uint32_t faults = r.U32();
@@ -161,6 +166,7 @@ WindowReport AgentDriver::RunWindow(int window) {
   const PemWindowResult result = RunPemWindow(ctx_, parties_, window);
 
   WindowReport report;
+  report.window = window;
   report.type = result.type;
   report.price = result.price;
   report.supply_total = result.supply_total;
@@ -175,15 +181,21 @@ WindowReport AgentDriver::RunWindow(int window) {
   report.trades = result.trades;
   report.runtime_seconds = result.runtime_seconds;
   report.bus_bytes = result.bus_bytes;
+  report.rng_cursor = result.rng_cursor;
   report.audit = result.audit;
   report.self_stats = Delta(ctx_.ep(self_).stats(), before);
-  // Driver-level cheat: this child forges its attested traffic before
-  // shipping the report.  Only the cheater's own process lies — its
-  // peers report honestly — so the parent's wire-vs-attested
-  // cross-check in CollectWindowReports is what must catch it.
-  if (ctx_.config.cheat.ActiveFor(self_, window) &&
-      ctx_.config.cheat.cheat == CheatClass::kForgedReport) {
-    report.self_stats.bytes_sent += 7;
+  // Driver-level cheats: only the cheater's own process lies — its
+  // peers report honestly — so the parent's cross-checks in
+  // CollectWindowReportsBatch are what must catch them.
+  if (ctx_.config.cheat.ActiveFor(self_, window)) {
+    if (ctx_.config.cheat.cheat == CheatClass::kForgedReport) {
+      // Forged attested traffic vs the router's wire bytes.
+      report.self_stats.bytes_sent += 7;
+    } else if (ctx_.config.cheat.cheat == CheatClass::kStaleReport) {
+      // Replays the previous window's id: the report no longer answers
+      // the command it follows, which the parent's echo check rejects.
+      report.window = window - 1;
+    }
   }
   return report;
 }
@@ -214,48 +226,95 @@ int AgentDriver::Serve(net::ControlChannel& ctl) {
   }
 }
 
-WindowReport CollectWindowReports(
+std::vector<CollectedWindow> CollectWindowReportsBatch(
     net::AgentSupervisor& transport,
-    std::span<const net::TrafficStats> stats_before) {
+    std::span<const net::TrafficStats> stats_before,
+    std::span<const int> windows, const Stopwatch* since) {
   const int n = transport.num_agents();
   PEM_CHECK(stats_before.size() == static_cast<size_t>(n),
             "collect: stats snapshot size mismatch");
-  std::vector<WindowReport> reports;
-  reports.reserve(static_cast<size_t>(n));
-  for (net::AgentId a = 0; a < n; ++a) {
-    const net::ControlRecord rec = transport.ReadRecord(a);
-    PEM_CHECK(rec.tag == net::kCtlRepWindow,
-              "collect: child sent a non-report record");
-    reports.push_back(DecodeWindowReport(rec.payload));
-  }
-  // Every child has reported, so every frame of the window has been
-  // consumed.  Relay-routed backends account a frame before delivering
-  // it, so their ledgers are already complete; the shm backend's
-  // accounting tap trails delivery and must be drained to the write
-  // cursors before the cross-check below reads the ledger.
-  transport.SyncLedger();
-  // (a) Every independent process derived the same public outcome.  A
-  // divergent child is lying about (or wrong about) the window — an
-  // active deviation, surfaced as a structured fault naming it rather
-  // than an abort.
-  for (net::AgentId a = 1; a < n; ++a) {
-    if (!SameReport(reports[0], reports[static_cast<size_t>(a)])) {
-      throw ProtocolError(ProtocolFault{
-          a, CheatClass::kForgedReport, -1,
-          "window report diverges from agent 0's"});
+  PEM_CHECK(!windows.empty(), "collect: empty window batch");
+  // Each child's control stream yields its reports in commanded order,
+  // so window k's report is the k-th record of every agent — but the
+  // agents progress through the batch independently, so the reads
+  // below interleave their windows out of order in wall-clock terms.
+  // The echoed window id is what proves each record really answers the
+  // command the parent keys it to.
+  std::vector<CollectedWindow> out;
+  out.reserve(windows.size());
+  // attested_sum[a]: this agent's summed per-window attested deltas,
+  // for the batch-granularity wire cross-check below.
+  std::vector<net::TrafficStats> attested_sum(static_cast<size_t>(n));
+  uint64_t ledger_total = 0;
+  for (const int w : windows) {
+    std::vector<WindowReport> reports;
+    reports.reserve(static_cast<size_t>(n));
+    for (net::AgentId a = 0; a < n; ++a) {
+      const net::ControlRecord rec = transport.ReadRecord(a);
+      PEM_CHECK(rec.tag == net::kCtlRepWindow,
+                "collect: child sent a non-report record");
+      WindowReport report = DecodeWindowReport(rec.payload);
+      // (a) The echo check: a report that names any window other than
+      // the commanded one is stale (replayed, or a child that lost
+      // sync) and must never be merged.  An active deviation, surfaced
+      // as a structured fault naming the agent rather than an abort.
+      if (report.window != w) {
+        throw ProtocolError(ProtocolFault{
+            a, CheatClass::kStaleReport, w,
+            "report echoes window " + std::to_string(report.window) +
+                ", parent commanded window " + std::to_string(w)});
+      }
+      reports.push_back(std::move(report));
     }
+    // (b) Every independent process derived the same public outcome
+    // (including the rng cursor).  A divergent child is lying about
+    // (or wrong about) the window.
+    for (net::AgentId a = 1; a < n; ++a) {
+      if (!SameReport(reports[0], reports[static_cast<size_t>(a)])) {
+        throw ProtocolError(ProtocolFault{
+            a, CheatClass::kForgedReport, w,
+            "window report diverges from agent 0's"});
+      }
+    }
+    for (net::AgentId a = 0; a < n; ++a) {
+      const net::TrafficStats& s = reports[static_cast<size_t>(a)].self_stats;
+      net::TrafficStats& sum = attested_sum[static_cast<size_t>(a)];
+      sum.bytes_sent += s.bytes_sent;
+      sum.bytes_received += s.bytes_received;
+      sum.messages_sent += s.messages_sent;
+      sum.messages_received += s.messages_received;
+    }
+    ledger_total += reports[0].bus_bytes;
+
+    CollectedWindow cw;
+    cw.window = w;
+    cw.report = reports[0];
+    // The window is done when its slowest agent is: report the max.
+    for (const WindowReport& rep : reports) {
+      if (rep.runtime_seconds > cw.report.runtime_seconds) {
+        cw.report.runtime_seconds = rep.runtime_seconds;
+      }
+    }
+    // Parent-side completion stamp: dispatch of the batch to this
+    // window's last report.  In-flight windows share the span.
+    if (since != nullptr) cw.parent_seconds = since->ElapsedSeconds();
+    out.push_back(std::move(cw));
   }
-  // (b) Canonical accounting == literal socket traffic.  All children
-  // have reported, so every frame of the window has been consumed and
-  // the router ledger is complete.  A child whose self-attested delta
-  // disagrees with the bytes the router actually moved for it forged
-  // its report.
+  // Every child has reported every window of the batch, so every frame
+  // is consumed.  Relay-routed backends account a frame before
+  // delivering it, so their ledgers are already complete; the shm
+  // backend's accounting tap trails delivery and must be drained to
+  // the write cursors before the cross-checks below read the ledger.
+  transport.SyncLedger();
+  // (c) Canonical accounting == literal socket traffic, closed over
+  // the batch: a child whose summed attested deltas disagree with the
+  // bytes the router actually moved for it forged a report.  (With one
+  // window in flight this is exactly the per-window check.)
   uint64_t wire_total = 0;
   for (net::AgentId a = 0; a < n; ++a) {
     const net::TrafficStats wire =
         Delta(transport.stats(a), stats_before[static_cast<size_t>(a)]);
-    const net::TrafficStats& attested =
-        reports[static_cast<size_t>(a)].self_stats;
+    const net::TrafficStats& attested = attested_sum[static_cast<size_t>(a)];
     if (!(wire == attested)) {
       throw ProtocolError(ProtocolFault{
           a, CheatClass::kForgedReport, -1,
@@ -265,21 +324,22 @@ WindowReport CollectWindowReports(
     }
     wire_total += wire.bytes_sent;
   }
-  if (wire_total != reports[0].bus_bytes) {
+  if (wire_total != ledger_total) {
     throw ProtocolError(ProtocolFault{
         -1, CheatClass::kForgedReport, -1,
-        "window wire total " + std::to_string(wire_total) +
-            " != canonical ledger " + std::to_string(reports[0].bus_bytes)});
+        "batch wire total " + std::to_string(wire_total) +
+            " != canonical ledger " + std::to_string(ledger_total)});
   }
+  return out;
+}
 
-  WindowReport merged = reports[0];
-  // The window is done when its slowest agent is: report the max.
-  for (const WindowReport& rep : reports) {
-    if (rep.runtime_seconds > merged.runtime_seconds) {
-      merged.runtime_seconds = rep.runtime_seconds;
-    }
-  }
-  return merged;
+WindowReport CollectWindowReports(
+    net::AgentSupervisor& transport,
+    std::span<const net::TrafficStats> stats_before, int expected_window) {
+  const int windows[] = {expected_window};
+  return CollectWindowReportsBatch(transport, stats_before, windows)
+      .front()
+      .report;
 }
 
 }  // namespace pem::protocol

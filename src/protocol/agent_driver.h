@@ -26,6 +26,7 @@
 #include "net/message.h"
 #include "net/transport.h"
 #include "protocol/pem_protocol.h"
+#include "util/stopwatch.h"
 
 namespace pem::net {
 // Supervision control plane (net/agent_supervisor.h).  Only referenced
@@ -44,6 +45,12 @@ namespace pem::protocol {
 // messages the script derives for everyone), so all children must
 // report identical values — CollectWindowReports asserts exactly that.
 struct WindowReport {
+  // The window this report answers, echoed from the kCtlCmdRun payload.
+  // The parent rejects a mismatch (a slow or replayed report from a
+  // prior window must never be merged silently) — and with several
+  // windows in flight the echo is what keys each report to its
+  // command.  -1 until RunWindow fills it.
+  int window = -1;
   market::MarketType type = market::MarketType::kNoMarket;
   double price = 0.0;
   double supply_total = 0.0;
@@ -56,6 +63,11 @@ struct WindowReport {
   std::vector<Trade> trades;
   double runtime_seconds = 0.0;  // this child's wall clock for the window
   uint64_t bus_bytes = 0;        // canonical ledger delta for the window
+  // crypto::Rng::Cursor() after the window's last draw.  Every child
+  // replays the same deterministic stream, so the cursors must agree
+  // bit-for-bit — and the serial-vs-batched parity wall compares them
+  // across schedules to prove batching never reorders a draw.
+  uint64_t rng_cursor = 0;
   // §VI audit outcome: derived identically by every replaying child
   // (the cheat plan is part of the fork-copied config), so it joins the
   // fields CollectWindowReports requires bit-level agreement on.
@@ -106,18 +118,48 @@ class AgentDriver {
   Callbacks callbacks_;
 };
 
-// Parent side: reads one window report from every child and merges
-// them, asserting (a) all children agree on every public field and
-// (b) each child's canonical self-byte delta equals the literal socket
-// bytes the router relayed for that agent since `stats_before` — the
-// out-of-process parity wall that runs on every window, not just in
-// tests, for both the fork-over-socketpair and the TCP backend.
+// One collected window of a (possibly pipelined) batch: the merged,
+// cross-checked report plus the parent-side wall clock from the
+// batch's dispatch to this window's last report.  Overlapping windows
+// share that span, so callers charge a batch's elapsed time once (the
+// max over the batch), never the sum.
+struct CollectedWindow {
+  int window = -1;
+  WindowReport report;
+  double parent_seconds = 0.0;
+};
+
+// Parent side of a batch of pipelined windows: for each entry of
+// `windows` (the commanded order) reads one report from every child,
+// keyed and verified by the echoed window id, and merges them,
+// asserting
+//  (a) each report answers the commanded window — a stale echo is a
+//      structured kStaleReport fault naming the agent;
+//  (b) all children agree on every public field (including the rng
+//      cursor) — a divergence is a kForgedReport fault;
+//  (c) accounting closes over the batch: each child's summed attested
+//      deltas equal the literal wire bytes the router relayed for it
+//      since `stats_before`, and the attested per-window totals sum to
+//      the canonical ledger delta.  (Per-window router snapshots are
+//      meaningless mid-batch — later in-flight windows' frames are
+//      already moving — so the wire cross-check closes at batch
+//      granularity; a one-window batch is exactly the per-window
+//      check.)
 // `stats_before` is the router's per-agent snapshot taken when the
-// window was scheduled.  A divergence is an ACTIVE cheat (a child
-// forging its report or its attested byte counts), so it surfaces as a
+// batch was dispatched; `since` (optional) stamps each window's
+// parent_seconds as it completes.  A divergence is an ACTIVE cheat (a
+// child forging or replaying its report), so it surfaces as a
 // ProtocolError naming the deviating agent, not an abort.
+std::vector<CollectedWindow> CollectWindowReportsBatch(
+    net::AgentSupervisor& transport,
+    std::span<const net::TrafficStats> stats_before,
+    std::span<const int> windows, const Stopwatch* since = nullptr);
+
+// One-window wrapper (the serial loop's collector): collects
+// `expected_window` and returns the merged report — the batch
+// collector with a single outstanding window.
 WindowReport CollectWindowReports(
     net::AgentSupervisor& transport,
-    std::span<const net::TrafficStats> stats_before);
+    std::span<const net::TrafficStats> stats_before, int expected_window);
 
 }  // namespace pem::protocol

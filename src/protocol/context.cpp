@@ -1,6 +1,7 @@
 #include "protocol/context.h"
 
 #include "protocol/key_directory.h"
+#include "protocol/window_scheduler.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -70,8 +71,16 @@ std::vector<crypto::PaillierCiphertext> ComputeEncryptions(
     const ProtocolContext& ctx, const crypto::PaillierPublicKey& pk,
     std::span<const EncryptionSlot> slots) {
   std::vector<crypto::PaillierCiphertext> out(slots.size());
-  ParallelFor(0, slots.size(), ctx.policy.worker_count(),
-              [&](size_t i) { out[i] = ComputeEncryption(pk, slots[i]); });
+  const auto compute = [&](size_t i) { out[i] = ComputeEncryption(pk, slots[i]); };
+  if (ctx.scheduler != nullptr && ctx.scheduler->fused()) {
+    // Batched scheduling: the fan-out runs on the scheduler's
+    // persistent team, amortizing fork/join across every compute phase
+    // of the in-flight windows.  Identical iteration results either
+    // way — phase 1 fixed all randomness already.
+    ctx.scheduler->ParallelFor(0, slots.size(), compute);
+  } else {
+    ParallelFor(0, slots.size(), ctx.policy.worker_count(), compute);
+  }
   return out;
 }
 

@@ -40,6 +40,7 @@
 namespace pem::protocol {
 
 class KeyDirectory;
+class WindowScheduler;
 
 // Message type tags.  The high half namespaces the subsystem ("PE").
 inline constexpr uint32_t kMsgRingHop = 0x5045'0001;
@@ -86,6 +87,13 @@ struct ProtocolContext {
   // The window RunPemWindow is currently executing (set by it); the
   // audit round and the cheat plan key off this.
   int window = 0;
+  // Batched multi-window scheduler (protocol/window_scheduler.h).
+  // When set and fused(), the compute phases (ComputeEncryptions and
+  // Private Distribution's ratio fan-out) run on its persistent worker
+  // team instead of forking a fresh pem::ParallelFor pool per call —
+  // the fork/join amortization across in-flight windows.  Null (the
+  // default): per-call pools, the pre-batching engine exactly.
+  WindowScheduler* scheduler = nullptr;
 
   // The handle of the agent currently acting.
   net::Endpoint& ep(net::AgentId id) const {

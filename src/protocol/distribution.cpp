@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "protocol/coin_flip.h"
+#include "protocol/window_scheduler.h"
 #include "util/error.h"
 #include "util/fixed_point.h"
 #include "util/parallel.h"
@@ -68,14 +69,21 @@ std::vector<double> ComputeRatios(ProtocolContext& ctx,
     rerand_slots.push_back(PrepareEncryption(ctx, pk, 0, &parties[m]));
   }
   std::vector<crypto::PaillierCiphertext> ratio_cts(ratio_members.size());
-  ParallelFor(0, ratio_members.size(), ctx.policy.worker_count(),
-              [&](size_t i) {
-                // Enc(0) hides the scalar from the wire; one fused
-                // fan-out covers both exponentiations per member.
-                ratio_cts[i] =
-                    pk.Add(pk.ScalarMul(enc_total, scalars[i]),
-                           ComputeEncryption(pk, rerand_slots[i]));
-              });
+  const auto compute_ratio = [&](size_t i) {
+    // Enc(0) hides the scalar from the wire; one fused fan-out covers
+    // both exponentiations per member.
+    ratio_cts[i] = pk.Add(pk.ScalarMul(enc_total, scalars[i]),
+                          ComputeEncryption(pk, rerand_slots[i]));
+  };
+  if (ctx.scheduler != nullptr && ctx.scheduler->fused()) {
+    // Batched scheduling: reuse the scheduler's persistent team (see
+    // ComputeEncryptions) — randomness was fixed above, sends follow
+    // sequentially, so the transcript cannot move.
+    ctx.scheduler->ParallelFor(0, ratio_members.size(), compute_ratio);
+  } else {
+    ParallelFor(0, ratio_members.size(), ctx.policy.worker_count(),
+                compute_ratio);
+  }
   for (size_t i = 0; i < ratio_members.size(); ++i) {
     const size_t m = ratio_members[i];
     net::ByteWriter w;

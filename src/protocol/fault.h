@@ -39,8 +39,13 @@ enum class CheatClass : uint8_t {
   // Two different public keys announced for the same epoch.
   kKeyEquivocation = 5,
   // A child's window report diverges from the canonical ledger or from
-  // its peers (parent-side CollectWindowReports cross-check).
+  // its peers (parent-side CollectWindowReportsBatch cross-check).
   kForgedReport = 6,
+  // A child's report echoes a window other than the one the parent
+  // commanded — a replayed/stale report, which the window-id echo in
+  // WindowReport exists to reject (and which keys out-of-order
+  // collection when several windows are in flight).
+  kStaleReport = 7,
 };
 
 inline const char* CheatClassName(CheatClass c) {
@@ -53,6 +58,7 @@ inline const char* CheatClassName(CheatClass c) {
     case CheatClass::kForgedByteCount: return "forged_byte_count";
     case CheatClass::kKeyEquivocation: return "key_equivocation";
     case CheatClass::kForgedReport: return "forged_report";
+    case CheatClass::kStaleReport: return "stale_report";
   }
   return "unknown";
 }

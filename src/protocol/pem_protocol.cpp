@@ -90,6 +90,9 @@ PemWindowResult RunPemWindow(ProtocolContext& ctx, std::span<Party> parties,
 
   result.runtime_seconds = timer.ElapsedSeconds();
   result.bus_bytes = net::TotalBytesSent(ctx.endpoints) - bytes_before;
+  // Measured before the idle-time pool refill (which draws too), so
+  // every engine and schedule probes the identical stream position.
+  result.rng_cursor = ctx.rng.Cursor();
   return result;
 }
 

@@ -36,6 +36,10 @@ struct PemWindowResult {
   // Window-level measurements (Figs. 5a-c, Table I).
   double runtime_seconds = 0.0;
   uint64_t bus_bytes = 0;
+  // ctx.rng.Cursor() after the window's last draw (0 for
+  // non-deterministic rngs): the serial-vs-batched and cross-backend
+  // parity walls compare these to prove no schedule reorders a draw.
+  uint64_t rng_cursor = 0;
 
   // §VI audit round result: whether this window was audited, by whom,
   // and every detected cheat (the cheaters were excluded before the

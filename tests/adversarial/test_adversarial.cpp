@@ -190,7 +190,7 @@ AdvRun RunAuditedWindowForked(net::TransportKind kind,
   cmd.U32(0);
   owner->CommandAll(net::kCtlCmdRun, cmd.Take());
   const protocol::WindowReport report =
-      protocol::CollectWindowReports(*owner, before);
+      protocol::CollectWindowReports(*owner, before, 0);
   owner->SetObserver(nullptr);
   owner->Shutdown();
   owner.reset();
@@ -417,6 +417,32 @@ TEST(AdversarialWall, ForgedReportCaughtByParentOnEveryForkedBackend) {
     } catch (const protocol::ProtocolError& e) {
       EXPECT_EQ(e.fault().cheater, kCheater);
       EXPECT_EQ(e.fault().cheat, CheatClass::kForgedReport);
+    }
+    ExpectNoZombies();
+  }
+}
+
+TEST(AdversarialWall, StaleReportEchoRejectedOnEveryForkedBackend) {
+  // The cheater's child answers the Run command with a report stamped
+  // for the PREVIOUS window.  With batched dispatch the parent keys
+  // collection on the echoed window id, so a stale echo must be
+  // rejected as a structured fault BEFORE the cross-child agreement or
+  // byte cross-checks get a chance to compare apples to oranges.
+  const protocol::PemConfig cfg =
+      AuditedConfig({kCheater, CheatClass::kStaleReport, 0});
+  for (net::TransportKind kind :
+       {net::TransportKind::kProcess, net::TransportKind::kTcp,
+        net::TransportKind::kShm}) {
+    try {
+      (void)RunAuditedWindowForked(kind, cfg);
+      FAIL() << "stale report echo not detected";
+    } catch (const protocol::ProtocolError& e) {
+      EXPECT_EQ(e.fault().cheater, kCheater);
+      EXPECT_EQ(e.fault().cheat, CheatClass::kStaleReport);
+      EXPECT_EQ(e.fault().window, 0);
+      EXPECT_NE(std::string(e.what()).find("stale_report"),
+                std::string::npos)
+          << e.what();
     }
     ExpectNoZombies();
   }

@@ -27,6 +27,7 @@
 // misses nothing.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -275,7 +276,7 @@ WindowRun RunWindowForked(net::TransportKind kind, uint64_t seed,
     cmd.U32(static_cast<uint32_t>(w));
     const std::vector<uint8_t> payload = cmd.Take();
     transport.CommandAll(net::kCtlCmdRun, payload);
-    return protocol::CollectWindowReports(transport, before);
+    return protocol::CollectWindowReports(transport, before, w);
   };
   if (pooled) {
     // Warm-up window registers keys and pools; only the second window
@@ -469,7 +470,11 @@ struct SimRun {
   core::SimulationResult result;
 };
 
-SimRun RunSim(const net::ExecutionPolicy& policy) {
+// Optional per-test knob hook (batching width, pools, audits, churn).
+using ConfigTweak = std::function<void(core::SimulationConfig&)>;
+
+SimRun RunSim(const net::ExecutionPolicy& policy,
+              const ConfigTweak& tweak = {}) {
   grid::TraceConfig tc;
   tc.num_homes = 10;
   tc.windows_per_day = 6;
@@ -484,6 +489,7 @@ SimRun RunSim(const net::ExecutionPolicy& policy) {
   cfg.bus_observer = [&run](const net::Message& m) {
     run.messages.push_back(m);
   };
+  if (tweak) tweak(cfg);
   run.result = core::RunSimulation(trace, cfg);
   return run;
 }
@@ -495,12 +501,22 @@ void ExpectSimParity(const SimRun& serial, const SimRun& other,
   for (size_t w = 0; w < serial.result.windows.size(); ++w) {
     const core::WindowRecord& a = serial.result.windows[w];
     const core::WindowRecord& b = other.result.windows[w];
+    EXPECT_EQ(b.window, a.window) << w;
     EXPECT_EQ(b.type, a.type) << w;
     EXPECT_DOUBLE_EQ(b.price, a.price) << w;
     EXPECT_EQ(b.bus_bytes, a.bus_bytes) << w;
     EXPECT_EQ(b.num_sellers, a.num_sellers) << w;
     EXPECT_EQ(b.num_buyers, a.num_buyers) << w;
     EXPECT_DOUBLE_EQ(b.buyer_cost_pem, a.buyer_cost_pem) << w;
+    // The rng stream position after the window's last protocol draw:
+    // the strongest cheap witness that no engine, backend, or window
+    // schedule moved a single random byte.
+    EXPECT_EQ(b.rng_cursor, a.rng_cursor) << w;
+    // Audit outcomes (who audited, what they found) are part of the
+    // transcript too.
+    EXPECT_EQ(b.audit.audited, a.audit.audited) << w;
+    EXPECT_EQ(b.audit.auditor, a.audit.auditor) << w;
+    EXPECT_EQ(b.audit.faults.size(), a.audit.faults.size()) << w;
   }
   EXPECT_EQ(other.result.total_bus_bytes, serial.result.total_bus_bytes);
 
@@ -543,6 +559,146 @@ TEST(TranscriptParity, FullTradingDaySerialVsTcp) {
   const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
   const SimRun tcp = RunSim(net::ExecutionPolicy::Tcp());
   ExpectSimParity(serial, tcp, /*strict_order=*/false);
+}
+
+// --- serial-vs-batched parity (windows_in_flight > 1) -----------------
+//
+// The batched scheduler (protocol::WindowScheduler) keeps several
+// sampled windows in flight: in-process it fuses their compute phases
+// onto one persistent worker team, on the forked backends it pipelines
+// kCtlCmdRun dispatch so children overlap across windows.  Randomness
+// and sends stay sequential per window, so every row below must be
+// BIT-identical to the windows_in_flight = 1 run: prices, trades,
+// per-window ledger bytes, and rng cursors.
+
+const ConfigTweak kBatch4 = [](core::SimulationConfig& c) {
+  c.windows_in_flight = 4;
+};
+
+TEST(TranscriptParity, BatchedDayMatchesSerialInProcess) {
+  // serial-bus / concurrent-bus / socket, all batched 4 wide, against
+  // the windows_in_flight = 1 serial baseline.  The concurrent row is
+  // the fused one (batched AND parallel compute); the other two prove
+  // the scheduler is inert when there is no team to fuse onto.
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
+  const SimRun bus = RunSim(net::ExecutionPolicy::Serial(), kBatch4);
+  const SimRun fused = RunSim(net::ExecutionPolicy::Parallel(4), kBatch4);
+  const SimRun socket = RunSim(net::ExecutionPolicy::Socket(4), kBatch4);
+  ExpectSimParity(serial, bus);
+  ExpectSimParity(serial, fused);
+  ExpectSimParity(serial, socket);
+}
+
+TEST(TranscriptParity, BatchedDayMatchesSerialForked) {
+  // process / tcp / shm with four windows of control traffic in
+  // flight: children overlap whole windows, reports come back keyed by
+  // their echoed window id, and the day still reads exactly like the
+  // serial one.
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial());
+  const SimRun process = RunSim(net::ExecutionPolicy::Process(), kBatch4);
+  const SimRun tcp = RunSim(net::ExecutionPolicy::Tcp(), kBatch4);
+  const SimRun shm = RunSim(net::ExecutionPolicy::Shm(), kBatch4);
+  ExpectSimParity(serial, process, /*strict_order=*/false);
+  ExpectSimParity(serial, tcp, /*strict_order=*/false);
+  ExpectSimParity(serial, shm, /*strict_order=*/false);
+  // Runtime attribution under overlap: each window's span runs from
+  // its batch's dispatch to its own completion, and the day total
+  // charges each batch once — so the total can never exceed the sum
+  // of per-window spans (the windows genuinely share wall clock).
+  double span_sum = 0.0;
+  for (const core::WindowRecord& rec : process.result.windows) {
+    EXPECT_GT(rec.runtime_seconds, 0.0) << rec.window;
+    span_sum += rec.runtime_seconds;
+  }
+  EXPECT_LE(process.result.total_runtime_seconds, span_sum + 1e-9);
+}
+
+TEST(TranscriptParity, BatchedPooledDayMatchesSerial) {
+  // Randomness pools refill between windows; batching must not move a
+  // single factor draw.
+  const ConfigTweak pooled = [](core::SimulationConfig& c) {
+    c.pem.precompute_encryption = true;
+    c.windows_in_flight = 4;
+  };
+  const SimRun serial =
+      RunSim(net::ExecutionPolicy::Serial(), [](core::SimulationConfig& c) {
+        c.pem.precompute_encryption = true;
+      });
+  const SimRun fused = RunSim(net::ExecutionPolicy::Parallel(4), pooled);
+  const SimRun process = RunSim(net::ExecutionPolicy::Process(), pooled);
+  ExpectSimParity(serial, fused);
+  ExpectSimParity(serial, process, /*strict_order=*/false);
+}
+
+TEST(TranscriptParity, BatchedCrtDayMatchesSerial) {
+  // The full Fig. 5 idle-time stack — pools, CRT exponentiation, AND
+  // batching — against the same stack with windows_in_flight = 1:
+  // batching is the only axis that moves, and it must not move a wire
+  // byte or an rng draw.  (Pools themselves shift the day's stream —
+  // refills draw ahead — which is why the baseline here is pooled+CRT
+  // serial, not the bare serial day.)
+  const ConfigTweak crt_serial = [](core::SimulationConfig& c) {
+    c.pem.precompute_encryption = true;
+    c.pem.crt_encryption = true;
+  };
+  const ConfigTweak crt_b4 = [crt_serial](core::SimulationConfig& c) {
+    crt_serial(c);
+    c.windows_in_flight = 4;
+  };
+  const SimRun base = RunSim(net::ExecutionPolicy::Serial(), crt_serial);
+  const SimRun fused = RunSim(net::ExecutionPolicy::Parallel(4), crt_b4);
+  const SimRun shm = RunSim(net::ExecutionPolicy::Shm(), crt_b4);
+  ExpectSimParity(base, fused);
+  ExpectSimParity(base, shm, /*strict_order=*/false);
+}
+
+TEST(TranscriptParity, BatchedAuditArmedDayMatchesSerial) {
+  // §VI audits draw their coin flips and verification traffic inside
+  // the window; the batched run must elect the same auditors and reach
+  // the same (clean) verdicts window by window.
+  const ConfigTweak audited = [](core::SimulationConfig& c) {
+    c.pem.audit.enabled = true;
+  };
+  const ConfigTweak audited_b4 = [](core::SimulationConfig& c) {
+    c.pem.audit.enabled = true;
+    c.windows_in_flight = 4;
+  };
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial(), audited);
+  const SimRun fused = RunSim(net::ExecutionPolicy::Parallel(4), audited_b4);
+  const SimRun process = RunSim(net::ExecutionPolicy::Process(), audited_b4);
+  ExpectSimParity(serial, fused);
+  ExpectSimParity(serial, process, /*strict_order=*/false);
+  // The row is only meaningful if somebody actually audited.
+  bool any_audited = false;
+  for (const core::WindowRecord& rec : serial.result.windows) {
+    any_audited |= rec.audit.audited;
+  }
+  EXPECT_TRUE(any_audited);
+}
+
+TEST(TranscriptParity, BatchedChurnedStridedDayMatchesSerial) {
+  // Membership churn lands on windows the stride skips as well as ones
+  // it runs; the parent must replay every event in window order before
+  // deciding what a sampled window looks like (the forked parent loop
+  // used to skip churn entirely — this row is its regression test).
+  const ConfigTweak churned = [](core::SimulationConfig& c) {
+    c.window_stride = 2;
+    c.window_offset = 1;
+    c.churn = {{2, 3, false}, {4, 3, true}, {3, 7, false}};
+  };
+  const ConfigTweak churned_b3 = [churned](core::SimulationConfig& c) {
+    churned(c);
+    c.windows_in_flight = 3;
+  };
+  const SimRun serial = RunSim(net::ExecutionPolicy::Serial(), churned);
+  const SimRun process = RunSim(net::ExecutionPolicy::Process(), churned);
+  const SimRun process_b3 =
+      RunSim(net::ExecutionPolicy::Process(), churned_b3);
+  const SimRun fused = RunSim(net::ExecutionPolicy::Parallel(4), churned_b3);
+  ASSERT_EQ(serial.result.windows.size(), 3u);  // windows 1, 3, 5
+  ExpectSimParity(serial, process, /*strict_order=*/false);
+  ExpectSimParity(serial, process_b3, /*strict_order=*/false);
+  ExpectSimParity(serial, fused);
 }
 
 TEST(TranscriptParity, FullTradingDaySerialVsShm) {

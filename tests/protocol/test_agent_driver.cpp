@@ -43,6 +43,7 @@ std::vector<Party> MakeParties(const PemConfig& cfg, crypto::Rng& rng) {
 
 TEST(AgentDriver, WindowReportCodecRoundTrips) {
   WindowReport report;
+  report.window = 17;
   report.type = market::MarketType::kGeneral;
   report.price = 0.3125;
   report.supply_total = 2.5;
@@ -55,9 +56,11 @@ TEST(AgentDriver, WindowReportCodecRoundTrips) {
   report.trades = {{0, 1, 0.5, 0.15}, {3, 2, 0.25, 0.08}};
   report.runtime_seconds = 0.0625;
   report.bus_bytes = 4242;
+  report.rng_cursor = 987654;
   report.self_stats = {100, 200, 3, 4};
 
   const WindowReport out = DecodeWindowReport(EncodeWindowReport(report));
+  EXPECT_EQ(out.window, 17);
   EXPECT_EQ(out.type, report.type);
   EXPECT_DOUBLE_EQ(out.price, report.price);
   EXPECT_DOUBLE_EQ(out.supply_total, report.supply_total);
@@ -72,6 +75,7 @@ TEST(AgentDriver, WindowReportCodecRoundTrips) {
   EXPECT_DOUBLE_EQ(out.trades[1].payment, 0.08);
   EXPECT_DOUBLE_EQ(out.runtime_seconds, 0.0625);
   EXPECT_EQ(out.bus_bytes, 4242u);
+  EXPECT_EQ(out.rng_cursor, 987654u);
   EXPECT_TRUE(out.self_stats == report.self_stats);
 }
 
@@ -122,12 +126,14 @@ TEST(AgentDriver, ForkedWindowMatchesSerialWindow) {
   }
   const std::vector<uint8_t> window_zero = {0, 0, 0, 0};
   transport.CommandAll(net::kCtlCmdRun, window_zero);
-  const WindowReport report = CollectWindowReports(transport, before);
+  const WindowReport report = CollectWindowReports(transport, before, 0);
   transport.Shutdown();
 
+  EXPECT_EQ(report.window, 0);
   EXPECT_EQ(report.type, serial.type);
   EXPECT_DOUBLE_EQ(report.price, serial.price);
   EXPECT_EQ(report.bus_bytes, serial.bus_bytes);
+  EXPECT_EQ(report.rng_cursor, serial.rng_cursor);
   // The report's bytes were cross-checked against the router's literal
   // socket ledger inside CollectWindowReports; check the totals too.
   EXPECT_EQ(transport.total_bytes(), serial.bus_bytes);

@@ -416,7 +416,7 @@ WindowRun RunWindowForked(net::TransportKind kind,
   net::ByteWriter cmd;
   cmd.U32(0);
   transport.CommandAll(net::kCtlCmdRun, cmd.Take());
-  const WindowReport report = CollectWindowReports(transport, before);
+  const WindowReport report = CollectWindowReports(transport, before, 0);
   run.transport_total_bytes = transport.total_bytes();
   for (size_t i = 0; i < kMarket.size(); ++i) {
     run.per_agent.push_back(transport.stats(static_cast<net::AgentId>(i)));
